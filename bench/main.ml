@@ -1,0 +1,158 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table of DESIGN.md (the rows the
+   paper reproduction reports) and prints them.
+
+   Part 2 is a Bechamel suite: one [Test.make] per experiment table
+   (measuring the cost of regenerating it with a reduced trial count) plus
+   micro-benchmarks of the substrate primitives the simulator is built
+   from.  Results are printed as OLS time-per-run estimates. *)
+
+open Bechamel
+open Toolkit
+
+let bench_seeds = [ 0; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the tables                                       *)
+
+let regenerate_tables () =
+  Format.printf "=== Experiment tables (paper reproduction) ===@.@.";
+  List.iter
+    (fun t -> Format.printf "%a@." Time_protection.Table.render t)
+    (Time_protection.Experiments.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel suite                                              *)
+
+let experiment_tests =
+  List.filter_map
+    (fun id ->
+      match Time_protection.Experiments.by_id id with
+      | None -> None
+      | Some f ->
+        Some
+          (Test.make ~name:("table:" ^ id)
+             (Staged.stage (fun () -> ignore (f ~seeds:bench_seeds ())))))
+    Time_protection.Experiments.ids
+
+(* Substrate micro-benchmarks. *)
+
+let cache_access_test =
+  let open Tpro_hw in
+  let c = Cache.create (Cache.geometry ~sets:1024 ~ways:8 ~line_bits:6 ()) in
+  let i = ref 0 in
+  Test.make ~name:"hw:cache-access"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Cache.access c ~owner:0 ~write:false (!i * 8191 land 0xFFFFF))))
+
+let machine_load_test =
+  let open Tpro_hw in
+  let m = Machine.create Machine.default_config in
+  let i = ref 0 in
+  Test.make ~name:"hw:machine-load"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Machine.load m ~core:0 ~asid:1 ~domain:0
+              ~translate:(fun vpn -> Some (vpn land 0x3FF))
+              ~pc:(!i * 4)
+              (!i * 4099 land 0xFFFFF))))
+
+let flush_test =
+  let open Tpro_hw in
+  let m = Machine.create Machine.default_config in
+  Test.make ~name:"hw:flush-core-local"
+    (Staged.stage (fun () ->
+         ignore
+           (Machine.store m ~core:0 ~asid:1 ~domain:0
+              ~translate:(fun vpn -> Some (vpn land 0x3FF))
+              ~pc:0 0x1000);
+         ignore (Machine.flush_core_local m ~core:0)))
+
+let kernel_step_test =
+  let open Tpro_kernel in
+  Test.make ~name:"kernel:boot+1000-steps"
+    (Staged.stage (fun () ->
+         let k = Kernel.create Kernel.config_full in
+         let d0 = Kernel.create_domain k ~slice:5_000 ~pad_cycles:9_000 () in
+         let d1 = Kernel.create_domain k ~slice:5_000 ~pad_cycles:9_000 () in
+         Kernel.map_region k d0 ~vbase:0x20000000 ~pages:2;
+         ignore
+           (Kernel.spawn k d0
+              (Array.append
+                 (Array.init 400 (fun i ->
+                      Program.Load (0x20000000 + (i * 64 mod 8192))))
+                 [| Program.Halt |]));
+         ignore (Kernel.spawn k d1 (Array.make 400 (Program.Compute 10)));
+         Kernel.run ~max_steps:1_000 k))
+
+let capacity_test =
+  let samples =
+    List.concat_map
+      (fun s -> List.init 16 (fun i -> (s, (s * 3) + (i mod 4))))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Test.make ~name:"analysis:blahut-arimoto"
+    (Staged.stage (fun () -> ignore (Tpro_channel.Capacity.of_samples samples)))
+
+let two_run_test =
+  Test.make ~name:"proofs:two-run-NI"
+    (Staged.stage (fun () ->
+         ignore
+           (Tpro_secmodel.Nonint.two_run
+              ~build:(fun ~secret ->
+                Time_protection.Ni_scenario.build
+                  ~cfg:Time_protection.Presets.full ~seed:0 ~secret)
+              ~secret1:0 ~secret2:1 ())))
+
+let micro_tests =
+  [
+    cache_access_test;
+    machine_load_test;
+    flush_test;
+    kernel_step_test;
+    capacity_test;
+    two_run_test;
+  ]
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"tpro" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Format.printf "=== Bechamel micro/table benchmarks (time per run) ===@.@.";
+  Format.printf "  %-32s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, o) ->
+      let time_ns =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      let pretty =
+        if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
+        else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+        else if time_ns >= 1e3 then Printf.sprintf "%.3f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.1f ns" time_ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square o with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Format.printf "  %-32s %14s %8s@." name pretty r2)
+    rows
+
+let () =
+  regenerate_tables ();
+  run_bechamel (experiment_tests @ micro_tests)

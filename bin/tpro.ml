@@ -1,0 +1,164 @@
+(* Command-line driver: run experiments, verify configurations, inspect
+   the model. *)
+
+let list_experiments () =
+  print_endline "experiments (see DESIGN.md for the paper mapping):";
+  List.iter (fun id -> Printf.printf "  %s\n" id) Time_protection.Experiments.ids
+
+let print_table csv table =
+  if csv then print_string (Time_protection.Table.to_csv table)
+  else Format.printf "%a@." Time_protection.Table.render table
+
+let run_experiment id seeds csv =
+  match Time_protection.Experiments.by_id id with
+  | None ->
+    Printf.eprintf "unknown experiment %s; try `tpro list`\n" id;
+    exit 1
+  | Some f ->
+    let seeds = match seeds with [] -> None | l -> Some l in
+    print_table csv (f ?seeds ())
+
+let run_all seeds csv =
+  let seeds = match seeds with [] -> None | l -> Some l in
+  List.iter (print_table csv) (Time_protection.Experiments.all ?seeds ())
+
+let configs =
+  Time_protection.Presets.standard @ Time_protection.Presets.ablations
+
+let verify cfg_name =
+  match List.assoc_opt cfg_name configs with
+  | None ->
+    Printf.eprintf "unknown configuration %s; known: %s\n" cfg_name
+      (String.concat ", " (List.map fst configs));
+    exit 1
+  | Some cfg ->
+    let report = Time_protection.Verify.run ~cfg () in
+    Format.printf "%a@." Time_protection.Verify.pp_report report;
+    if not report.Time_protection.Verify.all_hold then exit 2
+
+let show_trace cfg_name =
+  match List.assoc_opt cfg_name configs with
+  | None ->
+    Printf.eprintf "unknown configuration %s\n" cfg_name;
+    exit 1
+  | Some cfg ->
+    let run =
+      Tpro_secmodel.Nonint.execute
+        (fun ~secret -> Time_protection.Ni_scenario.build ~cfg ~seed:0 ~secret)
+        0
+    in
+    let k = run.Tpro_secmodel.Nonint.kernel in
+    Format.printf "timeline of the verification scenario under %s:@.%a@."
+      cfg_name
+      (Time_protection.Trace.pp ~limit:30)
+      k;
+    Format.printf "recommended padding for this machine (WCET analysis): %d cycles@."
+      (Time_protection.Wcet.recommended_pad
+         (Tpro_hw.Machine.config (Tpro_kernel.Kernel.machine k)))
+
+let scenario_of_id id =
+  match String.lowercase_ascii id with
+  | "e2" | "l1" -> Tpro_channel.Cache_channel.l1_scenario ()
+  | "e3" | "llc" -> Tpro_channel.Cache_channel.llc_scenario ()
+  | "e5" | "text" -> Tpro_channel.Kernel_text.scenario ()
+  | "e1" | "downgrader" -> Tpro_channel.Downgrader.scenario ()
+  | "e8" | "tlb" -> Tpro_channel.Tlb_channel.scenario ()
+  | "e6" | "irq" -> Tpro_channel.Irq_channel.scenario ()
+  | other ->
+    Printf.eprintf "no channel scenario for %s (try e1/e2/e3/e5/e6/e8)\n" other;
+    exit 1
+
+let show_matrix id cfg_name =
+  match List.assoc_opt cfg_name configs with
+  | None ->
+    Printf.eprintf "unknown configuration %s\n" cfg_name;
+    exit 1
+  | Some cfg ->
+    let scenario = scenario_of_id id in
+    let o =
+      Tpro_channel.Attack.measure ~seeds:(List.init 8 (fun i -> i)) scenario
+        ~cfg ()
+    in
+    Format.printf "%a@.@.channel matrix P(output | input):@.%a@."
+      Tpro_channel.Attack.pp_outcome o Tpro_channel.Matrix.pp
+      (Tpro_channel.Attack.matrix o)
+
+let run_protocol id message_len =
+  let scenario = scenario_of_id id in
+  List.iter
+    (fun (name, cfg) ->
+      let t =
+        Tpro_channel.Protocol.transmit scenario ~cfg
+          ~message:(Tpro_channel.Protocol.random_message scenario ~len:message_len)
+      in
+      Format.printf "%-6s %a@." name Tpro_channel.Protocol.pp_transmission t)
+    [ ("none", Time_protection.Presets.none); ("full", Time_protection.Presets.full) ]
+
+open Cmdliner
+
+let seeds_arg =
+  Arg.(value & opt (list int) [] & info [ "seeds" ] ~doc:"Latency-function seeds.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV.")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids")
+    Term.(const list_experiments $ const ())
+
+let exp_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment (e.g. e2)")
+    Term.(const run_experiment $ id $ seeds_arg $ csv_arg)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run_all $ seeds_arg $ csv_arg)
+
+let trace_cmd =
+  let cfg = Arg.(value & pos 0 string "full" & info [] ~docv:"CONFIG") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Show the execution timeline of the verification scenario")
+    Term.(const show_trace $ cfg)
+
+let matrix_cmd =
+  let id = Arg.(value & pos 0 string "e2" & info [] ~docv:"CHANNEL") in
+  let cfg = Arg.(value & pos 1 string "none" & info [] ~docv:"CONFIG") in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Show a channel's empirical matrix and capacity")
+    Term.(const show_matrix $ id $ cfg)
+
+let protocol_cmd =
+  let id = Arg.(value & pos 0 string "e2" & info [] ~docv:"CHANNEL") in
+  let len =
+    Arg.(value & opt int 24 & info [ "length" ] ~doc:"Message length in symbols.")
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:"Transmit a message over a covert channel and report error rate")
+    Term.(const run_protocol $ id $ len)
+
+let verify_cmd =
+  let cfg =
+    Arg.(value & pos 0 string "full"
+         & info [] ~docv:"CONFIG"
+             ~doc:"One of: none, flush+pad, colour-only, full, full\\\\flush, ...")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the Sect. 5.2 proof stack against a configuration")
+    Term.(const verify $ cfg)
+
+let () =
+  let info =
+    Cmd.info "tpro" ~version:"1.0.0"
+      ~doc:"Time protection: executable model, attacks and proofs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; exp_cmd; all_cmd; verify_cmd; trace_cmd; protocol_cmd;
+            matrix_cmd;
+          ]))

@@ -1,0 +1,72 @@
+(* Building your own time-protected system with the declarative API:
+   a three-domain sensor pipeline (sensor -> filter -> logger), padding
+   attributes derived automatically from the WCET analysis, and the
+   execution timeline reconstructed afterwards.
+
+   Run with: dune exec examples/custom_system.exe *)
+
+open Tpro_hw
+open Tpro_kernel
+open Time_protection
+
+let buf = 0x2000_0000
+
+let sensor =
+  [|
+    Program.Read_clock;
+    Program.Compute 800; (* sample the ADC *)
+    Program.Syscall (Program.Sys_send { ep = 0; msg = 21 });
+    Program.Halt;
+  |]
+
+let filter =
+  [|
+    Program.Syscall (Program.Sys_recv { ep = 0 });
+    Program.Load buf;
+    Program.Store buf;
+    Program.Compute 1_500; (* run the filter kernel *)
+    Program.Syscall (Program.Sys_send { ep = 1; msg = 42 });
+    Program.Halt;
+  |]
+
+let logger =
+  [|
+    Program.Syscall (Program.Sys_recv { ep = 1 });
+    Program.Read_clock;
+    Program.Store buf;
+    Program.Halt;
+  |]
+
+let () =
+  let recommended = Wcet.recommended_pad Machine.default_config in
+  Format.printf "WCET analysis recommends a padding attribute of %d cycles@.@."
+    recommended;
+  let sys =
+    System.build
+      (System.spec ~protection:Presets.full
+         [
+           System.domain ~name:"sensor" ~slice:12_000 [ sensor ];
+           System.domain ~name:"filter" ~slice:12_000
+             ~regions:[ { System.vbase = buf; pages = 1 } ]
+             [ filter ];
+           System.domain ~name:"logger" ~slice:12_000
+             ~regions:[ { System.vbase = buf; pages = 1 } ]
+             [ logger ];
+         ])
+  in
+  System.run sys;
+  let k = System.kernel sys in
+  Format.printf "pipeline completed: %b@.@." (Kernel.all_halted k);
+  (match System.observations sys "logger" with
+  | [ obs ] ->
+    Format.printf "logger saw: %a@.@."
+      (Format.pp_print_list ~pp_sep:(fun p () -> Format.pp_print_string p ", ")
+         Event.pp_obs)
+      obs
+  | _ -> ());
+  Format.printf "execution timeline:@.%a@." (Trace.pp ~limit:16) k;
+  Format.printf
+    "every switch slot above is exactly slice + pad: the filter's@.";
+  Format.printf
+    "message reaches the logger at a schedule-determined instant, however@.";
+  Format.printf "long the filter kernel actually ran.@."

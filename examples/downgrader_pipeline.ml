@@ -1,0 +1,95 @@
+(* The full Figure 1 pipeline: a web server (Hi) hands secrets to an
+   encryption component (Hi, trusted downgrader), which publishes
+   ciphertext to the network stack (Lo).
+
+   The ciphertext itself is safe — but the *arrival time* of the message
+   encodes how long the crypto ran, which depends on the secret.  This
+   example builds the three-domain pipeline, leaks a secret through the
+   arrival time, and then closes the channel with deterministic delivery.
+
+   Run with: dune exec examples/downgrader_pipeline.exe *)
+
+open Tpro_hw
+open Tpro_kernel
+open Tpro_channel
+open Time_protection
+
+let slice = 20_000
+let pad = 12_000
+
+(* Crypto with a secret-dependent code path: the classic algorithmic
+   channel (e.g. a square-and-multiply loop keyed by secret bits). *)
+let crypto_work ~secret = 2_000 + (secret * 600)
+
+let build ~cfg ~seed ~secret =
+  let machine_config =
+    { Machine.default_config with
+      Machine.lat = Latency.with_seed Latency.default seed }
+  in
+  let k = Kernel.create ~machine_config cfg in
+  let web = Kernel.create_domain k ~slice ~pad_cycles:pad () in
+  let crypto = Kernel.create_domain k ~slice ~pad_cycles:pad () in
+  let net = Kernel.create_domain k ~slice ~pad_cycles:pad () in
+  (* web server: produce the secret and hand it to the crypto component *)
+  ignore
+    (Kernel.spawn k web
+       [|
+         Program.Compute 500;
+         Program.Syscall (Program.Sys_send { ep = 0; msg = secret });
+         Program.Halt;
+       |]);
+  (* encryption downgrader: receive, "encrypt" (secret-dependent time),
+     publish the ciphertext (always 0 — the storage channel is closed) *)
+  ignore
+    (Kernel.spawn k crypto
+       [|
+         Program.Syscall (Program.Sys_recv { ep = 0 });
+         Program.Compute (crypto_work ~secret);
+         Program.Syscall (Program.Sys_send { ep = 1; msg = 0 });
+         Program.Halt;
+       |]);
+  (* network stack: note when the ciphertext arrives *)
+  let nic =
+    Kernel.spawn k net
+      [|
+        Program.Syscall (Program.Sys_recv { ep = 1 });
+        Program.Read_clock;
+        Program.Halt;
+      |]
+  in
+  (k, nic)
+
+let arrival ~cfg ~seed ~secret =
+  let k, nic = build ~cfg ~seed ~secret in
+  Kernel.run ~max_steps:100_000 k;
+  match Prime_probe.clock_values (Thread.observations nic) with
+  | [ t ] -> t
+  | _ -> -1
+
+let () =
+  Format.printf "== Figure 1: web server -> encryption -> network ==@.@.";
+  Format.printf "ciphertext arrival time at the network stack (Lo):@.";
+  Format.printf "  %-8s %16s %16s@." "secret" "no protection" "full TP";
+  List.iter
+    (fun secret ->
+      Format.printf "  %-8d %16d %16d@." secret
+        (arrival ~cfg:Presets.none ~seed:0 ~secret)
+        (arrival ~cfg:Presets.full ~seed:0 ~secret))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  let capacity cfg =
+    let samples =
+      List.concat_map
+        (fun secret ->
+          List.map (fun seed -> (secret, arrival ~cfg ~seed ~secret))
+            [ 0; 1; 2; 3; 4 ])
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    in
+    Capacity.of_samples samples
+  in
+  Format.printf "@.channel capacity: %.3f bits unprotected, %.3f bits under full TP@."
+    (capacity Presets.none) (capacity Presets.full);
+  Format.printf
+    "@.the arrival column under full TP is quantised to the schedule: the@.";
+  Format.printf
+    "switch to Lo happens at the crypto domain's padded slice boundary, not@.";
+  Format.printf "when the crypto happens to finish (Cock et al. delivery).@."

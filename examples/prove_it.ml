@@ -1,0 +1,30 @@
+(* "Can we prove time protection?" — the executable answer.
+
+   Runs the Sect. 5.2 proof stack (Cases 1, 2a, 2b, top-level
+   noninterference, and the partitioning invariants), quantified over
+   several unspecified latency functions, against the fully protected
+   kernel and against one with a single mechanism knocked out.
+
+   Run with: dune exec examples/prove_it.exe *)
+
+open Time_protection
+
+let () =
+  Format.printf "== proving time protection (executable analogue) ==@.@.";
+  let report = Verify.run ~cfg:Presets.full () in
+  Format.printf "%a@.@." Verify.pp_report report;
+
+  Format.printf
+    "-- now remove one mechanism (no kernel clone) and watch the checkers@.";
+  Format.printf "   find the counter-example: --@.@.";
+  let broken = Verify.run ~cfg:Presets.without_clone () in
+  Format.printf "%a@.@." Verify.pp_report broken;
+
+  Format.printf "summary over the whole ablation grid:@.";
+  List.iter
+    (fun (name, cfg) ->
+      let r = Verify.run ~cfg () in
+      Format.printf "  %-16s %s@." name
+        (if r.Verify.all_hold then "proof obligations hold"
+         else "VIOLATED (counter-example found)"))
+    Presets.ablations

@@ -1,0 +1,42 @@
+(* Exfiltrate real data over the microarchitecture: encode a text string
+   as octal digits and transmit it through the L1 prime-and-probe channel
+   with a trained decoder — then watch time protection garble it.
+
+   Run with: dune exec examples/send_a_message.exe *)
+
+open Tpro_channel
+open Time_protection
+
+let text = "SEL4"
+
+(* 3 bits per symbol: each character becomes three octal digits. *)
+let encode s =
+  List.concat_map
+    (fun c ->
+      let b = Char.code c in
+      [ (b lsr 6) land 7; (b lsr 3) land 7; b land 7 ])
+    (List.init (String.length s) (String.get s))
+
+let decode_digits ds =
+  let rec go acc = function
+    | a :: b :: c :: rest ->
+      go (acc ^ String.make 1 (Char.chr ((a lsl 6) lor (b lsl 3) lor c))) rest
+    | _ -> acc
+  in
+  go "" ds
+
+let printable s =
+  String.map (fun c -> if c >= ' ' && c <= '~' then c else '?') s
+
+let () =
+  let scenario = Cache_channel.l1_scenario () in
+  let message = encode text in
+  Format.printf "Trojan wants to exfiltrate %S = %d octal symbols@." text
+    (List.length message);
+  List.iter
+    (fun (name, cfg) ->
+      let t = Protocol.transmit scenario ~cfg ~message in
+      Format.printf "@.%s:@.  %a@.  spy decoded: %S@." name
+        Protocol.pp_transmission t
+        (printable (decode_digits t.Protocol.received)))
+    [ ("no protection", Presets.none); ("full time protection", Presets.full) ]

@@ -1,0 +1,17 @@
+(** The branch-predictor channel (Sect. 3.1, experiment E17).
+
+    The predictor's pattern-history table is core-local state indexed by
+    (pc, global history): a Trojan trains aliasing entries toward taken
+    or not-taken depending on its secret, and the spy's own branches then
+    mispredict at a secret-dependent rate — observable in the spy's own
+    execution time.  (This is also the substrate Spectre-style attacks
+    poison, which is the paper's opening motivation.)  Core-local and
+    time-multiplexed, the predictor is flushable state: closed by
+    [flush_on_switch]. *)
+
+val scenario : unit -> Attack.scenario
+(** 2 symbols: the Trojan trains the spy's branch slots toward taken (1)
+    or not-taken (0). *)
+
+val slice : int
+val pad : int

@@ -1,0 +1,33 @@
+(** Prime-and-probe cache channels (Sect. 3.1, experiments E2/E3).
+
+    Two variants of the same attack:
+
+    - {!l1_scenario}: through the *time-shared, core-private* L1 data
+      cache.  The Trojan encodes a symbol in how many cache sets it
+      touches during its slice; the spy primes the L1 before, probes
+      after, and counts slow probes.  Closed by [flush_on_switch]
+      (+ [pad_switch] to hide the flush itself).
+
+    - {!llc_scenario}: through the *concurrently shared* last-level
+      cache, where flushing is no defence (the paper: partitioning is the
+      only option).  Trojan and spy agree on a page colour and collide
+      there; the spy counts probes evicted to DRAM.  Closed by
+      [colouring]. *)
+
+open Tpro_hw
+
+val l1_machine : seed:int -> Machine.config
+val llc_machine : seed:int -> Machine.config
+
+val l1_scenario : unit -> Attack.scenario
+(** 8 symbols: the Trojan touches [secret * 32] lines. *)
+
+val llc_scenario : unit -> Attack.scenario
+(** 5 symbols: the Trojan touches [secret] pages of the agreed colour. *)
+
+val slice : int
+val pad : int
+(** Shared scheduling parameters, exposed for the experiment tables. *)
+
+val target_colour : int
+(** The colour Trojan and spy agree to collide on in the LLC variant. *)

@@ -1,0 +1,34 @@
+open Tpro_kernel
+
+let colour_of_vaddr k dom vaddr =
+  match Kernel.vaddr_to_paddr k dom vaddr with
+  | None -> None
+  | Some paddr ->
+    let frame = paddr lsr Kernel.page_bits k in
+    Some (Frame_alloc.colour_of_frame (Kernel.allocator k) frame)
+
+let pages_of_colour k dom ~vbase ~pages ~colour =
+  let page = 1 lsl Kernel.page_bits k in
+  List.filter_map
+    (fun i ->
+      let va = vbase + (i * page) in
+      match colour_of_vaddr k dom va with
+      | Some c when c = colour -> Some va
+      | Some _ | None -> None)
+    (List.init pages (fun i -> i))
+
+let pick_colour_pages k dom ~vbase ~pages ~colour ~want =
+  let page = 1 lsl Kernel.page_bits k in
+  let preferred = pages_of_colour k dom ~vbase ~pages ~colour in
+  let rest =
+    List.filter_map
+      (fun i ->
+        let va = vbase + (i * page) in
+        if List.mem va preferred then None else Some va)
+      (List.init pages (fun i -> i))
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+  in
+  take want (preferred @ rest)

@@ -1,0 +1,26 @@
+(** Attacker calibration helpers.
+
+    Real cache attackers discover the page colours of their own buffers by
+    timing (eviction-set construction).  In the model we let attack code
+    read its own virtual-to-physical mapping through the kernel — the same
+    information, obtained without simulating the tedious calibration
+    phase.  Only addresses belonging to the attacker's *own* domain are
+    exposed. *)
+
+open Tpro_kernel
+
+val colour_of_vaddr : Kernel.t -> Domain.t -> int -> int option
+(** LLC page colour of one of the domain's own virtual addresses. *)
+
+val pages_of_colour :
+  Kernel.t -> Domain.t -> vbase:int -> pages:int -> colour:int -> int list
+(** Virtual base addresses, within [vbase, vbase + pages), of the pages
+    whose frames have the given colour. *)
+
+val pick_colour_pages :
+  Kernel.t -> Domain.t -> vbase:int -> pages:int -> colour:int -> want:int ->
+  int list
+(** [want] page vaddrs of the requested colour; if the domain does not own
+    enough pages of that colour (e.g. because colouring confined it
+    elsewhere), pads with its remaining pages.  The attack code stays the
+    same; the defence changes what it can reach. *)

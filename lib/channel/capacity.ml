@@ -1,0 +1,85 @@
+let log2 x = log x /. log 2.
+
+let entropy dist =
+  let total = Array.fold_left ( +. ) 0. dist in
+  if total <= 0. then 0.
+  else
+    Array.fold_left
+      (fun acc p ->
+        let p = p /. total in
+        if p > 0. then acc -. (p *. log2 p) else acc)
+      0. dist
+
+let mutual_information ?prior m =
+  let ni = Matrix.n_inputs m and no = Matrix.n_outputs m in
+  let p =
+    match prior with
+    | Some p ->
+      if Array.length p <> ni then
+        invalid_arg "Capacity.mutual_information: prior size mismatch";
+      p
+    | None -> Array.make ni (1. /. float_of_int ni)
+  in
+  (* I(X;Y) = H(Y) - H(Y|X) *)
+  let py = Array.make no 0. in
+  for i = 0 to ni - 1 do
+    for j = 0 to no - 1 do
+      py.(j) <- py.(j) +. (p.(i) *. Matrix.prob m i j)
+    done
+  done;
+  let hy = entropy py in
+  let hy_given_x = ref 0. in
+  for i = 0 to ni - 1 do
+    hy_given_x := !hy_given_x +. (p.(i) *. entropy (Matrix.row m i))
+  done;
+  Float.max 0. (hy -. !hy_given_x)
+
+let blahut_arimoto ?(max_iterations = 200) ?(epsilon = 1e-9) m =
+  let ni = Matrix.n_inputs m and no = Matrix.n_outputs m in
+  if ni <= 1 then 0.
+  else begin
+    let p = Array.make ni (1. /. float_of_int ni) in
+    let capacity = ref 0. in
+    (try
+       for _ = 1 to max_iterations do
+         (* q(j) = sum_i p(i) W(j|i) *)
+         let q = Array.make no 0. in
+         for i = 0 to ni - 1 do
+           for j = 0 to no - 1 do
+             q.(j) <- q.(j) +. (p.(i) *. Matrix.prob m i j)
+           done
+         done;
+         (* D(i) = exp( sum_j W(j|i) ln (W(j|i)/q(j)) ) *)
+         let d = Array.make ni 0. in
+         for i = 0 to ni - 1 do
+           let s = ref 0. in
+           for j = 0 to no - 1 do
+             let w = Matrix.prob m i j in
+             if w > 0. && q.(j) > 0. then s := !s +. (w *. log (w /. q.(j)))
+           done;
+           d.(i) <- exp !s
+         done;
+         let z = ref 0. in
+         for i = 0 to ni - 1 do
+           z := !z +. (p.(i) *. d.(i))
+         done;
+         let lower = log !z /. log 2. in
+         let upper =
+           let best = ref neg_infinity in
+           Array.iter (fun di -> if di > !best then best := di) d;
+           log !best /. log 2.
+         in
+         capacity := lower;
+         if upper -. lower < epsilon then raise Exit;
+         for i = 0 to ni - 1 do
+           p.(i) <- p.(i) *. d.(i) /. !z
+         done
+       done
+     with Exit -> ());
+    Float.max 0. !capacity
+  end
+
+let of_samples samples =
+  match List.sort_uniq compare (List.map fst samples) with
+  | [] | [ _ ] -> 0.
+  | _ -> blahut_arimoto (Matrix.of_samples samples)

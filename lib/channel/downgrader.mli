@@ -1,0 +1,25 @@
+(** The downgrader scenario of Figure 1 and Sect. 3.2 (experiment E1).
+
+    Hi is a trusted encryption component whose running time depends on the
+    secret (an algorithmic channel, e.g. secret-dependent code paths in a
+    crypto routine); Lo is the network stack receiving the ciphertext.
+    The *arrival time* of the message leaks the secret unless delivery is
+    made deterministic — the Cock et al. discipline: the switch to the
+    receiver happens no earlier than the sender's policy-determined slice
+    boundary ([deterministic_delivery] + [pad_switch]). *)
+
+
+val scenario : unit -> Attack.scenario
+(** 8 symbols: the crypto routine computes [base + secret * unit]
+    cycles before handing off the ciphertext. *)
+
+val padded_scenario : unit -> Attack.scenario
+(** Variant in which Hi itself pads its computation to a WCET bound
+    before sending (the Sect. 4.3 application-level defence) — closes the
+    channel even under a leaky (non-deterministic-delivery) kernel. *)
+
+val slice : int
+val pad : int
+val wcet : int
+(** Worst-case execution time of the crypto routine (used by
+    [padded_scenario]). *)

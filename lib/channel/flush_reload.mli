@@ -1,0 +1,22 @@
+(** Flush+Reload on shared user memory (Yarom & Falkner 2014; experiment
+    E13).
+
+    When two domains map the *same physical page* (a shared library, a
+    deduplicated page), the spy can flush a line and later reload it,
+    timing the reload: a fast reload means the victim touched that line in
+    between — address-resolution leakage at line granularity.
+
+    Crucially, sharing punctures every OS defence: the shared frame has
+    one colour, so colouring cannot separate the parties, and the LLC is
+    not flushed.  The only defence is not to share (per-domain copies) —
+    which is exactly what the kernel-clone mechanism does for the one
+    image the kernel cannot avoid sharing, and what a time-protecting
+    system must do for user memory too. *)
+
+val scenario : shared:bool -> unit -> Attack.scenario
+(** 8 symbols: the victim touches line [secret] of the library page.
+    [shared:false] gives each party a private copy of the library (the
+    defence). *)
+
+val slice : int
+val pad : int

@@ -1,0 +1,72 @@
+type t = { counts : (int, int) Hashtbl.t; mutable n : int }
+
+let create () = { counts = Hashtbl.create 64; n = 0 }
+
+let add t x =
+  let c = Option.value ~default:0 (Hashtbl.find_opt t.counts x) in
+  Hashtbl.replace t.counts x (c + 1);
+  t.n <- t.n + 1
+
+let count t x = Option.value ~default:0 (Hashtbl.find_opt t.counts x)
+
+let total t = t.n
+
+let bins t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counts []
+  |> List.sort compare
+
+let distinct t = Hashtbl.length t.counts
+
+let min_value t =
+  match bins t with [] -> None | (v, _) :: _ -> Some v
+
+let max_value t =
+  match List.rev (bins t) with [] -> None | (v, _) :: _ -> Some v
+
+let mean t =
+  if t.n = 0 then 0.
+  else
+    let s =
+      Hashtbl.fold (fun v c acc -> acc +. (float_of_int v *. float_of_int c))
+        t.counts 0.
+    in
+    s /. float_of_int t.n
+
+let variance t =
+  if t.n = 0 then 0.
+  else begin
+    let m = mean t in
+    let s =
+      Hashtbl.fold
+        (fun v c acc ->
+          let d = float_of_int v -. m in
+          acc +. (d *. d *. float_of_int c))
+        t.counts 0.
+    in
+    s /. float_of_int t.n
+  end
+
+let stddev t = sqrt (variance t)
+
+let quantile t q =
+  if t.n = 0 then invalid_arg "Hist.quantile: empty histogram";
+  if q < 0. || q > 1. then invalid_arg "Hist.quantile: q out of range";
+  let target = int_of_float (ceil (q *. float_of_int t.n)) in
+  let target = max 1 (min t.n target) in
+  let rec go acc = function
+    | [] -> assert false
+    | (v, c) :: rest -> if acc + c >= target then v else go (acc + c) rest
+  in
+  go 0 (bins t)
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{n=%d mean=%.1f sd=%.1f" (total t) (mean t) (stddev t);
+  (match (min_value t, max_value t) with
+  | Some lo, Some hi -> Format.fprintf ppf " min=%d max=%d" lo hi
+  | _ -> ());
+  Format.pp_print_string ppf "}"

@@ -1,0 +1,31 @@
+(** Integer-valued histograms for latency and timing measurements. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val bins : t -> (int * int) list
+(** (value, count) pairs, values ascending. *)
+
+val distinct : t -> int
+
+val min_value : t -> int option
+val max_value : t -> int option
+
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] for [0 <= q <= 1]; raises [Invalid_argument] on an
+    empty histogram. *)
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** The stateless-interconnect channel (Sect. 2, experiment E9).
+
+    Trojan and spy run *concurrently on different cores*.  The Trojan
+    modulates its memory traffic; the spy measures its own DRAM access
+    latencies, which include queueing on the shared interconnect.  No OS
+    mechanism closes this channel — the paper explicitly scopes it out —
+    so its capacity survives full time protection.  Hypothetical hardware
+    bandwidth partitioning (strict TDMA) does close it; both interconnect
+    modes are exposed here to reproduce the two halves of the claim. *)
+
+open Tpro_hw
+
+val scenario : bus:Interconnect.mode -> unit -> Attack.scenario
+(** 2 symbols: hammer the memory bus (1) or idle-compute (0). *)
+
+val shared_bus : Interconnect.mode
+val tdma_bus : Interconnect.mode
+
+val mba_bus : Interconnect.mode
+(** Intel MBA-style approximate per-domain bandwidth cap over a shared
+    queue — reduces the channel but does not close it (the paper's
+    footnote in Sect. 2). *)

@@ -1,0 +1,16 @@
+(** The interrupt channel (Sect. 4.2, experiment E6).
+
+    The Trojan programs a device so its completion interrupt fires while
+    the victim (here the spy, measuring itself) executes; handling the
+    interrupt steals cycles from the victim's measured interval.  The
+    Trojan knows the system's scheduling parameters and aims the
+    interrupt at the middle of the spy's slice.  Closed by interrupt
+    partitioning: non-owned interrupts stay masked until the owner runs. *)
+
+
+val scenario : unit -> Attack.scenario
+(** 2 symbols: arm an interrupt into the spy's slice (1) or stay quiet
+    (0). *)
+
+val slice : int
+val pad : int

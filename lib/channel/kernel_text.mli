@@ -1,0 +1,17 @@
+(** The shared-kernel-text channel (Sect. 4.2, experiment E5).
+
+    Even read-only sharing of code is enough to leak (Gullasch et al.;
+    Yarom & Falkner): when all domains execute the *same* physical kernel
+    image, which handler windows are warm in the shared LLC reveals which
+    traps another domain performed.  The Trojan encodes a bit by choosing
+    between two system calls; the spy times both handlers and compares.
+    Core-local flushing does not help (the leak is through the LLC);
+    colouring of user memory does not help (kernel text is kernel-owned);
+    only the kernel-clone mechanism closes it. *)
+
+
+val scenario : unit -> Attack.scenario
+(** 2 symbols: Trojan performs 8x [Sys_null] (0) or 8x [Sys_info] (1). *)
+
+val slice : int
+val pad : int

@@ -1,0 +1,69 @@
+type t = {
+  input_syms : int array;
+  output_syms : int array;
+  probs : float array array; (* rows: inputs, cols: outputs *)
+}
+
+let of_samples samples =
+  if samples = [] then invalid_arg "Matrix.of_samples: no samples";
+  let distinct_sorted xs =
+    List.sort_uniq compare xs |> Array.of_list
+  in
+  let input_syms = distinct_sorted (List.map fst samples) in
+  let output_syms = distinct_sorted (List.map snd samples) in
+  let index arr x =
+    let rec go lo hi =
+      if lo >= hi then invalid_arg "Matrix: symbol not found"
+      else
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) = x then mid else if arr.(mid) < x then go (mid + 1) hi
+        else go lo mid
+    in
+    go 0 (Array.length arr)
+  in
+  let counts =
+    Array.make_matrix (Array.length input_syms) (Array.length output_syms) 0
+  in
+  List.iter
+    (fun (i, o) ->
+      let r = index input_syms i and c = index output_syms o in
+      counts.(r).(c) <- counts.(r).(c) + 1)
+    samples;
+  let probs =
+    Array.map
+      (fun row ->
+        let n = Array.fold_left ( + ) 0 row in
+        if n = 0 then Array.map (fun _ -> 0.) row
+        else Array.map (fun c -> float_of_int c /. float_of_int n) row)
+      counts
+  in
+  { input_syms; output_syms; probs }
+
+let n_inputs t = Array.length t.input_syms
+let n_outputs t = Array.length t.output_syms
+let inputs t = Array.copy t.input_syms
+let outputs t = Array.copy t.output_syms
+let prob t i j = t.probs.(i).(j)
+let row t i = Array.copy t.probs.(i)
+
+let deterministic t =
+  Array.for_all
+    (fun row -> Array.exists (fun p -> p = 1.) row)
+    t.probs
+
+let constant t =
+  n_outputs t = 1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "        ";
+  Array.iter (fun o -> Format.fprintf ppf "%8d" o) t.output_syms;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i sym ->
+      Format.fprintf ppf "in=%4d " sym;
+      Array.iteri (fun j _ -> Format.fprintf ppf "%8.3f" t.probs.(i).(j))
+        t.output_syms;
+      Format.fprintf ppf "@,")
+    t.input_syms;
+  Format.fprintf ppf "@]"

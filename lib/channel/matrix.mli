@@ -1,0 +1,33 @@
+(** Channel matrices.
+
+    A covert or side channel is characterised by the conditional
+    distribution P(output | input): the Trojan's symbol in, the spy's
+    measurement out.  Built from empirical samples, it is the input to the
+    capacity estimators — the methodology of Cock et al. (CCS'14). *)
+
+type t
+
+val of_samples : (int * int) list -> t
+(** [(input symbol, observed output)] pairs.  Raises [Invalid_argument] on
+    an empty list. *)
+
+val n_inputs : t -> int
+val n_outputs : t -> int
+
+val inputs : t -> int array
+(** Distinct input symbols, ascending. *)
+
+val outputs : t -> int array
+
+val prob : t -> int -> int -> float
+(** [prob t i j]: P(output index [j] | input index [i]). *)
+
+val row : t -> int -> float array
+
+val deterministic : t -> bool
+(** Every input produces exactly one output value. *)
+
+val constant : t -> bool
+(** All inputs produce the same single output — a dead channel. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+open Tpro_kernel
+
+let touch_lines ~base ~lines ~line_size =
+  Array.init lines (fun i -> Program.Load (base + (i * line_size)))
+
+let prime = touch_lines
+
+let probe ~base ~lines ~line_size =
+  Array.init lines (fun i -> Program.Timed_load (base + (i * line_size)))
+
+let write_lines ~base ~lines ~line_size =
+  Array.init lines (fun i -> Program.Store (base + (i * line_size)))
+
+let shuffle ~seed arr =
+  let rng = Tpro_hw.Rng.create seed in
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Tpro_hw.Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let shuffled_addrs ?(seed = 0x5EED) ~base ~lines ~line_size () =
+  shuffle ~seed (Array.init lines (fun i -> base + (i * line_size)))
+
+let probe_shuffled ?seed ~base ~lines ~line_size () =
+  Array.map
+    (fun a -> Program.Timed_load a)
+    (shuffled_addrs ?seed ~base ~lines ~line_size ())
+
+let probe_pages ?(seed = 0x5EED) ~page_vaddrs ~lines_per_page ~line_size () =
+  let addrs =
+    Array.concat
+      (List.map
+         (fun base -> Array.init lines_per_page (fun i -> base + (i * line_size)))
+         page_vaddrs)
+  in
+  Array.map (fun a -> Program.Timed_load a) (shuffle ~seed addrs)
+
+let prime_pages ~page_vaddrs ~lines_per_page ~line_size =
+  Array.concat
+    (List.map
+       (fun base ->
+         Array.init lines_per_page (fun i ->
+             Program.Load (base + (i * line_size))))
+       page_vaddrs)
+
+let filler ~cycles ~chunk =
+  if chunk <= 0 then invalid_arg "Prime_probe.filler: chunk";
+  let n = (cycles + chunk - 1) / chunk in
+  Array.make n (Program.Compute chunk)
+
+let latencies obs =
+  List.filter_map
+    (function Event.Latency l -> Some l | Event.Clock _ | Event.Recv _ -> None)
+    obs
+
+let slow_count obs ~threshold =
+  List.length (List.filter (fun l -> l > threshold) (latencies obs))
+
+let latency_sum obs = List.fold_left ( + ) 0 (latencies obs)
+
+let slow_count_relative obs ~margin =
+  match latencies obs with
+  | [] -> 0
+  | l ->
+    let base = List.fold_left min max_int l in
+    List.length (List.filter (fun x -> x > base + margin) l)
+
+let clock_values obs =
+  List.filter_map
+    (function Event.Clock c -> Some c | Event.Latency _ | Event.Recv _ -> None)
+    obs

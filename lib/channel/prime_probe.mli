@@ -1,0 +1,61 @@
+(** Program fragments for cache attacks (Sect. 3.1).
+
+    Prime-and-probe (Percival 2005; Osvik et al. 2006): the spy fills a
+    cache region with its own lines (prime), lets the victim run, then
+    re-walks the buffer timing each access (probe) — a slow access means
+    the victim evicted that line, revealing which sets it touched. *)
+
+open Tpro_kernel
+
+val touch_lines : base:int -> lines:int -> line_size:int -> Program.t
+(** Plain loads over [lines] consecutive cache lines from [base]. *)
+
+val prime : base:int -> lines:int -> line_size:int -> Program.t
+(** Identical to [touch_lines]; named for the attack phase. *)
+
+val probe : base:int -> lines:int -> line_size:int -> Program.t
+(** Timed loads over the same region. *)
+
+val shuffled_addrs :
+  ?seed:int -> base:int -> lines:int -> line_size:int -> unit -> int array
+(** The (deterministic) probe order used by {!probe_shuffled} — the
+    decoder replays it to map each latency back to its address. *)
+
+val probe_shuffled :
+  ?seed:int -> base:int -> lines:int -> line_size:int -> unit -> Program.t
+(** Timed loads in a pseudo-random (but fixed) order, so the stride
+    prefetcher cannot mask evictions — the standard countermeasure real
+    attackers use against hardware prefetching. *)
+
+val probe_pages :
+  ?seed:int -> page_vaddrs:int list -> lines_per_page:int -> line_size:int ->
+  unit -> Program.t
+(** Shuffled timed loads covering every line of the given pages. *)
+
+val prime_pages :
+  page_vaddrs:int list -> lines_per_page:int -> line_size:int -> Program.t
+(** Plain loads covering every line of the given pages. *)
+
+val write_lines : base:int -> lines:int -> line_size:int -> Program.t
+(** Stores (used by Trojans that dirty the cache, e.g. for the
+    flush-latency channel E4). *)
+
+val filler : cycles:int -> chunk:int -> Program.t
+(** Pure-compute padding totalling roughly [cycles], in [chunk]-sized
+    instructions (the fine granularity lets the preemption timer interrupt
+    it promptly). *)
+
+val slow_count : Event.obs list -> threshold:int -> int
+(** Number of [Latency] observations strictly above [threshold] — the
+    spy's standard decoder. *)
+
+val slow_count_relative : Event.obs list -> margin:int -> int
+(** Number of latencies more than [margin] above the run's own minimum —
+    robust to configuration-dependent base latency (e.g. whether the
+    probe's cache lines survived in the LLC). *)
+
+val latency_sum : Event.obs list -> int
+
+val latencies : Event.obs list -> int list
+
+val clock_values : Event.obs list -> int list

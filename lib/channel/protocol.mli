@@ -1,0 +1,46 @@
+(** End-to-end covert-channel transmission (experiment E14).
+
+    Turns a raw scenario into a working communication protocol, the way
+    the empirical timing-channel studies (Cock et al. CCS'14) evaluate
+    channels: a *training* phase learns a nearest-centroid decoder from
+    labelled transmissions, then a *message* is sent symbol by symbol over
+    fresh noise (unseen latency-function seeds) and the symbol error rate
+    and achieved bandwidth are reported. *)
+
+open Tpro_kernel
+
+type decoder
+(** Maps a raw spy output to the most plausible input symbol. *)
+
+val train :
+  ?seeds:int list -> Attack.scenario -> cfg:Kernel.config -> decoder
+(** Nearest-centroid decoder from labelled training transmissions
+    (default training seeds 100..104). *)
+
+val decode : decoder -> int -> int
+
+type transmission = {
+  message : int list;
+  received : int list;
+  symbol_errors : int;
+  error_rate : float;
+  mean_cycles_per_symbol : float;
+  capacity_bits : float;       (** Blahut–Arimoto over the test samples *)
+  bandwidth_bits_per_mcycle : float;
+      (** capacity x 10^6 / cycles-per-symbol: leakage rate per simulated
+          megacycle *)
+}
+
+val transmit :
+  ?train_seeds:int list ->
+  ?test_seed_base:int ->
+  Attack.scenario ->
+  cfg:Kernel.config ->
+  message:int list ->
+  transmission
+(** Send [message] (symbols must be in the scenario's alphabet), one
+    fresh seed per symbol starting at [test_seed_base] (default 200). *)
+
+val random_message : ?seed:int -> Attack.scenario -> len:int -> int list
+
+val pp_transmission : Format.formatter -> transmission -> unit

@@ -1,0 +1,25 @@
+(** A true side channel: the AES-style table-lookup victim (Sect. 3.1).
+
+    Unlike the covert channels, the victim here does not cooperate — its
+    *program text is identical for every secret*; the secret is data (an
+    initial register value) used to index a lookup table, exactly the
+    paper's "the encoding is implicit in Hi's normal execution (e.g. via
+    a secret-derived array index)", the access pattern of an AES T-table
+    implementation (Osvik et al. 2006).
+
+    The spy primes the L1, lets the victim's slice pass, probes in a
+    deterministic shuffled order, and reports the *set index* with the
+    slowest probes: "the address of the missing access reveals the index
+    bits of Hi's access".  Closed by flushing — the defence for
+    time-shared core-private state. *)
+
+val scenario : unit -> Attack.scenario
+(** 8 symbols: the secret selects one of 8 table lines, 512 bytes (8 L1
+    sets) apart. *)
+
+val victim_program : Tpro_kernel.Program.t
+(** The fixed victim code, exposed to make "same program, different
+    data" visible. *)
+
+val slice : int
+val pad : int

@@ -1,0 +1,16 @@
+(** The hyperthreading channel (Sect. 4.1, experiment E12).
+
+    Two hardware threads of one physical core share all core-private
+    micro-architectural state *concurrently*, so flushing — a defence for
+    time-multiplexed state — cannot apply, and the L1 has too few colours
+    to partition.  The paper's conclusion: "hyperthreading is
+    fundamentally insecure, and multiple hardware threads must never be
+    allocated to different security domains."
+
+    The scenario runs Trojan and spy as sibling hyperthreads hammering
+    the shared L1; with [smt:false] the same pair runs on two *physical*
+    cores (separate L1s), the only real defence. *)
+
+val scenario : smt:bool -> unit -> Attack.scenario
+(** 5 symbols: the Trojan keeps a working set of [secret * 32] L1 lines
+    hot while the spy primes and probes. *)

@@ -1,0 +1,16 @@
+(** The TLB channel (Sect. 5.3, experiment E8).
+
+    The TLB is ASID-tagged, so entries of different domains never alias
+    *functionally* (the Syeda & Klein consistency theorem).  But capacity
+    contention still leaks: the Trojan touches many pages, evicting the
+    spy's translations, and the spy's page-walk count reveals how many.
+    ASID tagging alone is therefore no timing defence — the TLB is
+    core-local time-shared state and must be flushed, exactly the paper's
+    classification. *)
+
+val scenario : unit -> Attack.scenario
+(** 5 symbols: the Trojan touches [secret * 8] distinct pages of a
+    32-entry TLB. *)
+
+val slice : int
+val pad : int

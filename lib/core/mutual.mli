@@ -1,0 +1,31 @@
+(** Multi-domain mutual noninterference.
+
+    Sect. 2 of the paper: Hi and Lo are *relative to a particular
+    secret*; there is no hierarchical policy, and "there may be other
+    secrets for which the roles of the domains are reversed.  It is the
+    duty of the OS to prevent any unauthorised information flow, no
+    matter what the system's specific security policy might be."
+
+    This scenario runs three mutually distrusting domains, each holding
+    its own secret (a secret-driven worker thread) and its own observer
+    thread.  The mutual-NI check varies one domain's secret at a time and
+    requires every *other* domain's observations to be unchanged —
+    intra-domain flows (a domain's own observer seeing its own worker)
+    are legitimately unrestricted. *)
+
+open Tpro_kernel
+open Tpro_secmodel
+
+val n_domains : int
+
+val build :
+  cfg:Kernel.config -> seed:int -> secrets:int array -> Kernel.t * Thread.t array
+(** A booted three-domain system; returns each domain's observer
+    thread. *)
+
+val check :
+  ?seeds:int list -> ?secret_values:int list -> cfg:Kernel.config -> unit ->
+  Proofs.check
+(** For every domain [d], every latency seed and every alternative value
+    of [d]'s secret: the observations of all domains other than [d] must
+    equal the baseline run's. *)

@@ -1,0 +1,112 @@
+open Tpro_hw
+open Tpro_kernel
+open Tpro_secmodel
+open Tpro_channel
+
+let slice = 30_000
+let pad = 25_000
+
+let hi_buf = 0x4000_0000
+let lo_buf = 0x2000_0000
+
+let default_secrets = [ 0; 1; 2; 3 ]
+let default_seeds = [ 0; 1; 2 ]
+
+(* A small 4-colour LLC so that Hi's working set can actually evict Lo's
+   lines when colouring is off — with a large LLC the sampled programs
+   would be too small to collide and the colouring obligation would be
+   vacuous. *)
+let machine_config ~seed =
+  {
+    Machine.default_config with
+    Machine.llc_geom = Cache.geometry ~sets:256 ~ways:4 ~line_bits:6 ();
+    n_frames = 512;
+    lat = Latency.with_seed Latency.default seed;
+  }
+
+(* Lo's observer: one phase per slice-ish — clock read, timed probes over
+   its own buffer, a couple of traps, branches, then fine-grained filler
+   to carry it across the slice boundary. *)
+let observer_phase i =
+  Program.concat
+    [
+      [| Program.Read_clock |];
+      Prime_probe.probe ~base:(lo_buf + (i * 256)) ~lines:24 ~line_size:64;
+      [| Program.Syscall Program.Sys_null; Program.Read_clock |];
+      Array.init 8 (fun b -> Program.Branch { tag = b; taken = b land 1 = 0 });
+      [| Program.Syscall Program.Sys_info; Program.Read_clock |];
+      Prime_probe.filler ~cycles:slice ~chunk:25;
+    ]
+
+let observer =
+  Program.concat
+    [ observer_phase 0; observer_phase 1; observer_phase 2; [| Program.Halt |] ]
+
+(* Hi's secret-dependent behaviour, built to exercise every mechanism:
+   - a device interrupt armed at a secret-dependent time (IRQ partitioning);
+   - a secret-dependent *choice* of kernel path, so the kernel-text
+     footprint differs between secrets (kernel clone);
+   - a secret-scaled sweep over many pages, several lines deep, so the LLC
+     (and L1/TLB) footprint differs (colouring / flushing);
+   - a random program derived from the secret (everything else). *)
+let hi_program ~secret =
+  let call =
+    if secret land 1 = 0 then Program.Sys_null else Program.Sys_info
+  in
+  let pages = 8 + (8 * (secret mod 4)) in
+  let sweep =
+    Array.concat
+      (List.init pages (fun p ->
+           Array.init 16 (fun l ->
+               Program.Load (hi_buf + (p * 4096) + (l * 64)))))
+  in
+  Program.concat
+    [
+      [|
+        Program.Syscall
+          (Program.Sys_arm_irq { irq = 1; delay = 40_000 + (secret * 4_000) });
+      |];
+      Array.make 6 (Program.Syscall call);
+      sweep;
+      Program.random ~syscalls:false
+        (Rng.create (0x5EC + secret))
+        ~len:100 ~data_base:hi_buf ~data_bytes:(4 * 4096);
+    ]
+
+let build ~cfg ~seed ~secret =
+  let k = Kernel.create ~machine_config:(machine_config ~seed) cfg in
+  let hi = Kernel.create_domain k ~slice ~pad_cycles:pad () in
+  let lo = Kernel.create_domain k ~slice ~pad_cycles:pad () in
+  Kernel.map_region k hi ~vbase:hi_buf ~pages:32;
+  Kernel.map_region k lo ~vbase:lo_buf ~pages:4;
+  Kernel.set_irq_owner k ~irq:1 ~dom:hi;
+  ignore (Kernel.spawn k hi (hi_program ~secret));
+  let lo_thread = Kernel.spawn k lo observer in
+  { Nonint.kernel = k; observers = [ lo_thread ] }
+
+let builder = build
+
+(* Short observer for the exhaustive checker: one phase is enough, the
+   point is to cover *every* Hi program, not every Lo behaviour. *)
+let small_slice = 10_000
+let small_pad = 12_000
+
+let small_observer =
+  Program.concat
+    [
+      [| Program.Read_clock |];
+      Prime_probe.probe ~base:lo_buf ~lines:12 ~line_size:64;
+      [| Program.Syscall Program.Sys_null; Program.Read_clock |];
+      Prime_probe.filler ~cycles:small_slice ~chunk:25;
+      [| Program.Read_clock; Program.Halt |];
+    ]
+
+let build_with_program ~cfg ~seed ~hi_prog =
+  let k = Kernel.create ~machine_config:(machine_config ~seed) cfg in
+  let hi = Kernel.create_domain k ~slice:small_slice ~pad_cycles:small_pad () in
+  let lo = Kernel.create_domain k ~slice:small_slice ~pad_cycles:small_pad () in
+  Kernel.map_region k hi ~vbase:hi_buf ~pages:2;
+  Kernel.map_region k lo ~vbase:lo_buf ~pages:2;
+  ignore (Kernel.spawn k hi hi_prog);
+  let lo_thread = Kernel.spawn k lo small_observer in
+  { Nonint.kernel = k; observers = [ lo_thread ] }

@@ -1,0 +1,40 @@
+(** The standard verification scenario for the Sect. 5.2 proof stack.
+
+    Two domains on one core: Hi runs a *random program derived from the
+    secret* (so different secrets mean genuinely different load/store/
+    branch/syscall behaviour, not just different operands); Lo runs a
+    fixed observer that reads the clock, times loads, takes traps and
+    branches across several of its slices.  Noninterference demands Lo's
+    complete view be identical for every secret. *)
+
+open Tpro_kernel
+open Tpro_secmodel
+
+val slice : int
+val pad : int
+
+val machine_config : seed:int -> Tpro_hw.Machine.config
+(** The scenario's machine: a small 4-colour LLC so the sampled programs
+    can actually collide when colouring is off. *)
+
+val hi_program : secret:int -> Program.t
+(** Hi's secret-dependent behaviour (interrupt arming, kernel-path
+    choice, page sweep, random tail). *)
+
+val observer : Program.t
+(** Lo's fixed observer program. *)
+
+val build : cfg:Kernel.config -> seed:int -> secret:int -> Nonint.run
+(** [seed] selects the latency function; [secret] seeds Hi's program. *)
+
+val builder : cfg:Kernel.config -> seed:int -> secret:int -> Nonint.run
+(** Same as {!build}; the labelled shape [Proofs.all] expects. *)
+
+val build_with_program :
+  cfg:Kernel.config -> seed:int -> hi_prog:Program.t -> Nonint.run
+(** Compact variant for the exhaustive checker: Hi runs exactly
+    [hi_prog]; Lo runs a short observer.  Small slices keep each
+    execution cheap enough to enumerate hundreds of programs. *)
+
+val default_secrets : int list
+val default_seeds : int list

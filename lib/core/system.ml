@@ -1,0 +1,93 @@
+open Tpro_hw
+open Tpro_kernel
+
+type region = { vbase : int; pages : int }
+
+type domain_spec = {
+  name : string;
+  core : int;
+  slice : int;
+  pad : int option;
+  n_colours : int;
+  regions : region list;
+  programs : Program.t list;
+  irqs : int list;
+}
+
+let domain ?(core = 0) ?pad ?(n_colours = 1) ?(regions = []) ?(irqs = [])
+    ~name ~slice programs =
+  { name; core; slice; pad; n_colours; regions; programs; irqs }
+
+type sharing = {
+  from_domain : string;
+  to_domain : string;
+  region : region;
+  at_vbase : int;
+}
+
+type spec = {
+  machine : Machine.config;
+  protection : Kernel.config;
+  domains : domain_spec list;
+  shared : sharing list;
+}
+
+let spec ?(machine = Machine.default_config) ?(shared = []) ~protection
+    domains =
+  { machine; protection; domains; shared }
+
+type t = {
+  sys_kernel : Kernel.t;
+  by_name : (string * (Domain.t * Thread.t list)) list;
+}
+
+let build s =
+  let names = List.map (fun d -> d.name) s.domains in
+  if List.length names <> List.length (List.sort_uniq compare names) then
+    invalid_arg "System.build: duplicate domain names";
+  let k = Kernel.create ~machine_config:s.machine s.protection in
+  let default_pad = Wcet.recommended_pad s.machine in
+  let by_name =
+    List.map
+      (fun d ->
+        let dom =
+          Kernel.create_domain k ~core:d.core ~n_colours:d.n_colours
+            ~slice:d.slice
+            ~pad_cycles:(Option.value ~default:default_pad d.pad)
+            ()
+        in
+        List.iter
+          (fun r -> Kernel.map_region k dom ~vbase:r.vbase ~pages:r.pages)
+          d.regions;
+        List.iter (fun irq -> Kernel.set_irq_owner k ~irq ~dom) d.irqs;
+        let threads = List.map (Kernel.spawn k dom) d.programs in
+        (d.name, (dom, threads)))
+      s.domains
+  in
+  let find name =
+    match List.assoc_opt name by_name with
+    | Some (dom, _) -> dom
+    | None -> invalid_arg ("System.build: unknown domain " ^ name)
+  in
+  List.iter
+    (fun sh ->
+      Kernel.share_region k ~owner:(find sh.from_domain)
+        ~guest:(find sh.to_domain) ~vbase:sh.region.vbase
+        ~pages:sh.region.pages ~guest_vbase:sh.at_vbase)
+    s.shared;
+  { sys_kernel = k; by_name }
+
+let kernel t = t.sys_kernel
+
+let lookup t name =
+  match List.assoc_opt name t.by_name with
+  | Some entry -> entry
+  | None -> invalid_arg ("System: unknown domain " ^ name)
+
+let domain_named t name = fst (lookup t name)
+let threads_of t name = snd (lookup t name)
+
+let run ?max_steps t = Kernel.run ?max_steps t.sys_kernel
+
+let observations t name =
+  List.map Thread.observations (threads_of t name)

@@ -1,0 +1,72 @@
+(** Declarative system construction.
+
+    The kernel API builds systems imperatively (create domain, map
+    region, spawn, ...); this module lets a user describe the whole
+    system — machine, protection configuration, domains with their
+    memory, threads, interrupts and shared regions — as one value, and
+    builds it in a single call.  Domains are addressed by name
+    afterwards.
+
+    Padding attributes may be left out, in which case the WCET analysis
+    ({!Wcet.recommended_pad}) supplies a provably sufficient value. *)
+
+open Tpro_hw
+open Tpro_kernel
+
+type region = { vbase : int; pages : int }
+
+type domain_spec = {
+  name : string;
+  core : int;              (** default 0 *)
+  slice : int;
+  pad : int option;        (** [None]: use the WCET analysis *)
+  n_colours : int;         (** default 1 *)
+  regions : region list;
+  programs : Program.t list;  (** one thread per program *)
+  irqs : int list;         (** interrupt sources this domain owns *)
+}
+
+val domain :
+  ?core:int ->
+  ?pad:int ->
+  ?n_colours:int ->
+  ?regions:region list ->
+  ?irqs:int list ->
+  name:string ->
+  slice:int ->
+  Program.t list ->
+  domain_spec
+
+type sharing = {
+  from_domain : string;
+  to_domain : string;
+  region : region;     (** must be one of [from_domain]'s regions *)
+  at_vbase : int;
+}
+
+type spec = {
+  machine : Machine.config;
+  protection : Kernel.config;
+  domains : domain_spec list;
+  shared : sharing list;
+}
+
+val spec :
+  ?machine:Machine.config ->
+  ?shared:sharing list ->
+  protection:Kernel.config ->
+  domain_spec list ->
+  spec
+
+type t
+
+val build : spec -> t
+(** Boots the kernel, creates everything in order, applies sharing.
+    Raises [Invalid_argument] on duplicate or unknown domain names. *)
+
+val kernel : t -> Kernel.t
+val domain_named : t -> string -> Domain.t
+val threads_of : t -> string -> Thread.t list
+val run : ?max_steps:int -> t -> unit
+val observations : t -> string -> Tpro_kernel.Event.obs list list
+(** Observation trace of each of the named domain's threads. *)

@@ -1,0 +1,49 @@
+type t = {
+  id : string;
+  title : string;
+  anchor : string;
+  headers : string list;
+  rows : string list list;
+  note : string;
+}
+
+let cell_float f = Printf.sprintf "%.3f" f
+
+let render ppf t =
+  let all = t.headers :: t.rows in
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let print_row row =
+    Format.fprintf ppf "  ";
+    List.iteri (fun i c -> Format.fprintf ppf "%s  " (pad i c)) row;
+    Format.fprintf ppf "@,"
+  in
+  let rule =
+    String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf ppf "@[<v>%s: %s  (%s)@," t.id t.title t.anchor;
+  print_row t.headers;
+  Format.fprintf ppf "  %s@," rule;
+  List.iter print_row t.rows;
+  if t.note <> "" then Format.fprintf ppf "  note: %s@," t.note;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" render t
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.headers :: t.rows)) ^ "\n"

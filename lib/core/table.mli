@@ -1,0 +1,22 @@
+(** Experiment result tables, rendered like the rows a paper would
+    report. *)
+
+type t = {
+  id : string;       (** experiment id, e.g. "E2" *)
+  title : string;
+  anchor : string;   (** the paper section/figure the experiment backs *)
+  headers : string list;
+  rows : string list list;
+  note : string;     (** expected shape / interpretation *)
+}
+
+val render : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Headers + rows as comma-separated values (cells containing commas or
+    quotes are quoted). *)
+
+val cell_float : float -> string
+(** 3-decimal rendering used for capacities. *)

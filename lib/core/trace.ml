@@ -1,0 +1,88 @@
+open Tpro_kernel
+
+type segment = {
+  core : int;
+  start : int;
+  finish : int;
+  occupant : [ `Domain of int | `Switch of int * int ];
+}
+
+let timeline k =
+  let switches_by_core = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Switch { core; from_dom; to_dom; slice_start; start; finish; _ }
+        ->
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt switches_by_core core)
+        in
+        Hashtbl.replace switches_by_core core
+          ((from_dom, to_dom, slice_start, start, finish) :: prev)
+      | _ -> ())
+    (Kernel.events k);
+  let segments = ref [] in
+  Hashtbl.iter
+    (fun core switches ->
+      let switches = List.rev switches in
+      List.iter
+        (fun (from_dom, to_dom, slice_start, start, finish) ->
+          if start > slice_start then
+            segments :=
+              { core; start = slice_start; finish = start;
+                occupant = `Domain from_dom }
+              :: !segments;
+          segments :=
+            { core; start; finish; occupant = `Switch (from_dom, to_dom) }
+            :: !segments)
+        switches)
+    switches_by_core;
+  List.sort
+    (fun a b -> compare (a.start, a.core) (b.start, b.core))
+    !segments
+
+let utilisation k =
+  let segs = timeline k in
+  let total =
+    List.fold_left (fun acc s -> acc + (s.finish - s.start)) 0 segs
+  in
+  if total = 0 then []
+  else begin
+    let per_dom = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        match s.occupant with
+        | `Domain d ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt per_dom d) in
+          Hashtbl.replace per_dom d (cur + (s.finish - s.start))
+        | `Switch _ -> ())
+      segs;
+    Hashtbl.fold
+      (fun d cycles acc ->
+        (d, float_of_int cycles /. float_of_int total) :: acc)
+      per_dom []
+    |> List.sort compare
+  end
+
+let pp ?(limit = 40) ppf k =
+  let segs = timeline k in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i < limit then
+        match s.occupant with
+        | `Domain d ->
+          Format.fprintf ppf "[core %d] %8d..%-8d domain %d runs (%d cycles)@,"
+            s.core s.start s.finish d (s.finish - s.start)
+        | `Switch (a, b) ->
+          Format.fprintf ppf
+            "[core %d] %8d..%-8d switch %d -> %d (%d cycles incl. padding)@,"
+            s.core s.start s.finish a b (s.finish - s.start))
+    segs;
+  if List.length segs > limit then
+    Format.fprintf ppf "... (%d more segments)@," (List.length segs - limit);
+  List.iter
+    (fun (d, u) ->
+      Format.fprintf ppf "domain %d utilisation: %.1f%%@," d (100. *. u))
+    (utilisation k);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+(** Timeline reconstruction from a kernel's event trace.
+
+    Turns the raw event list into per-core execution segments (which
+    domain occupied the core when, where the switches and their padding
+    sat) plus per-domain utilisation — the view a systems person wants
+    when sanity-checking a schedule, and the data behind experiment E11's
+    utilisation column. *)
+
+open Tpro_kernel
+
+type segment = {
+  core : int;
+  start : int;
+  finish : int;
+  occupant : [ `Domain of int | `Switch of int * int ];
+      (** [`Switch (from_dom, to_dom)] covers kernel entry + flush +
+          padding *)
+}
+
+val timeline : Kernel.t -> segment list
+(** Chronological per-core segments, reconstructed from switch events. *)
+
+val utilisation : Kernel.t -> (int * float) list
+(** Fraction of total traced wall-time each domain held a core (switch
+    slots are charged to the switch, not the domain). *)
+
+val pp : ?limit:int -> Format.formatter -> Kernel.t -> unit
+(** Human-readable timeline (first [limit] segments, default 40). *)

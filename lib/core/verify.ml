@@ -1,0 +1,50 @@
+open Tpro_secmodel
+
+type report = {
+  config_name : string;
+  aisa_ok : bool;
+  taxonomy : (Mstate.component * Mstate.classification * string) list;
+  checks : Proofs.check list;
+  all_hold : bool;
+}
+
+let run ?(seeds = Ni_scenario.default_seeds)
+    ?(secrets = Ni_scenario.default_secrets) ~cfg () =
+  let checks =
+    Proofs.all ~seeds
+      ~build:(fun ~seed ~secret -> Ni_scenario.build ~cfg ~seed ~secret)
+      ~secrets ()
+    @ [
+        Proofs.across_seeds ~seeds (fun ~seed ->
+            Unwinding.check
+              ~build:(fun ~secret -> Ni_scenario.build ~cfg ~seed ~secret)
+              ~secrets ());
+      ]
+  in
+  {
+    config_name = Presets.name cfg;
+    aisa_ok = Mstate.aisa_satisfied ();
+    taxonomy =
+      List.map
+        (fun c -> (c, Mstate.classify c, Mstate.defence c))
+        Mstate.all;
+    checks;
+    all_hold = List.for_all (fun c -> c.Proofs.holds) checks;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>verification of configuration %s@," r.config_name;
+  Format.fprintf ppf "aISA contract (all in-scope state partitionable or flushable): %s@,"
+    (if r.aisa_ok then "satisfied" else "VIOLATED");
+  Format.fprintf ppf "state taxonomy:@,";
+  List.iter
+    (fun (c, cls, defence) ->
+      Format.fprintf ppf "  %-18s %-14s %s@," (Mstate.name c)
+        (Format.asprintf "%a" Mstate.pp_classification cls)
+        defence)
+    r.taxonomy;
+  Format.fprintf ppf "proof obligations:@,";
+  List.iter (fun c -> Format.fprintf ppf "  %a@," Proofs.pp c) r.checks;
+  Format.fprintf ppf "verdict: %s@]"
+    (if r.all_hold then "time protection HOLDS on the sampled universe"
+     else "time protection VIOLATED")

@@ -1,0 +1,25 @@
+(** Top-level verification entry point: the executable analogue of
+    "proving time protection" for a given kernel configuration.
+
+    Runs the full Sect. 5.2 proof stack (Cases 1, 2a, 2b, top-level
+    noninterference, partitioning invariants) over the standard scenario,
+    quantified over latency-function seeds, plus the aISA taxonomy audit
+    of Sect. 4.1/5.1. *)
+
+open Tpro_kernel
+open Tpro_secmodel
+
+type report = {
+  config_name : string;
+  aisa_ok : bool;
+  taxonomy : (Mstate.component * Mstate.classification * string) list;
+      (** component, class, defence relied upon *)
+  checks : Proofs.check list;
+  all_hold : bool;
+}
+
+val run :
+  ?seeds:int list -> ?secrets:int list -> cfg:Kernel.config -> unit -> report
+(** Defaults: 3 seeds, 4 secrets. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,54 @@
+open Tpro_hw
+open Tpro_kernel
+
+let worst_bus_wait (cfg : Machine.config) =
+  let service = cfg.Machine.bus_service in
+  let queue_behind = (cfg.Machine.n_cores - 1) * service in
+  match cfg.Machine.bus_mode with
+  | Interconnect.Shared -> queue_behind + service
+  | Interconnect.Partitioned { slot; n_domains } ->
+    (* missed the slot entirely, wait a whole frame *)
+    (slot * n_domains) + service
+  | Interconnect.Throttled { window; _ } ->
+    (* rate cap may defer to the next window, then queue *)
+    window + queue_behind + service
+
+let jitters (cfg : Machine.config) n = n * cfg.Machine.lat.Latency.jitter_mag
+
+(* A physical line access missing at every level. *)
+let worst_line_fetch (cfg : Machine.config) =
+  let l = cfg.Machine.lat in
+  let l2 = match cfg.Machine.l2_geom with Some _ -> l.Latency.l2_hit | None -> 0 in
+  l.Latency.l1_hit + l2 + l.Latency.llc_hit + l.Latency.mem_lat
+  + worst_bus_wait cfg
+  + jitters cfg 3
+
+let worst_data_access (cfg : Machine.config) =
+  cfg.Machine.lat.Latency.walk + jitters cfg 1 + worst_line_fetch cfg
+
+let worst_flush (cfg : Machine.config) =
+  let l = cfg.Machine.lat in
+  let lines g = g.Cache.sets * g.Cache.ways in
+  let dirty_capacity =
+    lines cfg.Machine.l1_geom
+    + (match cfg.Machine.l2_geom with Some g -> lines g | None -> 0)
+  in
+  l.Latency.flush_base + (dirty_capacity * l.Latency.dirty_wb) + jitters cfg 1
+
+let longest_path_lines =
+  List.fold_left
+    (fun acc kind -> max acc (Kclone.path_of_kind kind).Kclone.n_lines)
+    0 Kclone.trap_kinds
+
+let worst_trap (cfg : Machine.config) =
+  (longest_path_lines + Kclone.data_lines) * worst_line_fetch cfg
+
+let worst_instruction ~max_compute (cfg : Machine.config) =
+  let fetch = worst_data_access cfg in
+  fetch + max (max (worst_data_access cfg) (worst_trap cfg)) max_compute
+
+let recommended_pad ?(max_compute = 10_000) (cfg : Machine.config) =
+  let overshoot = worst_instruction ~max_compute cfg in
+  let switch_entry = worst_trap cfg in
+  let switch_exit = worst_trap cfg in
+  overshoot + switch_entry + worst_flush cfg + switch_exit + jitters cfg 8

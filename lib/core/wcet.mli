@@ -1,0 +1,37 @@
+(** Worst-case latency analysis of the machine model.
+
+    The paper (Sect. 4.2/5.2) treats the padding value as "obtained by a
+    separate analysis" and merely *assumes* it is sufficient; the proof
+    only checks the padding is applied.  This module is that separate
+    analysis for our model: closed-form worst-case bounds for each
+    latency source, composed into a recommended padding attribute.  The
+    accompanying property test drives random workloads and checks that a
+    kernel padded by {!recommended_pad} never overruns. *)
+
+open Tpro_hw
+
+val worst_bus_wait : Machine.config -> int
+(** Worst interconnect queueing + service for one transfer, per mode
+    (each core has at most one outstanding request). *)
+
+val worst_data_access : Machine.config -> int
+(** Page walk + full miss chain (L1, optional L2, LLC, DRAM, bus) with
+    maximal jitter at every level. *)
+
+val worst_flush : Machine.config -> int
+(** Core-local flush with every L1D/L2 line dirty and maximal jitter. *)
+
+val worst_trap : Machine.config -> int
+(** Most expensive kernel entry: instruction fetch, longest handler text
+    window, full kernel-data pass — all misses. *)
+
+val worst_instruction : max_compute:int -> Machine.config -> int
+(** Bound on any single instruction's cost (the preemption-timer
+    overshoot): fetch + the worst of {data access, trap, a [Compute]
+    bounded by [max_compute]}. *)
+
+val recommended_pad : ?max_compute:int -> Machine.config -> int
+(** Padding attribute guaranteeing no overrun: timer overshoot + switch
+    entry + flush + switch exit, with slack for jitter.  [max_compute]
+    (default 10_000) bounds the largest [Compute] the domain's programs
+    may contain. *)

@@ -1,0 +1,43 @@
+type t = {
+  counters : int array; (* 2-bit saturating counters *)
+  mutable history : int;
+  history_mask : int;
+  table_mask : int;
+}
+
+let create ?(history_bits = 8) ?(table_bits = 10) () =
+  if history_bits < 1 || history_bits > 20 then
+    invalid_arg "Bpred.create: history_bits out of range";
+  if table_bits < 2 || table_bits > 20 then
+    invalid_arg "Bpred.create: table_bits out of range";
+  {
+    counters = Array.make (1 lsl table_bits) 1;
+    history = 0;
+    history_mask = (1 lsl history_bits) - 1;
+    table_mask = (1 lsl table_bits) - 1;
+  }
+
+let index t ~pc = ((pc lsr 2) lxor t.history) land t.table_mask
+
+let predict t ~pc = t.counters.(index t ~pc) >= 2
+
+let update t ~pc ~taken =
+  let i = index t ~pc in
+  let predicted = t.counters.(i) >= 2 in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  t.history <- ((t.history lsl 1) lor (if taken then 1 else 0)) land t.history_mask;
+  predicted = taken
+
+let flush t =
+  Array.fill t.counters 0 (Array.length t.counters) 1;
+  t.history <- 0
+
+let digest t =
+  let acc = ref (Int64.of_int (t.history + 7)) in
+  Array.iter (fun c -> acc := Rng.combine !acc (Int64.of_int c)) t.counters;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "bpred: %d counters, history=%#x"
+    (Array.length t.counters) t.history

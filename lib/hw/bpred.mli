@@ -1,0 +1,25 @@
+(** Gshare-style branch predictor with a branch target buffer.
+
+    Branch-predictor state is core-local, time-multiplexed state in the
+    paper's taxonomy: it must be flushed on domain switch (it cannot be
+    partitioned by the OS, having no physical address).  Its contents
+    influence latency through mispredictions. *)
+
+type t
+
+val create : ?history_bits:int -> ?table_bits:int -> unit -> t
+(** Defaults: 8 bits of global history, 2^10 two-bit counters. *)
+
+val predict : t -> pc:int -> bool
+(** Predicted direction for the branch at [pc] (does not update state). *)
+
+val update : t -> pc:int -> taken:bool -> bool
+(** Record the branch outcome; returns [true] iff the prediction was
+    correct (i.e. no misprediction penalty). *)
+
+val flush : t -> unit
+(** Reset counters, history and BTB to the power-on state. *)
+
+val digest : t -> int64
+
+val pp : Format.formatter -> t -> unit

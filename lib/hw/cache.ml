@@ -1,0 +1,245 @@
+type geometry = { sets : int; ways : int; line_bits : int }
+
+type replacement = Lru | Fifo | Pseudo_random of int
+
+type line = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable owner : int;
+  mutable stamp : int;      (* last-touch time (LRU) *)
+  mutable fill_stamp : int; (* fill time (FIFO) *)
+}
+
+type t = {
+  geometry : geometry;
+  data : line array array; (* sets x ways *)
+  set_ticks : int array;   (* per-set access counts (replacement state) *)
+  mutable tick : int;
+  repl : replacement;
+  cache_name : string;
+}
+
+type evicted = { tag : int; dirty : bool; owner : int }
+
+type access_result = Hit | Miss of evicted option
+
+let shared_owner = -2
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let geometry ?(sets = 64) ?(ways = 4) ?(line_bits = 6) () =
+  if not (is_power_of_two sets) then
+    invalid_arg "Cache.geometry: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.geometry: ways must be positive";
+  if line_bits < 2 || line_bits > 12 then
+    invalid_arg "Cache.geometry: line_bits out of range";
+  { sets; ways; line_bits }
+
+let create ?(name = "cache") ?(replacement = Lru) geometry =
+  let fresh_line () =
+    {
+      tag = 0;
+      valid = false;
+      dirty = false;
+      owner = shared_owner;
+      stamp = 0;
+      fill_stamp = 0;
+    }
+  in
+  let data =
+    Array.init geometry.sets (fun _ ->
+        Array.init geometry.ways (fun _ -> fresh_line ()))
+  in
+  {
+    geometry;
+    data;
+    set_ticks = Array.make geometry.sets 0;
+    tick = 0;
+    repl = replacement;
+    cache_name = name;
+  }
+
+let replacement t = t.repl
+
+let name t = t.cache_name
+let geom t = t.geometry
+
+let line_size g = 1 lsl g.line_bits
+let size_bytes g = g.sets * g.ways * line_size g
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let n_colours g ~page_bits =
+  let span = g.sets * line_size g in
+  max 1 (span lsr page_bits)
+
+let colour_of_paddr g ~page_bits paddr =
+  (paddr lsr page_bits) land (n_colours g ~page_bits - 1)
+
+let colour_of_set g ~page_bits set =
+  let sets_per_colour = max 1 (g.sets / n_colours g ~page_bits) in
+  set / sets_per_colour
+
+let set_of_paddr t paddr =
+  (paddr lsr t.geometry.line_bits) land (t.geometry.sets - 1)
+
+let tag_of_paddr t paddr =
+  paddr lsr (t.geometry.line_bits + log2 t.geometry.sets)
+
+let find_way set_lines tag =
+  let n = Array.length set_lines in
+  let rec go i =
+    if i >= n then None
+    else
+      let l = set_lines.(i) in
+      if l.valid && l.tag = tag then Some i else go (i + 1)
+  in
+  go 0
+
+(* Victim selection: first invalid way, else per the replacement policy.
+   Every policy depends only on the set's own history, which is what the
+   paper's Case-1 argument needs. *)
+let victim_way t ~set set_lines =
+  let n = Array.length set_lines in
+  let rec invalid i = if i >= n then None else if not set_lines.(i).valid then Some i else invalid (i + 1) in
+  match invalid 0 with
+  | Some i -> i
+  | None -> (
+    match t.repl with
+    | Lru ->
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if set_lines.(i).stamp < set_lines.(!best).stamp then best := i
+      done;
+      !best
+    | Fifo ->
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if set_lines.(i).fill_stamp < set_lines.(!best).fill_stamp then
+          best := i
+      done;
+      !best
+    | Pseudo_random seed ->
+      let h =
+        Rng.hash_int (Int64.of_int seed)
+          (Int64.of_int ((set lsl 24) lxor t.set_ticks.(set)))
+      in
+      h mod n)
+
+let access t ~owner ~write paddr =
+  t.tick <- t.tick + 1;
+  let set = set_of_paddr t paddr in
+  t.set_ticks.(set) <- t.set_ticks.(set) + 1;
+  let tag = tag_of_paddr t paddr in
+  let lines = t.data.(set) in
+  match find_way lines tag with
+  | Some w ->
+    let l = lines.(w) in
+    l.stamp <- t.tick;
+    if write then l.dirty <- true;
+    Hit
+  | None ->
+    let w = victim_way t ~set lines in
+    let l = lines.(w) in
+    let evicted =
+      if l.valid then Some { tag = l.tag; dirty = l.dirty; owner = l.owner }
+      else None
+    in
+    l.tag <- tag;
+    l.valid <- true;
+    l.dirty <- write;
+    l.owner <- owner;
+    l.stamp <- t.tick;
+    l.fill_stamp <- t.tick;
+    Miss evicted
+
+let probe t paddr =
+  let set = set_of_paddr t paddr in
+  find_way t.data.(set) (tag_of_paddr t paddr) <> None
+
+let owner_of t paddr =
+  let set = set_of_paddr t paddr in
+  match find_way t.data.(set) (tag_of_paddr t paddr) with
+  | Some w -> Some t.data.(set).(w).owner
+  | None -> None
+
+let flush t =
+  let dirty = ref 0 in
+  Array.iter
+    (fun lines ->
+      Array.iter
+        (fun l ->
+          if l.valid && l.dirty then incr dirty;
+          l.valid <- false;
+          l.dirty <- false;
+          l.owner <- shared_owner;
+          l.tag <- 0;
+          l.stamp <- 0;
+          l.fill_stamp <- 0)
+        lines)
+    t.data;
+  Array.fill t.set_ticks 0 (Array.length t.set_ticks) 0;
+  t.tick <- 0;
+  !dirty
+
+let invalidate_line t paddr =
+  let set = set_of_paddr t paddr in
+  match find_way t.data.(set) (tag_of_paddr t paddr) with
+  | None -> false
+  | Some w ->
+    let l = t.data.(set).(w) in
+    let was_dirty = l.dirty in
+    l.valid <- false;
+    l.dirty <- false;
+    l.owner <- shared_owner;
+    l.tag <- 0;
+    l.stamp <- 0;
+    l.fill_stamp <- 0;
+    was_dirty
+
+let dirty_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun lines -> Array.iter (fun l -> if l.valid && l.dirty then incr n) lines)
+    t.data;
+  !n
+
+let valid_count t =
+  let n = ref 0 in
+  Array.iter
+    (fun lines -> Array.iter (fun l -> if l.valid then incr n) lines)
+    t.data;
+  !n
+
+let iter_lines t f =
+  Array.iteri
+    (fun set lines ->
+      Array.iteri
+        (fun way l ->
+          if l.valid then f ~set ~way ~tag:l.tag ~dirty:l.dirty ~owner:l.owner)
+        lines)
+    t.data
+
+let digest_line acc l =
+  if not l.valid then Rng.combine acc 0L
+  else
+    let bits = (l.tag lsl 2) lor (if l.dirty then 2 else 0) lor 1 in
+    Rng.combine acc (Int64.of_int bits)
+
+let digest_set t set =
+  Array.fold_left digest_line (Int64.of_int (set + 1)) t.data.(set)
+
+let digest t =
+  let acc = ref 1L in
+  for set = 0 to t.geometry.sets - 1 do
+    acc := Rng.combine !acc (digest_set t set)
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d sets x %d ways x %dB (%d valid, %d dirty)"
+    t.cache_name t.geometry.sets t.geometry.ways (line_size t.geometry)
+    (valid_count t) (dirty_count t)

@@ -1,0 +1,99 @@
+type mode =
+  | Shared
+  | Partitioned of { slot : int; n_domains : int }
+  | Throttled of { window : int; max_per_window : int; n_domains : int }
+
+type t = {
+  service : int;
+  ic_mode : mode;
+  mutable busy_until : int; (* Shared/Throttled: global occupancy horizon *)
+  mutable per_domain : int array; (* Partitioned: per-domain horizon *)
+  win_idx : int array; (* Throttled: current window per domain *)
+  win_count : int array; (* Throttled: transfers in the window *)
+}
+
+let create ?(service = 8) ?(mode = Shared) () =
+  if service <= 0 then invalid_arg "Interconnect.create: service";
+  let n =
+    match mode with
+    | Shared -> 0
+    | Partitioned { n_domains; _ } | Throttled { n_domains; _ } -> n_domains
+  in
+  {
+    service;
+    ic_mode = mode;
+    busy_until = 0;
+    per_domain = Array.make (max n 1) 0;
+    win_idx = Array.make (max n 1) (-1);
+    win_count = Array.make (max n 1) 0;
+  }
+
+let mode t = t.ic_mode
+
+(* In partitioned (TDMA) mode, domain [d] may only start a transfer inside
+   its own slot: absolute cycles [k*slot*n + d*slot, k*slot*n + (d+1)*slot).
+   The wait to reach the slot depends only on wall-clock time and the
+   domain's own horizon, never on other domains' traffic. *)
+let next_slot_start ~slot ~n_domains ~domain ~now =
+  let frame = slot * n_domains in
+  let base = now / frame * frame in
+  let mine = base + (domain * slot) in
+  if now < mine then mine
+  else if now + 1 <= mine + slot - 1 then now
+  else mine + frame
+
+let request t ~domain ~now =
+  match t.ic_mode with
+  | Shared ->
+    let start = max now t.busy_until in
+    t.busy_until <- start + t.service;
+    start - now + t.service
+  | Partitioned { slot; n_domains } ->
+    let d = ((domain mod n_domains) + n_domains) mod n_domains in
+    let own = t.per_domain.(d) in
+    let earliest = max now own in
+    let start = next_slot_start ~slot ~n_domains ~domain:d ~now:earliest in
+    t.per_domain.(d) <- start + t.service;
+    start - now + t.service
+  | Throttled { window; max_per_window; n_domains } ->
+    (* per-domain rate cap, but a single shared queue behind it *)
+    let d = ((domain mod n_domains) + n_domains) mod n_domains in
+    let rec release at =
+      let w = at / window in
+      if t.win_idx.(d) <> w then begin
+        t.win_idx.(d) <- w;
+        t.win_count.(d) <- 0
+      end;
+      if t.win_count.(d) >= max_per_window then release ((w + 1) * window)
+      else at
+    in
+    let released = release now in
+    t.win_count.(d) <- t.win_count.(d) + 1;
+    let start = max released t.busy_until in
+    t.busy_until <- start + t.service;
+    start - now + t.service
+
+let digest t =
+  match t.ic_mode with
+  | Shared | Throttled _ -> Rng.hash64 (Int64.of_int t.busy_until)
+  | Partitioned _ ->
+    Array.fold_left
+      (fun acc h -> Rng.combine acc (Int64.of_int h))
+      11L t.per_domain
+
+let reset t =
+  t.busy_until <- 0;
+  Array.fill t.per_domain 0 (Array.length t.per_domain) 0;
+  Array.fill t.win_idx 0 (Array.length t.win_idx) (-1);
+  Array.fill t.win_count 0 (Array.length t.win_count) 0
+
+let pp ppf t =
+  match t.ic_mode with
+  | Shared -> Format.fprintf ppf "interconnect: shared, busy_until=%d" t.busy_until
+  | Partitioned { slot; n_domains } ->
+    Format.fprintf ppf "interconnect: TDMA %d-cycle slots over %d domains" slot
+      n_domains
+  | Throttled { window; max_per_window; n_domains } ->
+    Format.fprintf ppf
+      "interconnect: MBA-style cap %d transfers per %d cycles over %d domains"
+      max_per_window window n_domains

@@ -1,0 +1,42 @@
+(** Stateless shared interconnect with finite bandwidth.
+
+    Sect. 2 of the paper explicitly *excludes* channels through stateless
+    interconnects from time protection's scope: concurrent competition for
+    bandwidth leaks, and only hardware bandwidth partitioning can stop it.
+    We model the interconnect so experiment E9 can reproduce both halves of
+    that claim — the channel stays open under full time protection, and
+    closes under (hypothetical) strict per-domain bandwidth partitioning.
+
+    The model is a single server with a FIFO occupancy horizon
+    ([busy_until]): a request arriving at [now] waits for the horizon, then
+    occupies the link for [service] cycles.  In partitioned mode each
+    domain gets its own horizon advancing in fixed-width slots (TDMA). *)
+
+type t
+
+type mode =
+  | Shared  (** realistic contemporary hardware: one queue for everyone *)
+  | Partitioned of { slot : int; n_domains : int }
+      (** hypothetical strict TDMA bandwidth partitioning *)
+  | Throttled of { window : int; max_per_window : int; n_domains : int }
+      (** Intel MBA-style *approximate* bandwidth limiting: each domain is
+          capped at [max_per_window] transfers per [window] cycles, but
+          the queue itself stays shared — the paper's footnote: "the
+          approximate enforcement is not sufficient for preventing covert
+          channels" *)
+
+val create : ?service:int -> ?mode:mode -> unit -> t
+(** [service] is the per-transfer occupancy in cycles (default 8). *)
+
+val mode : t -> mode
+
+val request : t -> domain:int -> now:int -> int
+(** [request t ~domain ~now] returns the total interconnect latency (queue
+    wait + service) of a transfer issued at absolute time [now], and
+    advances the occupancy state. *)
+
+val digest : t -> int64
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  l1_hit : int;
+  l2_hit : int;
+  llc_hit : int;
+  mem_lat : int;
+  tlb_hit : int;
+  walk : int;
+  branch_hit : int;
+  branch_miss : int;
+  dirty_wb : int;
+  flush_base : int;
+  jitter_mag : int;
+  seed : int64;
+}
+
+let default =
+  {
+    l1_hit = 4;
+    l2_hit = 12;
+    llc_hit = 30;
+    mem_lat = 120;
+    tlb_hit = 1;
+    walk = 40;
+    branch_hit = 1;
+    branch_miss = 15;
+    dirty_wb = 2;
+    flush_base = 200;
+    jitter_mag = 3;
+    seed = 0x5EED_0F_71E_0CCL;
+  }
+
+let with_seed t seed = { t with seed = Rng.hash64 (Int64.of_int seed) }
+
+let jitter t digest =
+  if t.jitter_mag = 0 then 0
+  else Rng.hash_int t.seed digest mod (t.jitter_mag + 1)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "latency: L1=%d LLC=%d mem=%d tlb=%d walk=%d br=%d/%d jitter<=%d"
+    t.l1_hit t.llc_hit t.mem_lat t.tlb_hit t.walk t.branch_hit t.branch_miss
+    t.jitter_mag

@@ -1,0 +1,37 @@
+(** The time model: latency parameters plus the paper's "deterministic yet
+    unspecified function of the micro-architectural state" (Sect. 5.1).
+
+    Base latencies are ordinary constants.  On top of each event we add a
+    *jitter* term obtained by hashing a digest of exactly the state the
+    event's latency may legitimately depend on (e.g. the one cache set an
+    access indexes) with an arbitrary [seed].  Varying the seed varies the
+    latency function while keeping it deterministic — the proof-style
+    checks in [Tpro_secmodel] quantify over seeds, mirroring the paper's
+    claim that the argument holds for *any* such function. *)
+
+type t = {
+  l1_hit : int;
+  l2_hit : int;      (** private L2, when configured *)
+  llc_hit : int;
+  mem_lat : int;       (** DRAM access, excluding interconnect queueing *)
+  tlb_hit : int;
+  walk : int;          (** page-walk cost on TLB miss *)
+  branch_hit : int;    (** correctly predicted branch *)
+  branch_miss : int;   (** misprediction penalty *)
+  dirty_wb : int;      (** per-dirty-line write-back cost during a flush *)
+  flush_base : int;    (** fixed cost of the core-local flush sequence *)
+  jitter_mag : int;    (** jitter is uniform in [0, jitter_mag] *)
+  seed : int64;        (** selects the unspecified latency function *)
+}
+
+val default : t
+(** Plausible relative magnitudes (L1 4, LLC 30, DRAM 120, ...); absolute
+    values are irrelevant to every claim checked in this repository. *)
+
+val with_seed : t -> int -> t
+
+val jitter : t -> int64 -> int
+(** [jitter t digest] — the unspecified deterministic component, in
+    [0, jitter_mag]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,345 @@
+type core = {
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t option;
+  tlb : Tlb.t;
+  bp : Bpred.t;
+  pf : Prefetch.t;
+  clk : Clock.t;
+}
+
+type config = {
+  n_cores : int;
+  l1_geom : Cache.geometry;
+  l2_geom : Cache.geometry option;
+  llc_geom : Cache.geometry;
+  tlb_capacity : int;
+  n_frames : int;
+  page_bits : int;
+  lat : Latency.t;
+  bus_mode : Interconnect.mode;
+  bus_service : int;
+  prefetch_enabled : bool;
+  smt : bool;
+      (* hardware multithreading: odd-numbered cores share the private
+         state of the preceding even-numbered core *)
+  replacement : Cache.replacement;
+}
+
+type t = {
+  cfg : config;
+  cores : core array;
+  shared_llc : Cache.t;
+  shared_bus : Interconnect.t;
+  phys : Mem.t;
+}
+
+let default_config =
+  {
+    n_cores = 1;
+    l1_geom = Cache.geometry ~sets:64 ~ways:4 ~line_bits:6 ();
+    l2_geom = None;
+    llc_geom = Cache.geometry ~sets:1024 ~ways:8 ~line_bits:6 ();
+    tlb_capacity = 32;
+    n_frames = 1024;
+    page_bits = 12;
+    lat = Latency.default;
+    bus_mode = Interconnect.Shared;
+    bus_service = 8;
+    prefetch_enabled = true;
+    smt = false;
+    replacement = Cache.Lru;
+  }
+
+let create cfg =
+  if cfg.n_cores <= 0 then invalid_arg "Machine.create: n_cores";
+  let mk_core i =
+    {
+      l1i = Cache.create ~name:(Printf.sprintf "l1i%d" i)
+          ~replacement:cfg.replacement cfg.l1_geom;
+      l1d = Cache.create ~name:(Printf.sprintf "l1d%d" i)
+          ~replacement:cfg.replacement cfg.l1_geom;
+      l2 =
+        Option.map
+          (fun g ->
+            Cache.create ~name:(Printf.sprintf "l2_%d" i)
+              ~replacement:cfg.replacement g)
+          cfg.l2_geom;
+      tlb = Tlb.create ~capacity:cfg.tlb_capacity;
+      bp = Bpred.create ();
+      pf = Prefetch.create ();
+      clk = Clock.create ();
+    }
+  in
+  (* With SMT, hardware thread 2k+1 shares every private structure of
+     hardware thread 2k except the cycle counter — the model of two
+     hyperthreads on one physical core. *)
+  let cores = Array.make cfg.n_cores (mk_core 0) in
+  for i = 1 to cfg.n_cores - 1 do
+    cores.(i) <-
+      (if cfg.smt && i land 1 = 1 then
+         { (cores.(i - 1)) with clk = Clock.create () }
+       else mk_core i)
+  done;
+  {
+    cfg;
+    cores;
+    shared_llc = Cache.create ~name:"llc" ~replacement:cfg.replacement cfg.llc_geom;
+    shared_bus = Interconnect.create ~service:cfg.bus_service ~mode:cfg.bus_mode ();
+    phys = Mem.create ~page_bits:cfg.page_bits ~n_frames:cfg.n_frames ();
+  }
+
+let config t = t.cfg
+let n_cores t = Array.length t.cores
+
+let core t i =
+  if i < 0 || i >= Array.length t.cores then
+    invalid_arg "Machine: core index out of range";
+  t.cores.(i)
+
+let clock t ~core:i = (core t i).clk
+let now t ~core:i = Clock.now (core t i).clk
+let llc t = t.shared_llc
+let l1i t ~core:i = (core t i).l1i
+let l1d t ~core:i = (core t i).l1d
+let l2 t ~core:i = (core t i).l2
+let tlb t ~core:i = (core t i).tlb
+let bpred t ~core:i = (core t i).bp
+let prefetch t ~core:i = (core t i).pf
+let bus t = t.shared_bus
+let mem t = t.phys
+let lat t = t.cfg.lat
+let page_bits t = t.cfg.page_bits
+let n_colours t = Cache.n_colours t.cfg.llc_geom ~page_bits:t.cfg.page_bits
+
+(* Reconstruct the base physical address of a line from its set and tag, to
+   write evicted dirty L1 lines back into the LLC. *)
+let paddr_of_line geom ~set ~tag =
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  in
+  (tag lsl (geom.Cache.line_bits + log2 geom.Cache.sets))
+  lor (set lsl geom.Cache.line_bits)
+
+(* Access the LLC (and DRAM below it) for a physical line.  Used both as
+   the second level of a core access and for L1 victim write-backs. *)
+let llc_access t ~domain ~owner ~write ~now paddr =
+  let l = t.cfg.lat in
+  let set = Cache.set_of_paddr t.shared_llc paddr in
+  match Cache.access t.shared_llc ~owner ~write paddr with
+  | Cache.Hit -> l.Latency.llc_hit + Latency.jitter l (Cache.digest_set t.shared_llc set)
+  | Cache.Miss _ ->
+    let bus_cycles = Interconnect.request t.shared_bus ~domain ~now in
+    l.Latency.llc_hit
+    + l.Latency.mem_lat + bus_cycles
+    + Latency.jitter l (Cache.digest_set t.shared_llc set)
+
+(* The private L2 (when configured) sits between the L1s and the LLC. *)
+let l2_access t ~core:ci ~domain ~owner ~write ~now paddr =
+  let c = core t ci in
+  match c.l2 with
+  | None -> llc_access t ~domain ~owner ~write ~now paddr
+  | Some l2 -> (
+    let l = t.cfg.lat in
+    let set = Cache.set_of_paddr l2 paddr in
+    match Cache.access l2 ~owner ~write paddr with
+    | Cache.Hit ->
+      l.Latency.l2_hit + Latency.jitter l (Cache.digest_set l2 set)
+    | Cache.Miss evicted ->
+      (match evicted with
+      | Some { Cache.tag; dirty = true; owner = victim_owner } ->
+        let victim_paddr = paddr_of_line (Cache.geom l2) ~set ~tag in
+        let (_ : int) =
+          llc_access t ~domain ~owner:victim_owner ~write:true ~now
+            victim_paddr
+        in
+        ()
+      | Some _ | None -> ());
+      l.Latency.l2_hit
+      + llc_access t ~domain ~owner ~write ~now paddr
+      + Latency.jitter l (Cache.digest_set l2 set))
+
+(* One level-1 access (instruction or data side), with L2/LLC/DRAM
+   backing, victim write-back and optional prefetching. *)
+let l1_access t ~core:ci ~which ~domain ~owner ~write ~pc paddr =
+  let c = core t ci in
+  let l1 = match which with `I -> c.l1i | `D -> c.l1d in
+  let l = t.cfg.lat in
+  let set = Cache.set_of_paddr l1 paddr in
+  let cost =
+    match Cache.access l1 ~owner ~write paddr with
+    | Cache.Hit -> l.Latency.l1_hit + Latency.jitter l (Cache.digest_set l1 set)
+    | Cache.Miss evicted ->
+      (* Write back a dirty victim into the next level (state change only;
+         the write buffer hides its latency). *)
+      (match evicted with
+      | Some { Cache.tag; dirty = true; owner = victim_owner } ->
+        let victim_paddr = paddr_of_line (Cache.geom l1) ~set ~tag in
+        let (_ : int) =
+          l2_access t ~core:ci ~domain ~owner:victim_owner ~write:true
+            ~now:(Clock.now c.clk) victim_paddr
+        in
+        ()
+      | Some _ | None -> ());
+      l.Latency.l1_hit
+      + l2_access t ~core:ci ~domain ~owner ~write ~now:(Clock.now c.clk)
+          paddr
+  in
+  (* Stride prefetcher: observes data accesses, pulls predicted lines into
+     the hierarchy off the critical path (state change, no direct cost).
+     Prefetches never cross a page boundary. *)
+  (if t.cfg.prefetch_enabled && which = `D then
+     let page_mask = lnot ((1 lsl t.cfg.page_bits) - 1) in
+     let predictions = Prefetch.observe c.pf ~pc ~addr:paddr in
+     List.iter
+       (fun a ->
+         if a land page_mask = paddr land page_mask then begin
+           (match Cache.access c.l1d ~owner ~write:false a with
+           | Cache.Hit -> ()
+           | Cache.Miss _ ->
+             let (_ : Cache.access_result) =
+               Cache.access t.shared_llc ~owner ~write:false a
+             in
+             ())
+         end)
+       predictions);
+  cost
+
+(* Virtual-address translation through the TLB. *)
+let translate_cost t ~core:ci ~asid ~translate vaddr =
+  let c = core t ci in
+  let l = t.cfg.lat in
+  let vpn = vaddr lsr t.cfg.page_bits in
+  match Tlb.lookup c.tlb ~asid ~vpn with
+  | Some pfn ->
+    let cost = l.Latency.tlb_hit + Latency.jitter l (Tlb.digest c.tlb) in
+    Ok (pfn, cost)
+  | None -> (
+    match translate vpn with
+    | None -> Error `Fault
+    | Some pfn ->
+      Tlb.insert c.tlb ~asid ~vpn ~pfn;
+      let cost = l.Latency.walk + Latency.jitter l (Tlb.digest c.tlb) in
+      Ok (pfn, cost))
+
+let virtual_access t ~core:ci ~which ~asid ~domain ~translate ~write ~pc vaddr =
+  let c = core t ci in
+  match translate_cost t ~core:ci ~asid ~translate vaddr with
+  | Error `Fault -> Error `Fault
+  | Ok (pfn, tcost) ->
+    let offset = vaddr land ((1 lsl t.cfg.page_bits) - 1) in
+    let paddr = (pfn lsl t.cfg.page_bits) lor offset in
+    let acost =
+      l1_access t ~core:ci ~which ~domain ~owner:domain ~write ~pc paddr
+    in
+    let total = tcost + acost in
+    Clock.advance c.clk total;
+    Ok total
+
+let load t ~core ~asid ~domain ~translate ~pc vaddr =
+  virtual_access t ~core ~which:`D ~asid ~domain ~translate ~write:false ~pc
+    vaddr
+
+let store t ~core ~asid ~domain ~translate ~pc vaddr =
+  virtual_access t ~core ~which:`D ~asid ~domain ~translate ~write:true ~pc
+    vaddr
+
+let fetch t ~core ~asid ~domain ~translate vaddr =
+  virtual_access t ~core ~which:`I ~asid ~domain ~translate ~write:false
+    ~pc:vaddr vaddr
+
+let branch t ~core:ci ~pc ~taken =
+  let c = core t ci in
+  let l = t.cfg.lat in
+  let correct = Bpred.update c.bp ~pc ~taken in
+  let cost = if correct then l.Latency.branch_hit else l.Latency.branch_miss in
+  Clock.advance c.clk cost;
+  cost
+
+let compute t ~core:ci ~cycles =
+  if cycles < 0 then invalid_arg "Machine.compute: negative cycles";
+  let c = core t ci in
+  Clock.advance c.clk cycles;
+  cycles
+
+let touch_paddr t ~core:ci ~owner ~write paddr =
+  let c = core t ci in
+  let cost =
+    l1_access t ~core:ci ~which:`D ~domain:owner ~owner ~write ~pc:paddr paddr
+  in
+  Clock.advance c.clk cost;
+  cost
+
+let fetch_paddr t ~core:ci ~owner paddr =
+  let c = core t ci in
+  let cost =
+    l1_access t ~core:ci ~which:`I ~domain:owner ~owner ~write:false ~pc:paddr
+      paddr
+  in
+  Clock.advance c.clk cost;
+  cost
+
+let flush_line t ~core:ci ~asid ~translate vaddr =
+  let c = core t ci in
+  match translate_cost t ~core:ci ~asid ~translate vaddr with
+  | Error `Fault -> Error `Fault
+  | Ok (pfn, tcost) ->
+    let offset = vaddr land ((1 lsl t.cfg.page_bits) - 1) in
+    let paddr = (pfn lsl t.cfg.page_bits) lor offset in
+    let wrote_back = ref 0 in
+    let drop cache =
+      if Cache.invalidate_line cache paddr then incr wrote_back
+    in
+    Array.iter
+      (fun core ->
+        drop core.l1i;
+        drop core.l1d;
+        match core.l2 with Some l2 -> drop l2 | None -> ())
+      t.cores;
+    drop t.shared_llc;
+    let cost = tcost + 10 + (!wrote_back * t.cfg.lat.Latency.dirty_wb) in
+    Clock.advance c.clk cost;
+    Ok cost
+
+let digest_core t ~core:ci =
+  let c = core t ci in
+  let open Rng in
+  let l2_digest =
+    match c.l2 with Some l2 -> Cache.digest l2 | None -> 17L
+  in
+  combine
+    (combine (Cache.digest c.l1i) (combine (Cache.digest c.l1d) l2_digest))
+    (combine (Tlb.digest c.tlb) (combine (Bpred.digest c.bp) (Prefetch.digest c.pf)))
+
+let digest_shared t =
+  Rng.combine (Cache.digest t.shared_llc) (Interconnect.digest t.shared_bus)
+
+let flush_core_local t ~core:ci =
+  let c = core t ci in
+  let l = t.cfg.lat in
+  let pre_digest = digest_core t ~core:ci in
+  let dirty =
+    Cache.dirty_count c.l1d
+    + (match c.l2 with Some l2 -> Cache.dirty_count l2 | None -> 0)
+  in
+  let (_ : int) = Cache.flush c.l1i in
+  let (_ : int) = Cache.flush c.l1d in
+  (match c.l2 with Some l2 -> ignore (Cache.flush l2) | None -> ());
+  let (_ : int) = Tlb.flush_all c.tlb in
+  Bpred.flush c.bp;
+  Prefetch.flush c.pf;
+  let cost =
+    l.Latency.flush_base + (dirty * l.Latency.dirty_wb)
+    + Latency.jitter l pre_digest
+  in
+  Clock.advance c.clk cost;
+  cost
+
+let wait_until t ~core:ci deadline =
+  let c = core t ci in
+  Clock.wait_until c.clk deadline
+
+let pp ppf t =
+  Format.fprintf ppf "machine: %d cores, %a, %a" (n_cores t) Cache.pp
+    t.shared_llc Interconnect.pp t.shared_bus

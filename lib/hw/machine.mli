@@ -1,0 +1,146 @@
+(** The whole abstract machine: per-core private state (L1 I/D caches,
+    TLB, branch predictor, prefetcher, cycle counter) plus shared state
+    (last-level cache, memory interconnect, physical memory).
+
+    Every operation advances the issuing core's clock by the cycles it
+    consumed and returns that cost.  Costs are computed from base latencies
+    plus the unspecified jitter function applied to digests of exactly the
+    state each event may legitimately depend on (Sect. 5.2, Case 1 of the
+    paper): a hit examines the indexed set of the cache that hit; a miss
+    additionally examines the next level; a DRAM access also queues on the
+    interconnect. *)
+
+type t
+
+type config = {
+  n_cores : int;
+  l1_geom : Cache.geometry;
+  l2_geom : Cache.geometry option;
+      (** optional private second-level cache (the paper: "private L2
+          caches (on Intel hardware)" are flushable core-local state) *)
+  llc_geom : Cache.geometry;
+  tlb_capacity : int;
+  n_frames : int;
+  page_bits : int;
+  lat : Latency.t;
+  bus_mode : Interconnect.mode;
+  bus_service : int;  (** interconnect occupancy per transfer *)
+  prefetch_enabled : bool;
+  smt : bool;
+      (** hardware multithreading: hardware thread [2k+1] shares all the
+          private micro-architectural state of thread [2k] (only the
+          cycle counter is per-thread) — the paper's "fundamentally
+          insecure" configuration when threads belong to different
+          domains *)
+  replacement : Cache.replacement;  (** replacement policy for all caches *)
+}
+
+val default_config : config
+(** 1 core, 64-set/4-way L1s (16 KiB — exactly one page colour, so the L1
+    cannot be partitioned and must be flushed, as the paper observes),
+    1024-set/8-way LLC (512 KiB, 16 page colours with 4 KiB pages),
+    32-entry TLB, 1024 frames. *)
+
+val create : config -> t
+
+val config : t -> config
+val n_cores : t -> int
+val clock : t -> core:int -> Clock.t
+val now : t -> core:int -> int
+val llc : t -> Cache.t
+val l1i : t -> core:int -> Cache.t
+val l1d : t -> core:int -> Cache.t
+val l2 : t -> core:int -> Cache.t option
+val tlb : t -> core:int -> Tlb.t
+val bpred : t -> core:int -> Bpred.t
+val prefetch : t -> core:int -> Prefetch.t
+val bus : t -> Interconnect.t
+val mem : t -> Mem.t
+val lat : t -> Latency.t
+val page_bits : t -> int
+val n_colours : t -> int
+(** Page colours exposed by the LLC. *)
+
+(** {1 Virtual accesses (user mode)} *)
+
+val load :
+  t ->
+  core:int ->
+  asid:int ->
+  domain:int ->
+  translate:(int -> int option) ->
+  pc:int ->
+  int ->
+  (int, [ `Fault ]) result
+(** [load t ~core ~asid ~domain ~translate ~pc vaddr] performs a data read:
+    TLB lookup (page walk via [translate] on miss), then L1D → LLC → DRAM.
+    Returns the cycles consumed, or [`Fault] if the translation is
+    undefined (a trap — Case 2a).  [domain] is recorded as line owner for
+    invariant checking only. *)
+
+val store :
+  t ->
+  core:int ->
+  asid:int ->
+  domain:int ->
+  translate:(int -> int option) ->
+  pc:int ->
+  int ->
+  (int, [ `Fault ]) result
+
+val fetch :
+  t ->
+  core:int ->
+  asid:int ->
+  domain:int ->
+  translate:(int -> int option) ->
+  int ->
+  (int, [ `Fault ]) result
+(** Instruction fetch at a virtual pc, through the L1 I-cache. *)
+
+val branch : t -> core:int -> pc:int -> taken:bool -> int
+(** Resolve a branch through the predictor; cost is [branch_hit] or
+    [branch_miss]. *)
+
+val compute : t -> core:int -> cycles:int -> int
+(** Pure ALU work: data-independent, exactly [cycles]. *)
+
+(** {1 Physical accesses (kernel mode)} *)
+
+val touch_paddr : t -> core:int -> owner:int -> write:bool -> int -> int
+(** Kernel data access by physical address (kernel runs untranslated),
+    through L1D → LLC → DRAM. *)
+
+val fetch_paddr : t -> core:int -> owner:int -> int -> int
+(** Kernel text fetch by physical address, through L1I → LLC → DRAM. *)
+
+val flush_line :
+  t ->
+  core:int ->
+  asid:int ->
+  translate:(int -> int option) ->
+  int ->
+  (int, [ `Fault ]) result
+(** [clflush]-style line invalidation by virtual address: drops the line
+    from every cache level on every core (cache maintenance is coherent).
+    The attacker's tool in Flush+Reload.  Returns the cycles consumed. *)
+
+(** {1 Time-protection primitives} *)
+
+val flush_core_local : t -> core:int -> int
+(** Flush all core-private state (L1 I/D, TLB, branch predictor,
+    prefetcher).  The returned cost is *history-dependent* — base plus a
+    per-dirty-line write-back term plus jitter over the pre-flush state —
+    which is precisely why the paper pads the domain switch. *)
+
+val wait_until : t -> core:int -> int -> int
+(** Padding: spin the core's clock to an absolute deadline.  Returns
+    cycles waited (0 if the deadline already passed). *)
+
+val digest_shared : t -> int64
+(** Digest of all shared (cross-core) state: LLC + interconnect. *)
+
+val digest_core : t -> core:int -> int64
+(** Digest of one core's private micro-architectural state. *)
+
+val pp : Format.formatter -> t -> unit

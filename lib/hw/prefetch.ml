@@ -1,0 +1,63 @@
+type slot = {
+  mutable tag : int; (* pc tag; -1 = empty *)
+  mutable last : int;
+  mutable stride : int;
+  mutable confidence : int;
+}
+
+type t = { slots : slot array }
+
+let create ?(slots = 16) () =
+  if slots <= 0 then invalid_arg "Prefetch.create: slots must be positive";
+  {
+    slots =
+      Array.init slots (fun _ ->
+          { tag = -1; last = 0; stride = 0; confidence = 0 });
+  }
+
+let degree = 2 (* prefetch depth once confident *)
+
+let observe t ~pc ~addr =
+  let i = (pc lsr 2) mod Array.length t.slots in
+  let s = t.slots.(i) in
+  if s.tag <> pc then begin
+    s.tag <- pc;
+    s.last <- addr;
+    s.stride <- 0;
+    s.confidence <- 0;
+    []
+  end
+  else begin
+    let stride = addr - s.last in
+    if stride <> 0 && stride = s.stride then
+      s.confidence <- min 3 (s.confidence + 1)
+    else begin
+      s.stride <- stride;
+      s.confidence <- 0
+    end;
+    s.last <- addr;
+    if s.confidence >= 2 && s.stride <> 0 then
+      List.init degree (fun k -> addr + ((k + 1) * s.stride))
+    else []
+  end
+
+let flush t =
+  Array.iter
+    (fun s ->
+      s.tag <- -1;
+      s.last <- 0;
+      s.stride <- 0;
+      s.confidence <- 0)
+    t.slots
+
+let digest t =
+  Array.fold_left
+    (fun acc s ->
+      let bits =
+        (s.tag lsl 24) lxor (s.last lsl 8) lxor (s.stride lsl 2)
+        lxor s.confidence
+      in
+      Rng.combine acc (Int64.of_int bits))
+    5L t.slots
+
+let pp ppf t = Format.fprintf ppf "prefetch: %d slots" (Array.length t.slots)

@@ -1,0 +1,40 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    All randomness in the simulator flows through this module so that every
+    experiment is reproducible from a single integer seed.  The pure hashing
+    entry points ([hash64], [combine]) are used to build the paper's
+    "deterministic yet unspecified function of the micro-architectural
+    state": latencies are derived by hashing a state digest with a seed, so
+    they are arbitrary but perfectly deterministic. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator determined by [seed]. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next : t -> int64
+(** Next 64-bit pseudo-random value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair pseudo-random boolean. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val hash64 : int64 -> int64
+(** Pure SplitMix64 finalizer: a high-quality 64-bit mixing function. *)
+
+val combine : int64 -> int64 -> int64
+(** [combine a b] hashes two values into one, order-sensitive. *)
+
+val hash_int : int64 -> int64 -> int
+(** [hash_int seed digest] maps a digest to a non-negative [int],
+    deterministically under [seed]. *)

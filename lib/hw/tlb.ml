@@ -1,0 +1,119 @@
+type entry = { asid : int; vpn : int; pfn : int; global : bool }
+
+type slot = { mutable e : entry option; mutable stamp : int }
+
+type t = { slots : slot array; mutable tick : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  { slots = Array.init capacity (fun _ -> { e = None; stamp = 0 }); tick = 0 }
+
+let capacity t = Array.length t.slots
+
+let matches ~asid ~vpn = function
+  | None -> false
+  | Some e -> e.vpn = vpn && (e.global || e.asid = asid)
+
+let find t ~asid ~vpn =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else if matches ~asid ~vpn t.slots.(i).e then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lookup t ~asid ~vpn =
+  match find t ~asid ~vpn with
+  | None -> None
+  | Some i ->
+    t.tick <- t.tick + 1;
+    t.slots.(i).stamp <- t.tick;
+    (match t.slots.(i).e with Some e -> Some e.pfn | None -> None)
+
+let peek t ~asid ~vpn =
+  match find t ~asid ~vpn with
+  | None -> None
+  | Some i -> (match t.slots.(i).e with Some e -> Some e.pfn | None -> None)
+
+let insert ?(global = false) t ~asid ~vpn ~pfn =
+  t.tick <- t.tick + 1;
+  let entry = { asid; vpn; pfn; global } in
+  match find t ~asid ~vpn with
+  | Some i ->
+    t.slots.(i).e <- Some entry;
+    t.slots.(i).stamp <- t.tick
+  | None ->
+    let victim = ref 0 in
+    let n = Array.length t.slots in
+    (try
+       for i = 0 to n - 1 do
+         if t.slots.(i).e = None then begin
+           victim := i;
+           raise Exit
+         end
+       done;
+       for i = 1 to n - 1 do
+         if t.slots.(i).stamp < t.slots.(!victim).stamp then victim := i
+       done
+     with Exit -> ());
+    t.slots.(!victim).e <- Some entry;
+    t.slots.(!victim).stamp <- t.tick
+
+let flush_all t =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.e <> None then incr n;
+      s.e <- None;
+      s.stamp <- 0)
+    t.slots;
+  t.tick <- 0;
+  !n
+
+let flush_asid t asid =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+      match s.e with
+      | Some e when e.asid = asid && not e.global ->
+        incr n;
+        s.e <- None;
+        s.stamp <- 0
+      | Some _ | None -> ())
+    t.slots;
+  !n
+
+let invalidate t ~asid ~vpn =
+  Array.iter
+    (fun s ->
+      match s.e with
+      | Some e when e.vpn = vpn && (e.global || e.asid = asid) ->
+        s.e <- None;
+        s.stamp <- 0
+      | Some _ | None -> ())
+    t.slots
+
+let entries t =
+  Array.fold_left
+    (fun acc s -> match s.e with Some e -> e :: acc | None -> acc)
+    [] t.slots
+
+let count t =
+  Array.fold_left (fun n s -> if s.e <> None then n + 1 else n) 0 t.slots
+
+let digest t =
+  Array.fold_left
+    (fun acc s ->
+      match s.e with
+      | None -> Rng.combine acc 0L
+      | Some e ->
+        let bits =
+          (e.asid lsl 40) lxor (e.vpn lsl 12) lxor e.pfn
+          lxor if e.global then 1 lsl 62 else 0
+        in
+        Rng.combine acc (Int64.of_int bits))
+    3L t.slots
+
+let pp ppf t =
+  Format.fprintf ppf "tlb: %d/%d entries" (count t) (capacity t)

@@ -1,0 +1,45 @@
+type t = {
+  did : int;
+  asid : int;
+  colours : int list;
+  slice : int;
+  pad_cycles : int;
+  core : int;
+  page_table : (int, int) Hashtbl.t;
+  mutable threads : Thread.t list;
+  mutable kernel_text_base : int;
+}
+
+let create ~did ~asid ~colours ~slice ~pad_cycles ~core ~kernel_text_base =
+  if slice <= 0 then invalid_arg "Domain.create: slice must be positive";
+  if pad_cycles < 0 then invalid_arg "Domain.create: negative padding";
+  {
+    did;
+    asid;
+    colours;
+    slice;
+    pad_cycles;
+    core;
+    page_table = Hashtbl.create 64;
+    threads = [];
+    kernel_text_base;
+  }
+
+let translate t vpn = Hashtbl.find_opt t.page_table vpn
+
+let map_page t ~vpn ~pfn = Hashtbl.replace t.page_table vpn pfn
+
+let unmap_page t ~vpn = Hashtbl.remove t.page_table vpn
+
+let mapped_vpns t =
+  Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.page_table []
+  |> List.sort compare
+
+let add_thread t thread = t.threads <- t.threads @ [ thread ]
+
+let threads t = t.threads
+
+let pp ppf t =
+  Format.fprintf ppf "domain %d (asid %d, core %d): %d threads, colours [%s]"
+    t.did t.asid t.core (List.length t.threads)
+    (String.concat ";" (List.map string_of_int t.colours))

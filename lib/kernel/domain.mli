@@ -1,0 +1,47 @@
+(** Security domains.
+
+    A domain is the unit the security policy treats as opaque (Sect. 2): a
+    set of cooperating threads, an address space (ASID + page table), a
+    set of LLC page colours, a core affinity, a time slice, and the
+    padding attribute of Sect. 4.2 — the paper makes the padding time a
+    property of the *switched-from* domain, set by the system designer,
+    not by the kernel. *)
+
+type t = {
+  did : int;
+  asid : int;
+  colours : int list;   (** LLC page colours this domain may use *)
+  slice : int;          (** time-slice length in cycles *)
+  pad_cycles : int;     (** switch padding attribute (switched-from) *)
+  core : int;           (** core affinity *)
+  page_table : (int, int) Hashtbl.t;  (** vpn -> pfn *)
+  mutable threads : Thread.t list;
+  mutable kernel_text_base : int;
+      (** physical base of the kernel text this domain executes; equals
+          the shared image unless a kernel clone was performed *)
+}
+
+val create :
+  did:int ->
+  asid:int ->
+  colours:int list ->
+  slice:int ->
+  pad_cycles:int ->
+  core:int ->
+  kernel_text_base:int ->
+  t
+
+val translate : t -> int -> int option
+(** Page-table lookup: vpn to pfn. *)
+
+val map_page : t -> vpn:int -> pfn:int -> unit
+val unmap_page : t -> vpn:int -> unit
+
+val mapped_vpns : t -> int list
+
+val add_thread : t -> Thread.t -> unit
+
+val threads : t -> Thread.t list
+(** In creation order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type switch_reason = Timer | Idle
+
+type t =
+  | Switch of {
+      core : int;
+      from_dom : int;
+      to_dom : int;
+      reason : switch_reason;
+      slice_start : int;
+      start : int;
+      finish : int;
+      flush_cycles : int;
+      padded : bool;
+      overrun : bool;
+    }
+  | Trap of { core : int; dom : int; kind : string; start : int; cycles : int }
+  | Irq_handled of {
+      core : int;
+      irq : int;
+      owner_dom : int;
+      during_dom : int;
+      at : int;
+      cycles : int;
+    }
+  | Ipc_delivered of { ep : int; sender_dom : int; receiver_dom : int; at : int }
+  | Thread_halted of { thread : int; dom : int; at : int }
+  | Fault of { thread : int; dom : int; vaddr : int; at : int }
+
+type obs = Clock of int | Latency of int | Recv of int
+
+let pp_reason ppf = function
+  | Timer -> Format.pp_print_string ppf "timer"
+  | Idle -> Format.pp_print_string ppf "idle"
+
+let pp ppf = function
+  | Switch s ->
+    Format.fprintf ppf
+      "[%d] switch %d->%d (%a) slice@%d start=%d finish=%d flush=%d%s%s"
+      s.core s.from_dom s.to_dom pp_reason s.reason s.slice_start s.start
+      s.finish s.flush_cycles
+      (if s.padded then " padded" else "")
+      (if s.overrun then " OVERRUN" else "")
+  | Trap t ->
+    Format.fprintf ppf "[%d] trap dom=%d %s @%d (%d cycles)" t.core t.dom
+      t.kind t.start t.cycles
+  | Irq_handled i ->
+    Format.fprintf ppf "[%d] irq %d (owner %d) handled during dom %d @%d (%d cycles)"
+      i.core i.irq i.owner_dom i.during_dom i.at i.cycles
+  | Ipc_delivered i ->
+    Format.fprintf ppf "ipc ep=%d %d->%d @%d" i.ep i.sender_dom i.receiver_dom
+      i.at
+  | Thread_halted h ->
+    Format.fprintf ppf "thread %d (dom %d) halted @%d" h.thread h.dom h.at
+  | Fault f ->
+    Format.fprintf ppf "fault thread %d (dom %d) vaddr=%#x @%d" f.thread f.dom
+      f.vaddr f.at
+
+let pp_obs ppf = function
+  | Clock c -> Format.fprintf ppf "clock=%d" c
+  | Latency l -> Format.fprintf ppf "lat=%d" l
+  | Recv m -> Format.fprintf ppf "recv=%d" m
+
+let switch_duration = function
+  | Switch s -> Some (s.finish - s.start, s.finish - s.slice_start)
+  | Trap _ | Irq_handled _ | Ipc_delivered _ | Thread_halted _ | Fault _ ->
+    None
+
+let is_overrun = function
+  | Switch s -> s.overrun
+  | Trap _ | Irq_handled _ | Ipc_delivered _ | Thread_halted _ | Fault _ ->
+    false

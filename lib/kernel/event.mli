@@ -1,0 +1,46 @@
+(** Kernel trace events and user-level observations.
+
+    Events are the kernel's own audit trail (used by the verification layer
+    to check, e.g., that every padded domain switch completed at the same
+    deadline).  Observations are what a *user thread* can legitimately see:
+    clock readings, latencies of its own timed loads, and received
+    messages.  Noninterference (Sect. 5.2) is stated over observations —
+    two runs differing only in another domain's secret must produce
+    identical observation sequences. *)
+
+type switch_reason =
+  | Timer  (** preemption-timer interrupt at the end of a slice *)
+  | Idle   (** domain had no runnable thread (blocked or halted) *)
+
+type t =
+  | Switch of {
+      core : int;
+      from_dom : int;
+      to_dom : int;
+      reason : switch_reason;
+      slice_start : int;  (** when the outgoing domain's slice began *)
+      start : int;        (** when the switch began *)
+      finish : int;       (** when the incoming domain started running *)
+      flush_cycles : int; (** history-dependent flush cost (0 if no flush) *)
+      padded : bool;
+      overrun : bool;     (** padding deadline was already past *)
+    }
+  | Trap of { core : int; dom : int; kind : string; start : int; cycles : int }
+  | Irq_handled of { core : int; irq : int; owner_dom : int; during_dom : int; at : int; cycles : int }
+  | Ipc_delivered of { ep : int; sender_dom : int; receiver_dom : int; at : int }
+  | Thread_halted of { thread : int; dom : int; at : int }
+  | Fault of { thread : int; dom : int; vaddr : int; at : int }
+
+type obs =
+  | Clock of int         (** a [Read_clock] result *)
+  | Latency of int       (** cycles taken by a [Timed_load] *)
+  | Recv of int          (** message value received over IPC *)
+
+val pp : Format.formatter -> t -> unit
+val pp_obs : Format.formatter -> obs -> unit
+
+val switch_duration : t -> (int * int) option
+(** For a [Switch] event, [(duration, finish - slice_start)]: the raw
+    switch cost and the padded end-to-end slot. *)
+
+val is_overrun : t -> bool

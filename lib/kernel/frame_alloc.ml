@@ -1,0 +1,52 @@
+open Tpro_hw
+
+type t = { mem : Mem.t; n_colours : int; free : bool array }
+
+let reserved_kernel_colour = 0
+
+let create mem ~n_colours =
+  if n_colours <= 0 then invalid_arg "Frame_alloc.create: n_colours";
+  let free = Array.make (Mem.n_frames mem) true in
+  for f = 0 to Mem.n_frames mem - 1 do
+    if Mem.owner_of_frame mem f <> Mem.free_owner then free.(f) <- false
+  done;
+  { mem; n_colours; free }
+
+let n_colours t = t.n_colours
+
+let colour_of_frame t frame = frame mod t.n_colours
+
+let alloc t ~owner ~colours =
+  let n = Array.length t.free in
+  let rec go f =
+    if f >= n then None
+    else if t.free.(f) && List.mem (colour_of_frame t f) colours then begin
+      t.free.(f) <- false;
+      Mem.set_owner t.mem ~frame:f ~owner;
+      Some f
+    end
+    else go (f + 1)
+  in
+  go 0
+
+let alloc_exn t ~owner ~colours =
+  match alloc t ~owner ~colours with
+  | Some f -> f
+  | None -> failwith "Frame_alloc: out of frames for requested colours"
+
+let free t ~frame =
+  if frame < 0 || frame >= Array.length t.free then
+    invalid_arg "Frame_alloc.free: frame out of range";
+  t.free.(frame) <- true;
+  Mem.set_owner t.mem ~frame ~owner:Mem.free_owner
+
+let free_count t ~colour =
+  let n = ref 0 in
+  Array.iteri (fun f b -> if b && colour_of_frame t f = colour then incr n) t.free;
+  !n
+
+let all_colours t = List.init t.n_colours (fun c -> c)
+
+let pp ppf t =
+  let free = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.free in
+  Format.fprintf ppf "frame_alloc: %d free frames, %d colours" free t.n_colours

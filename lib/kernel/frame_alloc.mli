@@ -1,0 +1,36 @@
+(** Page-colouring frame allocator (Sect. 4.1).
+
+    Physical frames are grouped by the LLC page colour they map to.  With
+    colouring enabled, each domain is restricted to a disjoint colour set,
+    so its pages can only ever compete for its own portion of the shared
+    cache.  With colouring disabled the allocator hands out frames in plain
+    ascending order — exactly the behaviour that makes domains collide in
+    the LLC. *)
+
+open Tpro_hw
+
+type t
+
+val create : Mem.t -> n_colours:int -> t
+
+val n_colours : t -> int
+
+val colour_of_frame : t -> int -> int
+
+val alloc : t -> owner:int -> colours:int list -> int option
+(** Lowest-numbered free frame whose colour is in [colours]; marks it
+    owned.  [None] when no such frame remains. *)
+
+val alloc_exn : t -> owner:int -> colours:int list -> int
+
+val free : t -> frame:int -> unit
+
+val free_count : t -> colour:int -> int
+
+val all_colours : t -> int list
+
+val reserved_kernel_colour : int
+(** Colour 0 is reserved for the (shared) kernel image and kernel global
+    data; user domains are never given it when colouring is on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type endpoint = {
+  mutable sender : (Thread.t * int) option;
+  mutable receiver : Thread.t option;
+}
+
+type t = endpoint array
+
+let create ~n_endpoints =
+  if n_endpoints <= 0 then invalid_arg "Ipc.create: n_endpoints";
+  Array.init n_endpoints (fun _ -> { sender = None; receiver = None })
+
+let n_endpoints t = Array.length t
+
+let get t ep =
+  if ep < 0 || ep >= Array.length t then invalid_arg "Ipc: endpoint out of range";
+  t.(ep)
+
+let queued_sender t ~ep = (get t ep).sender
+let queued_receiver t ~ep = (get t ep).receiver
+
+let queue_sender t ~ep thread ~msg =
+  let e = get t ep in
+  if e.sender <> None then invalid_arg "Ipc.queue_sender: endpoint busy";
+  e.sender <- Some (thread, msg)
+
+let queue_receiver t ~ep thread =
+  let e = get t ep in
+  if e.receiver <> None then invalid_arg "Ipc.queue_receiver: endpoint busy";
+  e.receiver <- Some thread
+
+let clear_sender t ~ep = (get t ep).sender <- None
+let clear_receiver t ~ep = (get t ep).receiver <- None
+
+let pp ppf t =
+  let busy =
+    Array.fold_left
+      (fun n e -> if e.sender <> None || e.receiver <> None then n + 1 else n)
+      0 t
+  in
+  Format.fprintf ppf "ipc: %d endpoints (%d busy)" (Array.length t) busy

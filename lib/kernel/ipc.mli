@@ -1,0 +1,24 @@
+(** Synchronous IPC endpoints.
+
+    Rendezvous semantics as in seL4: a send blocks until a receiver is
+    waiting and vice versa.  The *time-protection* aspect — when a
+    cross-domain message's effect becomes visible — is governed by the
+    kernel's switch policy (immediate switch on idle vs. delivery padded to
+    the slice boundary, the Cock et al. model), not by this module. *)
+
+type t
+
+val create : n_endpoints:int -> t
+
+val n_endpoints : t -> int
+
+val queued_sender : t -> ep:int -> (Thread.t * int) option
+val queued_receiver : t -> ep:int -> Thread.t option
+
+val queue_sender : t -> ep:int -> Thread.t -> msg:int -> unit
+val queue_receiver : t -> ep:int -> Thread.t -> unit
+
+val clear_sender : t -> ep:int -> unit
+val clear_receiver : t -> ep:int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { owners : int array; mutable armed : (int * int) list }
+
+let create ~n_irqs =
+  if n_irqs <= 0 then invalid_arg "Irq.create: n_irqs";
+  { owners = Array.make n_irqs (-1); armed = [] }
+
+let n_irqs t = Array.length t.owners
+
+let check t irq =
+  if irq < 0 || irq >= n_irqs t then invalid_arg "Irq: irq out of range"
+
+let set_owner t ~irq ~dom =
+  check t irq;
+  t.owners.(irq) <- dom
+
+let owner t irq =
+  check t irq;
+  t.owners.(irq)
+
+let arm t ~irq ~at =
+  check t irq;
+  t.armed <-
+    List.sort compare ((at, irq) :: t.armed)
+
+let take_pending t ~now ~allowed =
+  let rec go acc = function
+    | [] -> None
+    | ((at, irq) as hd) :: rest ->
+      if at > now then None
+      else if allowed irq then begin
+        t.armed <- List.rev_append acc rest;
+        Some irq
+      end
+      else go (hd :: acc) rest
+  in
+  go [] t.armed
+
+let pending t = t.armed
+
+let pp ppf t =
+  Format.fprintf ppf "irq: %d sources, %d armed" (n_irqs t)
+    (List.length t.armed)

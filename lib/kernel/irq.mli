@@ -1,0 +1,31 @@
+(** Interrupt partitioning (Sect. 4.2).
+
+    Interrupts are a channel: a Trojan can program a device so its
+    completion interrupt fires during the victim's execution, perturbing
+    the victim's observable timing.  The defence partitions interrupt
+    sources between domains and keeps every interrupt masked whose owner
+    is not the presently-executing domain (the preemption timer is modelled
+    separately by the scheduler). *)
+
+type t
+
+val create : n_irqs:int -> t
+
+val n_irqs : t -> int
+
+val set_owner : t -> irq:int -> dom:int -> unit
+val owner : t -> int -> int
+(** [-1] if unassigned. *)
+
+val arm : t -> irq:int -> at:int -> unit
+(** Schedule [irq] to become pending at absolute time [at]. *)
+
+val take_pending : t -> now:int -> allowed:(int -> bool) -> int option
+(** Earliest armed irq with [at <= now] and [allowed irq]; removes it.
+    Masked (not-allowed) interrupts stay pending — they are delivered when
+    their owner next runs. *)
+
+val pending : t -> (int * int) list
+(** [(fire_at, irq)] pairs still armed, earliest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+open Tpro_hw
+
+type syscall =
+  | Sys_null
+  | Sys_info
+  | Sys_send of { ep : int; msg : int }
+  | Sys_recv of { ep : int }
+  | Sys_arm_irq of { irq : int; delay : int }
+
+let n_registers = 8
+
+type reg = int
+
+type instr =
+  | Load of int
+  | Store of int
+  | Timed_load of int
+  | Clflush of int
+  | Compute of int
+  | Set of reg * int
+  | Add of reg * reg * int
+  | Load_idx of { base : int; index : reg; scale : int }
+  | Store_idx of { base : int; index : reg; scale : int }
+  | Branch of { tag : int; taken : bool }
+  | Read_clock
+  | Syscall of syscall
+  | Halt
+
+type t = instr array
+
+let length = Array.length
+
+let concat = Array.concat
+
+let loads addrs = Array.of_list (List.map (fun a -> Load a) addrs)
+let stores addrs = Array.of_list (List.map (fun a -> Store a) addrs)
+let timed_loads addrs = Array.of_list (List.map (fun a -> Timed_load a) addrs)
+
+let strided ~op ~base ~stride ~n =
+  Array.init n (fun i ->
+      let a = base + (i * stride) in
+      match op with
+      | `Load -> Load a
+      | `Store -> Store a
+      | `Timed_load -> Timed_load a)
+
+let halted t = Array.append t [| Halt |]
+
+let random ?(syscalls = true) rng ~len ~data_base ~data_bytes =
+  if data_bytes <= 0 then invalid_arg "Program.random: data_bytes";
+  let addr () = data_base + Rng.int rng data_bytes in
+  (* register values are kept small enough that indexed accesses (scale
+     64, plus a few increments) stay inside the data window *)
+  let max_index = max 1 ((data_bytes / 64) - 32) in
+  let instr () =
+    match Rng.int rng 13 with
+    | 0 | 1 | 2 -> Load (addr ())
+    | 3 | 4 -> Store (addr ())
+    | 5 -> Timed_load (addr ())
+    | 6 -> Compute (1 + Rng.int rng 20)
+    | 7 -> Branch { tag = Rng.int rng 16; taken = Rng.bool rng }
+    | 8 -> Read_clock
+    | 9 -> Set (Rng.int rng n_registers, Rng.int rng max_index)
+    | 10 ->
+      Add (Rng.int rng n_registers, Rng.int rng n_registers, Rng.int rng 4)
+    | 11 ->
+      Load_idx { base = data_base; index = Rng.int rng n_registers; scale = 64 }
+    | _ ->
+      if syscalls then Syscall (if Rng.bool rng then Sys_null else Sys_info)
+      else Compute (1 + Rng.int rng 20)
+  in
+  Array.append (Array.init len (fun _ -> instr ())) [| Halt |]
+
+let pp_syscall ppf = function
+  | Sys_null -> Format.pp_print_string ppf "null"
+  | Sys_info -> Format.pp_print_string ppf "info"
+  | Sys_send { ep; msg } -> Format.fprintf ppf "send(ep=%d, msg=%d)" ep msg
+  | Sys_recv { ep } -> Format.fprintf ppf "recv(ep=%d)" ep
+  | Sys_arm_irq { irq; delay } ->
+    Format.fprintf ppf "arm_irq(irq=%d, +%d)" irq delay
+
+let pp_instr ppf = function
+  | Load a -> Format.fprintf ppf "load %#x" a
+  | Store a -> Format.fprintf ppf "store %#x" a
+  | Timed_load a -> Format.fprintf ppf "timed_load %#x" a
+  | Clflush a -> Format.fprintf ppf "clflush %#x" a
+  | Compute n -> Format.fprintf ppf "compute %d" n
+  | Set (r, v) -> Format.fprintf ppf "set r%d, %d" r v
+  | Add (rd, rs, imm) -> Format.fprintf ppf "add r%d, r%d, %d" rd rs imm
+  | Load_idx { base; index; scale } ->
+    Format.fprintf ppf "load [%#x + r%d*%d]" base index scale
+  | Store_idx { base; index; scale } ->
+    Format.fprintf ppf "store [%#x + r%d*%d]" base index scale
+  | Branch { tag; taken } ->
+    Format.fprintf ppf "branch #%d %s" tag (if taken then "taken" else "not-taken")
+  | Read_clock -> Format.pp_print_string ppf "rdclock"
+  | Syscall s -> Format.fprintf ppf "syscall %a" pp_syscall s
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp ppf t =
+  Array.iteri (fun i ins -> Format.fprintf ppf "%3d: %a@\n" i pp_instr ins) t

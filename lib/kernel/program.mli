@@ -1,0 +1,76 @@
+(** The workload DSL.
+
+    Victims, Trojans and spies are small deterministic programs over this
+    instruction set.  The language is deliberately minimal: it contains
+    exactly the actions whose timing the paper reasons about — memory
+    accesses (cache/TLB/prefetcher state), branches (predictor state),
+    pure compute, clock reads (the attacker's measuring instrument),
+    system calls (kernel-text and kernel-data state, IPC, interrupts). *)
+
+open Tpro_hw
+
+type syscall =
+  | Sys_null                               (** shortest kernel path *)
+  | Sys_info                               (** longer kernel path *)
+  | Sys_send of { ep : int; msg : int }    (** synchronous IPC send *)
+  | Sys_recv of { ep : int }               (** synchronous IPC receive *)
+  | Sys_arm_irq of { irq : int; delay : int }
+      (** program a device to raise [irq] [delay] cycles from now *)
+
+val n_registers : int
+(** Threads carry 8 general-purpose registers; the initial register file
+    is part of a thread's *data*, so a secret can enter a computation
+    without appearing in the program text — the setting of true side
+    channels ("the secret is used to index a table", Sect. 3.1). *)
+
+type reg = int
+(** Register index in [0, n_registers). *)
+
+type instr =
+  | Load of int        (** read the byte at a virtual address *)
+  | Store of int
+  | Timed_load of int  (** load + observe its latency (attack primitive) *)
+  | Clflush of int
+      (** evict the line at a virtual address from the whole hierarchy
+          (cache-maintenance instruction; the Flush+Reload primitive) *)
+  | Compute of int     (** [n] cycles of data-independent ALU work *)
+  | Set of reg * int   (** load an immediate into a register (1 cycle) *)
+  | Add of reg * reg * int
+      (** [Add (rd, rs, imm)]: rd <- rs + imm (1 cycle) *)
+  | Load_idx of { base : int; index : reg; scale : int }
+      (** data-dependent load at [base + reg(index) * scale] — the
+          table-lookup access pattern of, e.g., an AES T-table *)
+  | Store_idx of { base : int; index : reg; scale : int }
+  | Branch of { tag : int; taken : bool }
+      (** conditional branch; [tag] selects the predictor slot *)
+  | Read_clock         (** observe the cycle counter *)
+  | Syscall of syscall
+  | Halt
+
+type t = instr array
+
+val length : t -> int
+
+val concat : t list -> t
+
+val loads : int list -> t
+val stores : int list -> t
+val timed_loads : int list -> t
+
+val strided :
+  op:[ `Load | `Store | `Timed_load ] -> base:int -> stride:int -> n:int -> t
+(** [n] accesses at [base], [base+stride], ... *)
+
+val halted : t -> t
+(** Append a [Halt]. *)
+
+val random :
+  ?syscalls:bool -> Rng.t -> len:int -> data_base:int -> data_bytes:int -> t
+(** Random straight-line program touching only [data_base ..
+    data_base+data_bytes): loads, stores, timed loads, computes, branches,
+    clock reads and (unless [syscalls:false]) null/info syscalls, ending
+    in [Halt].  Used by the property-based noninterference checks to
+    quantify over programs. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> t -> unit

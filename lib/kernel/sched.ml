@@ -1,0 +1,20 @@
+type t = { order : int array; mutable idx : int }
+
+let create order =
+  if Array.length order = 0 then invalid_arg "Sched.create: empty schedule";
+  { order; idx = 0 }
+
+let order t = Array.copy t.order
+
+let current t = t.order.(t.idx)
+
+let advance t =
+  t.idx <- (t.idx + 1) mod Array.length t.order;
+  t.order.(t.idx)
+
+let n_domains t = Array.length t.order
+
+let pp ppf t =
+  Format.fprintf ppf "schedule [%s] at %d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.order)))
+    t.idx

@@ -1,0 +1,20 @@
+(** Static domain scheduler (one instance per core).
+
+    As in seL4's domain scheduler, the sequence of domains and their time
+    slices are fixed at configuration time — scheduling decisions must not
+    depend on domain behaviour, or the schedule itself becomes a channel. *)
+
+type t
+
+val create : int array -> t
+(** [create order] with [order] the cyclic sequence of domain indices to
+    run on this core. *)
+
+val order : t -> int array
+val current : t -> int
+val advance : t -> int
+(** Move to the next domain in the cycle and return its index. *)
+
+val n_domains : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type state = Ready | Blocked_send of int | Blocked_recv of int | Halted
+
+type step_kind = User | Trap
+
+type t = {
+  tid : int;
+  dom : int;
+  prog : Program.t;
+  code_vbase : int;
+  mutable pc : int;
+  mutable state : state;
+  mutable obs_rev : Event.obs list;
+  mutable msg : int;
+  mutable traced : bool;
+  mutable costs_rev : (step_kind * int) list;
+  regs : int array;
+}
+
+let create ?regs ~tid ~dom ~code_vbase prog =
+  let file = Array.make Program.n_registers 0 in
+  (match regs with
+  | Some init ->
+    Array.blit init 0 file 0 (min (Array.length init) Program.n_registers)
+  | None -> ());
+  {
+    tid;
+    dom;
+    prog;
+    code_vbase;
+    pc = 0;
+    state = Ready;
+    obs_rev = [];
+    msg = 0;
+    traced = false;
+    costs_rev = [];
+    regs = file;
+  }
+
+let check_reg r =
+  if r < 0 || r >= Program.n_registers then invalid_arg "Thread: bad register"
+
+let reg t r =
+  check_reg r;
+  t.regs.(r)
+
+let set_reg t r v =
+  check_reg r;
+  t.regs.(r) <- v
+
+let current_instr t =
+  if t.pc >= 0 && t.pc < Array.length t.prog then Some t.prog.(t.pc) else None
+
+let instr_vaddr t = t.code_vbase + (t.pc * 4)
+
+let observe t o = t.obs_rev <- o :: t.obs_rev
+
+let observations t = List.rev t.obs_rev
+
+let runnable t = match t.state with Ready -> true | Blocked_send _ | Blocked_recv _ | Halted -> false
+
+let set_traced t b = t.traced <- b
+
+let record_cost t kind cycles =
+  if t.traced then t.costs_rev <- (kind, cycles) :: t.costs_rev
+
+let cost_trace t = List.rev t.costs_rev
+
+let code_pages t ~page_bits =
+  let bytes = max 4 (Array.length t.prog * 4) in
+  (bytes + (1 lsl page_bits) - 1) lsr page_bits
+
+let pp ppf t =
+  let state =
+    match t.state with
+    | Ready -> "ready"
+    | Blocked_send ep -> Printf.sprintf "blocked-send(%d)" ep
+    | Blocked_recv ep -> Printf.sprintf "blocked-recv(%d)" ep
+    | Halted -> "halted"
+  in
+  Format.fprintf ppf "thread %d (dom %d) pc=%d %s" t.tid t.dom t.pc state

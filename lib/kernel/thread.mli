@@ -1,0 +1,66 @@
+(** Thread control blocks.
+
+    Threads belong to exactly one security domain.  Intra-domain scheduling
+    is unrestricted (intra-domain flows are not a policy concern, Sect. 2);
+    only inter-domain switches carry time-protection obligations. *)
+
+type state =
+  | Ready
+  | Blocked_send of int  (** waiting on endpoint *)
+  | Blocked_recv of int
+  | Halted
+
+type step_kind =
+  | User  (** an ordinary user-mode instruction — Case 1 of Sect. 5.2 *)
+  | Trap  (** a system call, fault or exception — Case 2a *)
+
+type t = {
+  tid : int;
+  dom : int;           (** owning domain id *)
+  prog : Program.t;
+  code_vbase : int;    (** virtual base of the code image *)
+  mutable pc : int;    (** instruction index *)
+  mutable state : state;
+  mutable obs_rev : Event.obs list;
+  mutable msg : int;   (** last message received *)
+  mutable traced : bool;
+  mutable costs_rev : (step_kind * int) list;
+  regs : int array;  (** general-purpose registers (initial values are
+                         thread data, e.g. a secret) *)
+}
+
+val create : ?regs:int array -> tid:int -> dom:int -> code_vbase:int -> Program.t -> t
+(** [regs] initialises the register file (default all zero; shorter
+    arrays initialise a prefix). *)
+
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+
+val current_instr : t -> Program.instr option
+(** [None] once the program counter ran off the end. *)
+
+val instr_vaddr : t -> int
+(** Virtual address of the current instruction (4 bytes per instruction). *)
+
+val observe : t -> Event.obs -> unit
+
+val observations : t -> Event.obs list
+(** In program order. *)
+
+val runnable : t -> bool
+
+val set_traced : t -> bool -> unit
+(** Enable per-instruction cost recording (used by the unwinding checks of
+    the verification layer). *)
+
+val record_cost : t -> step_kind -> int -> unit
+(** No-op unless tracing is enabled. *)
+
+val cost_trace : t -> (step_kind * int) list
+(** Cycles consumed by each executed instruction, in program order,
+    labelled user-step vs. trap. *)
+
+val code_pages : t -> page_bits:int -> int
+(** Number of pages the code image occupies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+open Tpro_kernel
+
+type universe = {
+  hi_len : int;
+  hi_alphabet : Program.instr list;
+  seeds : int list;
+}
+
+let hi_buf = 0x4000_0000
+
+let default_universe =
+  {
+    hi_len = 3;
+    hi_alphabet =
+      [
+        Program.Load hi_buf;
+        Program.Load (hi_buf + 64);
+        Program.Load (hi_buf + 4096);
+        Program.Store hi_buf;
+        Program.Store (hi_buf + 128);
+        Program.Compute 7;
+        Program.Syscall Program.Sys_null;
+      ];
+    seeds = [ 0; 1 ];
+  }
+
+let enumerate u =
+  let alphabet = Array.of_list u.hi_alphabet in
+  let n = Array.length alphabet in
+  let rec build len =
+    if len = 0 then [ [] ]
+    else
+      let shorter = build (len - 1) in
+      List.concat_map
+        (fun tail -> List.init n (fun i -> alphabet.(i) :: tail))
+        shorter
+  in
+  List.map
+    (fun instrs -> Array.append (Array.of_list instrs) [| Program.Halt |])
+    (build u.hi_len)
+
+let universe_size u =
+  let n = List.length u.hi_alphabet in
+  let rec pow acc k = if k = 0 then acc else pow (acc * n) (k - 1) in
+  pow 1 u.hi_len
+
+let baseline u =
+  Array.append (Array.make u.hi_len (Program.Compute 7)) [| Program.Halt |]
+
+type result = {
+  programs : int;
+  executions : int;
+  violations : int;
+  first_violation : string option;
+}
+
+let observation_of run =
+  List.map
+    (fun th -> (Observation.of_thread th, Thread.cost_trace th))
+    run.Nonint.observers
+
+let check ~build u =
+  let programs = enumerate u in
+  let violations = ref 0 in
+  let executions = ref 0 in
+  let first = ref None in
+  List.iter
+    (fun seed ->
+      let base_run = Nonint.execute (fun ~secret:_ -> build ~hi_prog:(baseline u) ~seed) 0 in
+      let base_view = observation_of base_run in
+      List.iter
+        (fun prog ->
+          incr executions;
+          let run = Nonint.execute (fun ~secret:_ -> build ~hi_prog:prog ~seed) 0 in
+          if observation_of run <> base_view then begin
+            incr violations;
+            if !first = None then
+              first :=
+                Some
+                  (Format.asprintf "seed %d, Hi program: @[%a@]" seed
+                     Program.pp prog)
+          end)
+        programs)
+    u.seeds;
+  {
+    programs = List.length programs;
+    executions = !executions;
+    violations = !violations;
+    first_violation = !first;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d programs x %d executions: %d observation-divergent" r.programs
+    r.executions r.violations;
+  match r.first_violation with
+  | Some v -> Format.fprintf ppf "; first: %s" v
+  | None -> ()

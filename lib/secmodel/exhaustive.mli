@@ -1,0 +1,46 @@
+(** Exhaustive noninterference checking over a small universe.
+
+    The sampled checks in {!Proofs} play the adversary with random
+    programs; this module removes the sampling for universes small enough
+    to enumerate: *every* Hi program over a given instruction alphabet up
+    to a given length is executed, and Lo's observations must be
+    identical to the baseline for each one.  A pass is a genuine
+    ∀-statement over the whole (finite) universe — the closest an
+    executable artefact gets to the paper's proof, and a useful
+    regression net: any model change that opens a leak in the small
+    universe fails loudly with the offending program. *)
+
+open Tpro_kernel
+
+type universe = {
+  hi_len : int;                       (** Hi program length (before Halt) *)
+  hi_alphabet : Program.instr list;   (** per-slot instruction choices *)
+  seeds : int list;                   (** latency functions to cover *)
+}
+
+val default_universe : universe
+(** 7-instruction alphabet (loads/stores over the Hi buffer, compute,
+    a system call), length 3, two latency seeds: 343 programs,
+    686 executions. *)
+
+val enumerate : universe -> Program.t list
+(** All [|alphabet|^len] programs, each Halt-terminated. *)
+
+val universe_size : universe -> int
+
+type result = {
+  programs : int;
+  executions : int;
+  violations : int;
+  first_violation : string option;  (** offending Hi program, printed *)
+}
+
+val check :
+  build:(hi_prog:Program.t -> seed:int -> Nonint.run) ->
+  universe ->
+  result
+(** Run every program under every seed and compare Lo's observations and
+    step costs against the all-[Compute] baseline program of the same
+    length. *)
+
+val pp_result : Format.formatter -> result -> unit

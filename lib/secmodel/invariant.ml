@@ -1,0 +1,161 @@
+open Tpro_hw
+open Tpro_kernel
+
+type violation = { invariant : string; detail : string }
+
+let v invariant fmt = Format.kasprintf (fun detail -> { invariant; detail }) fmt
+
+let domain_by_id k did =
+  List.find_opt (fun (d : Domain.t) -> d.Domain.did = did) (Kernel.domains k)
+
+let colour_partition k =
+  if not (Kernel.config k).Kernel.colouring then []
+  else begin
+    let m = Kernel.machine k in
+    let llc = Machine.llc m in
+    let geom = Cache.geom llc in
+    let page_bits = Kernel.page_bits k in
+    let acc = ref [] in
+    Cache.iter_lines llc (fun ~set ~way:_ ~tag:_ ~dirty:_ ~owner ->
+        let colour = Cache.colour_of_set geom ~page_bits set in
+        if owner = Cache.shared_owner then begin
+          if colour <> Frame_alloc.reserved_kernel_colour then
+            acc :=
+              v "colour-partition"
+                "kernel-owned line in set %d (colour %d, expected kernel colour %d)"
+                set colour Frame_alloc.reserved_kernel_colour
+              :: !acc
+        end
+        else
+          match domain_by_id k owner with
+          | None ->
+            acc :=
+              v "colour-partition" "line owned by unknown domain %d" owner
+              :: !acc
+          | Some d ->
+            if not (List.mem colour d.Domain.colours) then
+              acc :=
+                v "colour-partition"
+                  "domain %d line in set %d of colour %d outside its colours"
+                  owner set colour
+                :: !acc);
+    List.rev !acc
+  end
+
+let frame_ownership k =
+  let mem = Machine.mem (Kernel.machine k) in
+  let alloc = Kernel.allocator k in
+  let colouring = (Kernel.config k).Kernel.colouring in
+  List.concat_map
+    (fun (d : Domain.t) ->
+      List.filter_map
+        (fun vpn ->
+          match Domain.translate d vpn with
+          | None -> None
+          | Some pfn ->
+            let owner = Mem.owner_of_frame mem pfn in
+            if owner <> d.Domain.did then
+              Some
+                (v "frame-ownership"
+                   "domain %d maps frame %d owned by %d" d.Domain.did pfn
+                   owner)
+            else if
+              colouring
+              && not
+                   (List.mem
+                      (Frame_alloc.colour_of_frame alloc pfn)
+                      d.Domain.colours)
+            then
+              Some
+                (v "frame-ownership"
+                   "domain %d maps frame %d of foreign colour %d" d.Domain.did
+                   pfn
+                   (Frame_alloc.colour_of_frame alloc pfn))
+            else None)
+        (Domain.mapped_vpns d))
+    (Kernel.domains k)
+
+let tlb_consistency k =
+  let m = Kernel.machine k in
+  let acc = ref [] in
+  for core = 0 to Machine.n_cores m - 1 do
+    List.iter
+      (fun (e : Tlb.entry) ->
+        if not e.Tlb.global then
+          match
+            List.find_opt
+              (fun (d : Domain.t) -> d.Domain.asid = e.Tlb.asid)
+              (Kernel.domains k)
+          with
+          | None ->
+            acc :=
+              v "tlb-consistency" "TLB entry with unknown asid %d" e.Tlb.asid
+              :: !acc
+          | Some d ->
+            if Domain.translate d e.Tlb.vpn <> Some e.Tlb.pfn then
+              acc :=
+                v "tlb-consistency"
+                  "stale TLB entry: asid %d vpn %d -> pfn %d disagrees with page table"
+                  e.Tlb.asid e.Tlb.vpn e.Tlb.pfn
+                :: !acc)
+      (Tlb.entries (Machine.tlb m ~core))
+  done;
+  List.rev !acc
+
+let irq_partitioning k =
+  if not (Kernel.config k).Kernel.partition_irqs then []
+  else
+    List.filter_map
+      (fun e ->
+        match e with
+        | Event.Irq_handled { irq; owner_dom; during_dom; _ } ->
+          if owner_dom <> during_dom then
+            Some
+              (v "irq-partitioning"
+                 "irq %d (owner %d) handled while domain %d was current" irq
+                 owner_dom during_dom)
+          else None
+        | _ -> None)
+      (Kernel.events k)
+
+let disjoint_domain_colours k =
+  if not (Kernel.config k).Kernel.colouring then []
+  else begin
+    let doms = Kernel.domains k in
+    let acc = ref [] in
+    List.iter
+      (fun (d : Domain.t) ->
+        if List.mem Frame_alloc.reserved_kernel_colour d.Domain.colours then
+          acc :=
+            v "disjoint-colours" "domain %d holds the kernel colour"
+              d.Domain.did
+            :: !acc)
+      doms;
+    let rec pairs = function
+      | [] -> ()
+      | (d : Domain.t) :: rest ->
+        List.iter
+          (fun (d' : Domain.t) ->
+            let common =
+              List.filter
+                (fun c -> List.mem c d'.Domain.colours)
+                d.Domain.colours
+            in
+            if common <> [] then
+              acc :=
+                v "disjoint-colours" "domains %d and %d share colour %d"
+                  d.Domain.did d'.Domain.did (List.hd common)
+                :: !acc)
+          rest;
+        pairs rest
+    in
+    pairs doms;
+    List.rev !acc
+  end
+
+let check_all k =
+  colour_partition k @ frame_ownership k @ tlb_consistency k
+  @ irq_partitioning k @ disjoint_domain_colours k
+
+let pp_violation ppf { invariant; detail } =
+  Format.fprintf ppf "[%s] %s" invariant detail

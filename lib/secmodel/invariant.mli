@@ -1,0 +1,39 @@
+(** Runtime partitioning invariants.
+
+    The paper reduces temporal isolation for partitionable state to a
+    *functional invariant about correct partitioning* that can be verified
+    without reference to time.  These are those invariants, checkable on
+    any reachable kernel state.  The verification harness evaluates them
+    after every kernel step; the proofs layer additionally samples them
+    under random workloads. *)
+
+open Tpro_kernel
+
+type violation = { invariant : string; detail : string }
+
+val colour_partition : Kernel.t -> violation list
+(** With colouring on: every valid LLC line owned by domain [d] sits in a
+    set of one of [d]'s colours; every kernel-owned (shared) line sits in
+    the reserved kernel colour. *)
+
+val frame_ownership : Kernel.t -> violation list
+(** Every frame mapped by a domain's page table is owned by that domain
+    and has one of its colours (colouring on); kernel image frames are
+    owned by the kernel or the cloning domain. *)
+
+val tlb_consistency : Kernel.t -> violation list
+(** Every TLB entry tagged with a domain's ASID agrees with that domain's
+    current page table (the Syeda & Klein-style consistency the Sect. 5.3
+    theorem is about). *)
+
+val irq_partitioning : Kernel.t -> violation list
+(** With IRQ partitioning on: every [Irq_handled] event so far was handled
+    while its owner domain was current. *)
+
+val disjoint_domain_colours : Kernel.t -> violation list
+(** With colouring on: domains' colour sets are pairwise disjoint and
+    exclude the reserved kernel colour. *)
+
+val check_all : Kernel.t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,62 @@
+type component =
+  | L1I
+  | L1D
+  | TLB
+  | Branch_predictor
+  | Prefetcher
+  | LLC
+  | Kernel_global_data
+  | Interconnect
+
+type classification = Flushable | Partitionable | Neither
+
+let all =
+  [ L1I; L1D; TLB; Branch_predictor; Prefetcher; LLC; Kernel_global_data;
+    Interconnect ]
+
+let classify = function
+  | L1I | L1D | TLB | Branch_predictor | Prefetcher -> Flushable
+  | LLC | Kernel_global_data -> Partitionable
+  | Interconnect -> Neither
+
+let in_scope = function
+  | Interconnect -> false
+  | L1I | L1D | TLB | Branch_predictor | Prefetcher | LLC
+  | Kernel_global_data ->
+    true
+
+let defence = function
+  | L1I | L1D | TLB | Branch_predictor | Prefetcher ->
+    "flush_on_switch + pad_switch (latency of the flush is itself hidden)"
+  | LLC -> "page colouring (colouring) + kernel_clone for kernel text"
+  | Kernel_global_data ->
+    "reserved kernel colour + deterministic access on every kernel entry"
+  | Interconnect ->
+    "out of scope: needs hardware bandwidth partitioning (e.g. strict TDMA)"
+
+let aisa_satisfied () =
+  List.for_all
+    (fun c ->
+      match classify c with
+      | Flushable | Partitionable -> true
+      | Neither -> not (in_scope c))
+    all
+
+let out_of_scope_components () = List.filter (fun c -> not (in_scope c)) all
+
+let name = function
+  | L1I -> "L1 I-cache"
+  | L1D -> "L1 D-cache"
+  | TLB -> "TLB"
+  | Branch_predictor -> "branch predictor"
+  | Prefetcher -> "prefetcher"
+  | LLC -> "last-level cache"
+  | Kernel_global_data -> "kernel global data"
+  | Interconnect -> "memory interconnect"
+
+let pp_component ppf c = Format.pp_print_string ppf (name c)
+
+let pp_classification ppf = function
+  | Flushable -> Format.pp_print_string ppf "flushable"
+  | Partitionable -> Format.pp_print_string ppf "partitionable"
+  | Neither -> Format.pp_print_string ppf "neither"

@@ -1,0 +1,48 @@
+(** The micro-architectural state taxonomy (Sect. 4.1 and 5.1).
+
+    The paper's key modelling requirement: the micro-architectural model
+    must delineate *partitionable* state from *flushable* state, and every
+    piece of state that influences execution time must be one or the other
+    (for in-scope channels).  The augmented ISA (aISA) contract holds when
+    this is true and the corresponding OS mechanism exists. *)
+
+type component =
+  | L1I
+  | L1D
+  | TLB
+  | Branch_predictor
+  | Prefetcher
+  | LLC
+  | Kernel_global_data
+  | Interconnect
+
+type classification =
+  | Flushable
+      (** core-private, time-multiplexed: reset on domain switch *)
+  | Partitionable
+      (** concurrently shared, spatially divisible: partition by colour or
+          reservation *)
+  | Neither
+      (** stateless bandwidth-shared: no OS defence exists (Sect. 2) *)
+
+val all : component list
+
+val classify : component -> classification
+
+val in_scope : component -> bool
+(** The paper explicitly excludes stateless interconnects from time
+    protection's scope. *)
+
+val defence : component -> string
+(** Which kernel mechanism handles this component. *)
+
+val aisa_satisfied : unit -> bool
+(** Every in-scope component is flushable or partitionable — the
+    hardware-software contract time protection requires. *)
+
+val out_of_scope_components : unit -> component list
+
+val name : component -> string
+
+val pp_component : Format.formatter -> component -> unit
+val pp_classification : Format.formatter -> classification -> unit

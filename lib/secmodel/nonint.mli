@@ -1,0 +1,54 @@
+(** Two-run noninterference checking (Sect. 5.2).
+
+    Time protection is phrased like storage-channel freedom: fix the Lo
+    domain's programs, vary only the Hi domain's secret, and require that
+    everything Lo can observe — its observation trace *and* the cycle cost
+    of each of its execution steps — is identical across runs.
+
+    [two_run] executes a scenario twice with different secrets and reports
+    every divergence, separated into the paper's proof cases:
+    - observation divergence: the top-level noninterference statement;
+    - user-step cost divergence: Case 1 (ordinary instructions);
+    - trap cost divergence: Case 2a (system calls, exceptions). *)
+
+open Tpro_kernel
+
+type run = {
+  kernel : Kernel.t;
+  observers : Thread.t list;  (** the Lo threads whose view matters *)
+}
+
+type divergence_report = {
+  obs : (int * Observation.divergence) option;
+      (** (observer index, divergence) in observation traces *)
+  user_costs : (int * int * int * int) option;
+      (** (observer, step index, left cycles, right cycles) over Case-1
+          steps *)
+  trap_costs : (int * int * int * int) option;
+      (** same over Case-2a steps *)
+}
+
+val secure : divergence_report -> bool
+
+val execute : ?max_steps:int -> (secret:int -> run) -> int -> run
+(** Build the scenario for one secret, enable cost tracing on the
+    observers, and run to quiescence. *)
+
+val two_run :
+  ?max_steps:int ->
+  build:(secret:int -> run) ->
+  secret1:int ->
+  secret2:int ->
+  unit ->
+  divergence_report
+
+val check_secrets :
+  ?max_steps:int ->
+  build:(secret:int -> run) ->
+  secrets:int list ->
+  unit ->
+  (int * int * divergence_report) list
+(** Compare every secret against the first one; returns the insecure
+    pairs (empty = noninterference holds on this sample). *)
+
+val pp_report : Format.formatter -> divergence_report -> unit

@@ -1,0 +1,56 @@
+open Tpro_kernel
+
+type t = Event.obs list
+
+type divergence = {
+  position : int;
+  left : Event.obs option;
+  right : Event.obs option;
+}
+
+let of_thread = Thread.observations
+
+let of_threads = List.map of_thread
+
+let equal a b = a = b
+
+let first_divergence a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' ->
+      if x = y then go (i + 1) a' b'
+      else Some { position = i; left = Some x; right = Some y }
+    | x :: _, [] -> Some { position = i; left = Some x; right = None }
+    | [], y :: _ -> Some { position = i; left = None; right = Some y }
+  in
+  go 0 a b
+
+let compare_many la lb =
+  if List.length la <> List.length lb then
+    invalid_arg "Observation.compare_many: trace count mismatch";
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | a :: la', b :: lb' -> (
+      match first_divergence a b with
+      | Some d -> Some (i, d)
+      | None -> go (i + 1) la' lb')
+    | _, _ -> assert false
+  in
+  go 0 la lb
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Event.pp_obs)
+    t
+
+let pp_opt ppf = function
+  | None -> Format.pp_print_string ppf "<end>"
+  | Some o -> Event.pp_obs ppf o
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "at #%d: %a vs %a" d.position pp_opt d.left pp_opt
+    d.right

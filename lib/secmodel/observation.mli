@@ -1,0 +1,32 @@
+(** Lo-observations and their comparison.
+
+    An observation trace is everything a user thread can see: its clock
+    readings, the latencies of its timed loads, and the messages it
+    received.  Noninterference compares the complete traces of the
+    observing (Lo) threads across two runs that differ only in another
+    domain's secret. *)
+
+open Tpro_kernel
+
+type t = Event.obs list
+
+type divergence = {
+  position : int;
+  left : Event.obs option;   (** [None] = trace ended early *)
+  right : Event.obs option;
+}
+
+val of_thread : Thread.t -> t
+
+val of_threads : Thread.t list -> t list
+
+val equal : t -> t -> bool
+
+val first_divergence : t -> t -> divergence option
+
+val compare_many : t list -> t list -> (int * divergence) option
+(** First (thread index, divergence) across paired traces; the lists must
+    have equal length. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_divergence : Format.formatter -> divergence -> unit

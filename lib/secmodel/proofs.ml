@@ -1,0 +1,223 @@
+open Tpro_kernel
+
+type check = {
+  name : string;
+  description : string;
+  holds : bool;
+  detail : string;
+}
+
+let cost_divergence_check ~name ~description ~select ?max_steps ~build ~secrets
+    () =
+  match secrets with
+  | [] -> { name; description; holds = true; detail = "no secrets sampled" }
+  | base :: rest ->
+    let failures =
+      List.filter_map
+        (fun s ->
+          let report =
+            Nonint.two_run ?max_steps ~build ~secret1:base ~secret2:s ()
+          in
+          match select report with
+          | Some (i, j, a, b) ->
+            Some
+              (Format.asprintf
+                 "secrets (%d,%d): thread %d step %d cost %d vs %d" base s i
+                 j a b)
+          | None -> None)
+        rest
+    in
+    (match failures with
+    | [] ->
+      {
+        name;
+        description;
+        holds = true;
+        detail =
+          Printf.sprintf "%d secret pairs compared, no divergence"
+            (List.length rest);
+      }
+    | d :: _ ->
+      {
+        name;
+        description;
+        holds = false;
+        detail =
+          Printf.sprintf "%d/%d pairs diverged; first: %s" (List.length failures)
+            (List.length rest) d;
+      })
+
+let case1_user_steps ?max_steps ~build ~secrets () =
+  cost_divergence_check ~name:"case-1"
+    ~description:
+      "user-mode instruction cost of Lo is independent of Hi's secret"
+    ~select:(fun r -> r.Nonint.user_costs)
+    ?max_steps ~build ~secrets ()
+
+let case2a_traps ?max_steps ~build ~secrets () =
+  cost_divergence_check ~name:"case-2a"
+    ~description:"trap cost of Lo is independent of Hi's secret"
+    ~select:(fun r -> r.Nonint.trap_costs)
+    ?max_steps ~build ~secrets ()
+
+let case2b_constant_switch kernel =
+  let name = "case-2b" in
+  let description =
+    "every padded domain switch ends exactly at slice_start + slice + pad"
+  in
+  let switches =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Event.Switch { from_dom; slice_start; finish; padded = true; overrun; _ }
+          ->
+          Some (from_dom, finish - slice_start, overrun)
+        | _ -> None)
+      (Kernel.events kernel)
+  in
+  if switches = [] then
+    { name; description; holds = true; detail = "no padded switches occurred" }
+  else begin
+    let overruns = List.filter (fun (_, _, o) -> o) switches in
+    let bad_slot =
+      List.find_opt
+        (fun (from_dom, slot, _) ->
+          let d = Kernel.domain kernel from_dom in
+          slot <> d.Domain.slice + d.Domain.pad_cycles)
+        switches
+    in
+    match (overruns, bad_slot) with
+    | [], None ->
+      {
+        name;
+        description;
+        holds = true;
+        detail =
+          Printf.sprintf "%d padded switches, all at their exact deadline"
+            (List.length switches);
+      }
+    | (d, slot, _) :: _, _ | _, Some (d, slot, _) ->
+      {
+        name;
+        description;
+        holds = false;
+        detail =
+          Printf.sprintf
+            "switch from domain %d took slot %d (expected slice+pad); %d overruns"
+            d slot (List.length overruns);
+      }
+  end
+
+let noninterference ?max_steps ~build ~secrets () =
+  let name = "noninterference" in
+  let description =
+    "Lo's complete observation trace is identical for every Hi secret"
+  in
+  match Nonint.check_secrets ?max_steps ~build ~secrets () with
+  | [] ->
+    {
+      name;
+      description;
+      holds = true;
+      detail =
+        Printf.sprintf "%d secrets compared, traces identical"
+          (List.length secrets);
+    }
+  | (s1, s2, report) :: _ as bad ->
+    {
+      name;
+      description;
+      holds = false;
+      detail =
+        Format.asprintf "%d insecure pairs; first (%d,%d): %a"
+          (List.length bad) s1 s2 Nonint.pp_report report;
+    }
+
+let invariants_throughout ?(max_steps = 200_000) ?(check_every = 50) ~build
+    ~secret () =
+  let name = "invariants" in
+  let description =
+    "partitioning invariants hold in every reachable state"
+  in
+  let run = build ~secret in
+  let k = run.Nonint.kernel in
+  let violations = ref [] in
+  let states_checked = ref 0 in
+  let check () =
+    incr states_checked;
+    match Invariant.check_all k with
+    | [] -> ()
+    | vs -> violations := vs @ !violations
+  in
+  check ();
+  let steps = ref 0 in
+  while !steps < max_steps && Kernel.step k do
+    incr steps;
+    if !steps mod check_every = 0 then check ()
+  done;
+  check ();
+  match !violations with
+  | [] ->
+    {
+      name;
+      description;
+      holds = true;
+      detail =
+        Printf.sprintf "%d states checked over %d steps, no violation"
+          !states_checked !steps;
+    }
+  | v :: _ ->
+    {
+      name;
+      description;
+      holds = false;
+      detail =
+        Format.asprintf "%d violations; first: %a" (List.length !violations)
+          Invariant.pp_violation v;
+    }
+
+let across_seeds ~seeds f =
+  match seeds with
+  | [] -> invalid_arg "Proofs.across_seeds: no seeds"
+  | first :: _ ->
+    let results = List.map (fun seed -> (seed, f ~seed)) seeds in
+    let template = snd (List.hd results) in
+    (match List.find_opt (fun (_, c) -> not c.holds) results with
+    | Some (seed, c) ->
+      {
+        c with
+        detail =
+          Printf.sprintf "failed under latency seed %d: %s" seed c.detail;
+      }
+    | None ->
+      ignore first;
+      {
+        template with
+        detail =
+          Printf.sprintf "holds for %d latency functions (%s)"
+            (List.length seeds) template.detail;
+      })
+
+let all ?max_steps ?(seeds = [ 0; 1; 2 ]) ~build ~secrets () =
+  let first_secret = match secrets with s :: _ -> s | [] -> 0 in
+  [
+    across_seeds ~seeds (fun ~seed ->
+        case1_user_steps ?max_steps ~build:(build ~seed) ~secrets ());
+    across_seeds ~seeds (fun ~seed ->
+        case2a_traps ?max_steps ~build:(build ~seed) ~secrets ());
+    across_seeds ~seeds (fun ~seed ->
+        let run =
+          Nonint.execute ?max_steps (build ~seed) first_secret
+        in
+        case2b_constant_switch run.Nonint.kernel);
+    across_seeds ~seeds (fun ~seed ->
+        noninterference ?max_steps ~build:(build ~seed) ~secrets ());
+    across_seeds ~seeds (fun ~seed ->
+        invariants_throughout ?max_steps ~build:(build ~seed)
+          ~secret:first_secret ());
+  ]
+
+let pp ppf c =
+  Format.fprintf ppf "%s %s: %s — %s"
+    (if c.holds then "[OK]  " else "[FAIL]")
+    c.name c.description c.detail

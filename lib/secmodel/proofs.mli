@@ -1,0 +1,77 @@
+(** Executable analogues of the paper's proof obligations (Sect. 5.2).
+
+    Where the paper proposes Isabelle proofs over an abstract hardware
+    model, this module provides machine-checked-by-execution counterparts
+    over the same abstraction: each obligation is an exhaustive check over
+    a sampled universe of programs, secrets and latency functions
+    (remember the time model is an *unspecified* deterministic function —
+    a claim must hold for every seed, so the checkers quantify over
+    seeds).  A [check] failing pinpoints a counter-example. *)
+
+open Tpro_kernel
+
+type check = {
+  name : string;
+  description : string;
+  holds : bool;
+  detail : string;  (** counter-example or summary statistics *)
+}
+
+val case1_user_steps :
+  ?max_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  check
+(** Case 1: the cycle cost of every ordinary user-mode instruction
+    executed by Lo is independent of Hi's secret. *)
+
+val case2a_traps :
+  ?max_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  check
+(** Case 2a: the cycle cost of every Lo trap (system call, fault) is
+    independent of Hi's secret. *)
+
+val case2b_constant_switch : Kernel.t -> check
+(** Case 2b: every padded domain switch completed exactly at
+    [slice_start + slice + pad] of the switched-from domain, with no
+    overruns.  Evaluated on a completed run's event trace. *)
+
+val noninterference :
+  ?max_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  check
+(** The top-level property: Lo's complete observation traces agree across
+    all secrets. *)
+
+val invariants_throughout :
+  ?max_steps:int ->
+  ?check_every:int ->
+  build:(secret:int -> Nonint.run) ->
+  secret:int ->
+  unit ->
+  check
+(** Partitioning invariants hold in every reachable state of a run
+    (sampled every [check_every] steps, default 50, and at quiescence). *)
+
+val across_seeds :
+  seeds:int list -> (seed:int -> check) -> check
+(** Conjunction of a check over several latency-function seeds; the
+    paper's "deterministic yet unspecified" quantification. *)
+
+val all :
+  ?max_steps:int ->
+  ?seeds:int list ->
+  build:(seed:int -> secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  check list
+(** The full proof stack: Cases 1, 2a, 2b, top-level noninterference and
+    the partitioning invariants, each quantified over latency seeds. *)
+
+val pp : Format.formatter -> check -> unit

@@ -1,0 +1,43 @@
+open Tpro_hw
+
+type page_table = (int, int) Hashtbl.t
+
+type op = Map of { vpn : int; pfn : int } | Unmap of int | Touch of int | Flush_asid
+
+let apply ?(invalidate_on_update = true) tlb ~asid pt op =
+  match op with
+  | Map { vpn; pfn } ->
+    Hashtbl.replace pt vpn pfn;
+    if invalidate_on_update then Tlb.invalidate tlb ~asid ~vpn
+  | Unmap vpn ->
+    Hashtbl.remove pt vpn;
+    if invalidate_on_update then Tlb.invalidate tlb ~asid ~vpn
+  | Touch vpn -> (
+    match Tlb.lookup tlb ~asid ~vpn with
+    | Some _ -> ()
+    | None -> (
+      match Hashtbl.find_opt pt vpn with
+      | Some pfn -> Tlb.insert tlb ~asid ~vpn ~pfn
+      | None -> () (* fault; nothing cached *)))
+  | Flush_asid -> ignore (Tlb.flush_asid tlb asid)
+
+let consistent tlb ~asid pt =
+  List.for_all
+    (fun (e : Tlb.entry) ->
+      e.Tlb.global || e.Tlb.asid <> asid
+      || Hashtbl.find_opt pt e.Tlb.vpn = Some e.Tlb.pfn)
+    (Tlb.entries tlb)
+
+let partition_preserved tlb ~actor_asid ~ops ~actor_pt ~other_asid ~other_pt =
+  ignore actor_pt;
+  List.for_all
+    (fun op ->
+      apply tlb ~asid:actor_asid actor_pt op;
+      consistent tlb ~asid:other_asid other_pt)
+    ops
+
+let pp_op ppf = function
+  | Map { vpn; pfn } -> Format.fprintf ppf "map %d -> %d" vpn pfn
+  | Unmap vpn -> Format.fprintf ppf "unmap %d" vpn
+  | Touch vpn -> Format.fprintf ppf "touch %d" vpn
+  | Flush_asid -> Format.pp_print_string ppf "flush-asid"

@@ -1,0 +1,48 @@
+(** The Sect. 5.3 TLB partitioning theorem, after Syeda & Klein (ITP'18).
+
+    The paper cites a functional-correctness logic for an ARM-style TLB in
+    which it is "easy to show that page-table modifications under one ASID
+    do not affect TLB consistency for any other ASID", and proposes the
+    same abstraction style for timing.  This module states that theorem
+    over our TLB model and checks it by executing operation sequences:
+
+    [consistent tlb asid pt] — no TLB entry tagged [asid] contradicts the
+    page table [pt].
+
+    Theorem: for any sequence of address-space operations performed under
+    ASID [a] (with the required hardware invalidations), consistency for
+    any other ASID [b] is preserved.  The flip side is also exposed: a
+    *faulty* OS that remaps without invalidating breaks consistency for
+    its own ASID — but still not for others. *)
+
+open Tpro_hw
+
+type page_table = (int, int) Hashtbl.t
+
+type op =
+  | Map of { vpn : int; pfn : int }     (** create or change a mapping *)
+  | Unmap of int
+  | Touch of int
+      (** access a page: TLB lookup, page walk + refill on miss *)
+  | Flush_asid                           (** invalidate own entries *)
+
+val apply :
+  ?invalidate_on_update:bool ->
+  Tlb.t ->
+  asid:int ->
+  page_table ->
+  op ->
+  unit
+(** Perform one operation under [asid], maintaining the hardware
+    discipline ([invalidate_on_update] defaults to [true]; pass [false] to
+    model a buggy OS that skips the invalidation). *)
+
+val consistent : Tlb.t -> asid:int -> page_table -> bool
+
+val partition_preserved :
+  Tlb.t -> actor_asid:int -> ops:op list -> actor_pt:page_table ->
+  other_asid:int -> other_pt:page_table -> bool
+(** Run [ops] under [actor_asid] and report whether consistency for
+    [other_asid] held after every single operation. *)
+
+val pp_op : Format.formatter -> op -> unit

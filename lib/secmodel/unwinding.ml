@@ -1,0 +1,147 @@
+open Tpro_hw
+open Tpro_kernel
+
+type divergence = { lo_step : int; component : string }
+
+let hash_int64s = List.fold_left Rng.combine 0x11L
+
+let obs_code = function
+  | Event.Clock c -> Int64.of_int ((c lsl 2) lor 1)
+  | Event.Latency l -> Int64.of_int ((l lsl 2) lor 2)
+  | Event.Recv m -> Int64.of_int ((m lsl 2) lor 3)
+
+let state_code = function
+  | Thread.Ready -> 0
+  | Thread.Blocked_send ep -> 4 + (ep lsl 2)
+  | Thread.Blocked_recv ep -> 5 + (ep lsl 2)
+  | Thread.Halted -> 2
+
+let lo_view k ~lo_dom =
+  let dom = Kernel.domain k lo_dom in
+  let m = Kernel.machine k in
+  let core = dom.Domain.core in
+  let threads =
+    hash_int64s
+      (List.map
+         (fun th ->
+           Int64.of_int
+             ((th.Thread.pc lsl 16)
+             lxor (state_code th.Thread.state lsl 4)
+             lxor th.Thread.msg))
+         (Domain.threads dom))
+  in
+  let observations =
+    hash_int64s
+      (List.concat_map
+         (fun th -> List.map obs_code (Thread.observations th))
+         (Domain.threads dom))
+  in
+  let llc = Machine.llc m in
+  let geom = Cache.geom llc in
+  let page_bits = Kernel.page_bits k in
+  let partition = ref 0x22L in
+  for set = 0 to geom.Cache.sets - 1 do
+    if List.mem (Cache.colour_of_set geom ~page_bits set) dom.Domain.colours
+    then partition := Rng.combine !partition (Cache.digest_set llc set)
+  done;
+  [
+    ("lo-threads", threads);
+    ("lo-observations", observations);
+    ("llc-partition", !partition);
+    ("core-private", Machine.digest_core m ~core);
+    ("clock", Int64.of_int (Machine.now m ~core));
+  ]
+
+let lo_count (run : Nonint.run) =
+  List.fold_left
+    (fun acc th -> acc + List.length (Thread.cost_trace th))
+    0 run.Nonint.observers
+
+(* Advance one run until Lo has completed [target] instructions; [false]
+   if the system quiesced first. *)
+let advance (run : Nonint.run) ~target =
+  let rec go () =
+    if lo_count run >= target then true
+    else if Kernel.step run.Nonint.kernel then go ()
+    else false
+  in
+  go ()
+
+let prepare build secret =
+  let run = build ~secret in
+  List.iter (fun th -> Thread.set_traced th true) run.Nonint.observers;
+  run
+
+let check_pair ?(max_lo_steps = 20_000) ~build ~secret1 ~secret2 () =
+  let a = prepare build secret1 in
+  let b = prepare build secret2 in
+  let lo_dom =
+    match a.Nonint.observers with
+    | th :: _ -> th.Thread.dom
+    | [] -> invalid_arg "Unwinding.check_pair: no observers"
+  in
+  let rec go k =
+    if k > max_lo_steps then None
+    else begin
+      let a_live = advance a ~target:k in
+      let b_live = advance b ~target:k in
+      if a_live <> b_live then
+        Some { lo_step = k; component = "lo-progress" }
+      else if not a_live then None
+      else begin
+        let va = lo_view a.Nonint.kernel ~lo_dom in
+        let vb = lo_view b.Nonint.kernel ~lo_dom in
+        match
+          List.find_opt
+            (fun ((na, da), (nb, db)) ->
+              assert (na = nb);
+              da <> db)
+            (List.combine va vb)
+        with
+        | Some ((name, _), _) -> Some { lo_step = k; component = name }
+        | None -> go (k + 1)
+      end
+    end
+  in
+  go 1
+
+let check ?max_lo_steps ~build ~secrets () =
+  let name = "unwinding" in
+  let description =
+    "Lo's complete state view is preserved at every Lo instruction \
+     boundary (state-level unwinding relation)"
+  in
+  match secrets with
+  | [] ->
+    { Proofs.name; description; holds = true; detail = "no secrets sampled" }
+  | base :: rest -> (
+    let failures =
+      List.filter_map
+        (fun s ->
+          match check_pair ?max_lo_steps ~build ~secret1:base ~secret2:s () with
+          | Some d ->
+            Some
+              (Printf.sprintf "secrets (%d,%d): %s differs at Lo step %d"
+                 base s d.component d.lo_step)
+          | None -> None)
+        rest
+    in
+    match failures with
+    | [] ->
+      {
+        Proofs.name;
+        description;
+        holds = true;
+        detail =
+          Printf.sprintf "%d secret pairs, Lo-equivalence preserved stepwise"
+            (List.length rest);
+      }
+    | d :: _ ->
+      {
+        Proofs.name;
+        description;
+        holds = false;
+        detail =
+          Printf.sprintf "%d/%d pairs broke the relation; first: %s"
+            (List.length failures) (List.length rest) d;
+      })

@@ -1,0 +1,51 @@
+(** State-level unwinding (after Murray et al., CPP 2012).
+
+    The paper proposes phrasing time protection "akin to storage-channel
+    freedom via a suitable noninterference property"; the workhorse of
+    such proofs is an *unwinding relation*: if two system states are
+    Lo-equivalent, they remain Lo-equivalent after every step.  This
+    module checks the relation along paired executions: the two runs
+    (differing only in Hi's secret) are advanced in lockstep to each
+    successive Lo instruction boundary, and at every boundary *Lo's
+    entire view of the machine state* — not merely its observations — is
+    compared:
+
+    - Lo's thread states (program counters, run states, messages);
+    - Lo's observation trace so far;
+    - the contents of every LLC set in Lo's cache partition;
+    - all core-private micro-architectural state (valid at a Lo boundary,
+      where Lo is current on the core);
+    - the core's cycle counter.
+
+    This is strictly stronger than comparing final observations: a
+    divergence is caught at the first *state* difference, even if no
+    observation has (yet) revealed it, and the report names the state
+    component that broke. *)
+
+open Tpro_kernel
+
+type divergence = {
+  lo_step : int;        (** Lo instruction boundary index *)
+  component : string;   (** which part of Lo's view differs *)
+}
+
+val lo_view : Kernel.t -> lo_dom:int -> (string * int64) list
+(** Digest of each component of Lo's view of the current state. *)
+
+val check_pair :
+  ?max_lo_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secret1:int ->
+  secret2:int ->
+  unit ->
+  divergence option
+(** Lockstep comparison; [None] means the unwinding relation held at
+    every Lo boundary reached by both runs. *)
+
+val check :
+  ?max_lo_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  Proofs.check
+(** All secrets against the first, as a proof obligation. *)

@@ -1,0 +1,194 @@
+open Tpro_hw
+
+let small = Cache.geometry ~sets:4 ~ways:2 ~line_bits:6 ()
+
+let addr ~set ~tag ~geom:_ = (tag lsl (6 + 2)) lor (set lsl 6)
+(* 4 sets, 64B lines: set bits are [7:6], tag above. *)
+
+let test_geometry_validation () =
+  Alcotest.check_raises "sets must be power of two"
+    (Invalid_argument "Cache.geometry: sets must be a power of two") (fun () ->
+      ignore (Cache.geometry ~sets:3 ()));
+  Alcotest.check_raises "ways positive"
+    (Invalid_argument "Cache.geometry: ways must be positive") (fun () ->
+      ignore (Cache.geometry ~ways:0 ()))
+
+let test_miss_then_hit () =
+  let c = Cache.create small in
+  (match Cache.access c ~owner:1 ~write:false 0x1000 with
+  | Cache.Miss None -> ()
+  | Cache.Miss (Some _) | Cache.Hit -> Alcotest.fail "expected cold miss");
+  match Cache.access c ~owner:1 ~write:false 0x1000 with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "expected hit"
+
+let test_same_line_hits () =
+  let c = Cache.create small in
+  ignore (Cache.access c ~owner:1 ~write:false 0x1000);
+  (* same 64-byte line, different offset *)
+  match Cache.access c ~owner:1 ~write:false 0x103F with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "same line should hit"
+
+let test_lru_eviction () =
+  let c = Cache.create small in
+  let a0 = addr ~set:1 ~tag:10 ~geom:small in
+  let a1 = addr ~set:1 ~tag:11 ~geom:small in
+  let a2 = addr ~set:1 ~tag:12 ~geom:small in
+  ignore (Cache.access c ~owner:1 ~write:false a0);
+  ignore (Cache.access c ~owner:1 ~write:false a1);
+  (* touch a0 so a1 becomes LRU *)
+  ignore (Cache.access c ~owner:1 ~write:false a0);
+  (match Cache.access c ~owner:1 ~write:false a2 with
+  | Cache.Miss (Some { Cache.tag; _ }) ->
+    Alcotest.(check int) "evicted LRU tag" 11 tag
+  | Cache.Miss None | Cache.Hit -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "a0 still present" true (Cache.probe c a0);
+  Alcotest.(check bool) "a1 evicted" false (Cache.probe c a1)
+
+let test_write_sets_dirty () =
+  let c = Cache.create small in
+  ignore (Cache.access c ~owner:1 ~write:true 0x1000);
+  Alcotest.(check int) "one dirty line" 1 (Cache.dirty_count c);
+  ignore (Cache.access c ~owner:1 ~write:false 0x2000);
+  Alcotest.(check int) "read does not dirty" 1 (Cache.dirty_count c)
+
+let test_dirty_eviction_reported () =
+  let c = Cache.create small in
+  let a0 = addr ~set:2 ~tag:1 ~geom:small in
+  let a1 = addr ~set:2 ~tag:2 ~geom:small in
+  let a2 = addr ~set:2 ~tag:3 ~geom:small in
+  ignore (Cache.access c ~owner:1 ~write:true a0);
+  ignore (Cache.access c ~owner:1 ~write:false a1);
+  match Cache.access c ~owner:1 ~write:false a2 with
+  | Cache.Miss (Some { Cache.dirty; owner; _ }) ->
+    Alcotest.(check bool) "victim dirty" true dirty;
+    Alcotest.(check int) "victim owner" 1 owner
+  | Cache.Miss None | Cache.Hit -> Alcotest.fail "expected dirty eviction"
+
+let test_flush_counts_dirty () =
+  let c = Cache.create small in
+  (* distinct sets so nothing is evicted before the flush *)
+  ignore (Cache.access c ~owner:1 ~write:true 0x1000);
+  ignore (Cache.access c ~owner:1 ~write:true 0x1040);
+  ignore (Cache.access c ~owner:1 ~write:false 0x1080);
+  Alcotest.(check int) "flush returns dirty count" 2 (Cache.flush c);
+  Alcotest.(check int) "empty after flush" 0 (Cache.valid_count c);
+  Alcotest.(check bool) "probe misses after flush" false (Cache.probe c 0x1000)
+
+let test_probe_no_side_effect () =
+  let c = Cache.create small in
+  ignore (Cache.access c ~owner:1 ~write:false 0x1000);
+  let d0 = Cache.digest c in
+  ignore (Cache.probe c 0x1000);
+  ignore (Cache.probe c 0x9999);
+  Alcotest.(check int64) "probe does not change state" d0 (Cache.digest c)
+
+let test_owner_tracking () =
+  let c = Cache.create small in
+  ignore (Cache.access c ~owner:3 ~write:false 0x1000);
+  (match Cache.owner_of c 0x1000 with
+  | Some o -> Alcotest.(check int) "owner" 3 o
+  | None -> Alcotest.fail "line should be present");
+  Alcotest.(check (option int)) "absent line" None (Cache.owner_of c 0x8000)
+
+let test_colours () =
+  (* 1024 sets x 64B lines = 64 KiB span; 4 KiB pages -> 16 colours *)
+  let g = Cache.geometry ~sets:1024 ~ways:8 ~line_bits:6 () in
+  Alcotest.(check int) "colour count" 16 (Cache.n_colours g ~page_bits:12);
+  Alcotest.(check int) "colour of paddr 0" 0
+    (Cache.colour_of_paddr g ~page_bits:12 0);
+  Alcotest.(check int) "colour wraps"
+    (Cache.colour_of_paddr g ~page_bits:12 (16 * 4096))
+    (Cache.colour_of_paddr g ~page_bits:12 0);
+  Alcotest.(check int) "adjacent pages differ" 1
+    (Cache.colour_of_paddr g ~page_bits:12 4096)
+
+let test_colour_of_set_consistent () =
+  let g = Cache.geometry ~sets:1024 ~ways:8 ~line_bits:6 () in
+  let c = Cache.create g in
+  (* every line of a page must land in sets of the page's colour *)
+  let page = 5 in
+  let colour = Cache.colour_of_paddr g ~page_bits:12 (page * 4096) in
+  for line = 0 to 63 do
+    let pa = (page * 4096) + (line * 64) in
+    let set = Cache.set_of_paddr c pa in
+    Alcotest.(check int)
+      (Printf.sprintf "line %d colour" line)
+      colour
+      (Cache.colour_of_set g ~page_bits:12 set)
+  done
+
+let test_l1_single_colour () =
+  (* 64 sets x 64B = 4 KiB span = exactly one colour: L1 is unpartitionable *)
+  let g = Cache.geometry ~sets:64 ~ways:4 ~line_bits:6 () in
+  Alcotest.(check int) "L1 has one colour" 1 (Cache.n_colours g ~page_bits:12)
+
+let test_digest_set_sensitivity () =
+  let c = Cache.create small in
+  let d0 = Cache.digest_set c 1 in
+  ignore (Cache.access c ~owner:1 ~write:false (addr ~set:1 ~tag:7 ~geom:small));
+  Alcotest.(check bool) "digest changes on fill" true (d0 <> Cache.digest_set c 1);
+  let d1 = Cache.digest_set c 0 in
+  Alcotest.(check bool) "other set unaffected" true (d1 = Cache.digest_set c 0)
+
+let test_digest_ignores_recency () =
+  let c = Cache.create small in
+  let a0 = addr ~set:1 ~tag:1 ~geom:small in
+  let a1 = addr ~set:1 ~tag:2 ~geom:small in
+  ignore (Cache.access c ~owner:1 ~write:false a0);
+  ignore (Cache.access c ~owner:1 ~write:false a1);
+  let d = Cache.digest_set c 1 in
+  ignore (Cache.access c ~owner:1 ~write:false a0);
+  Alcotest.(check int64) "re-touch does not change digest" d (Cache.digest_set c 1)
+
+let test_iter_lines () =
+  let c = Cache.create small in
+  ignore (Cache.access c ~owner:1 ~write:true 0x1000);
+  ignore (Cache.access c ~owner:2 ~write:false 0x2000);
+  let n = ref 0 and owners = ref [] in
+  Cache.iter_lines c (fun ~set:_ ~way:_ ~tag:_ ~dirty:_ ~owner ->
+      incr n;
+      owners := owner :: !owners);
+  Alcotest.(check int) "two valid lines" 2 !n;
+  Alcotest.(check bool) "owners recorded" true
+    (List.mem 1 !owners && List.mem 2 !owners)
+
+let prop_valid_count_bounded =
+  QCheck.Test.make ~name:"valid_count never exceeds capacity" ~count:200
+    QCheck.(list (int_bound 0xFFFF))
+    (fun addrs ->
+      let c = Cache.create small in
+      List.iter (fun a -> ignore (Cache.access c ~owner:0 ~write:false a)) addrs;
+      Cache.valid_count c <= 8)
+
+let prop_probe_after_access =
+  QCheck.Test.make ~name:"an address just accessed always probes as hit"
+    ~count:200
+    QCheck.(pair (int_bound 0xFFFF) (list (int_bound 0xFFFF)))
+    (fun (a, addrs) ->
+      let c = Cache.create small in
+      List.iter (fun x -> ignore (Cache.access c ~owner:0 ~write:false x)) addrs;
+      ignore (Cache.access c ~owner:0 ~write:false a);
+      Cache.probe c a)
+
+let suite =
+  [
+    Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+    Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+    Alcotest.test_case "same line hits" `Quick test_same_line_hits;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "write sets dirty" `Quick test_write_sets_dirty;
+    Alcotest.test_case "dirty eviction reported" `Quick test_dirty_eviction_reported;
+    Alcotest.test_case "flush counts dirty" `Quick test_flush_counts_dirty;
+    Alcotest.test_case "probe has no side effect" `Quick test_probe_no_side_effect;
+    Alcotest.test_case "owner tracking" `Quick test_owner_tracking;
+    Alcotest.test_case "colour arithmetic" `Quick test_colours;
+    Alcotest.test_case "colour_of_set consistent" `Quick test_colour_of_set_consistent;
+    Alcotest.test_case "L1 has a single colour" `Quick test_l1_single_colour;
+    Alcotest.test_case "digest set sensitivity" `Quick test_digest_set_sensitivity;
+    Alcotest.test_case "digest ignores recency" `Quick test_digest_ignores_recency;
+    Alcotest.test_case "iter_lines" `Quick test_iter_lines;
+    QCheck_alcotest.to_alcotest prop_valid_count_bounded;
+    QCheck_alcotest.to_alcotest prop_probe_after_access;
+  ]

@@ -1,0 +1,133 @@
+open Tpro_channel
+open Time_protection
+
+(* Channel-capacity regression tests: each attack must work without its
+   defence and die with it.  Small seed counts keep them fast; the
+   capacities here are the headline numbers of EXPERIMENTS.md. *)
+
+let seeds = [ 0; 1; 2 ]
+
+let capacity scen cfg =
+  (Attack.measure ~seeds scen ~cfg ()).Attack.capacity_bits
+
+let open_ c = c > 0.5
+let closed c = c < 0.01
+
+let test_l1_channel () =
+  let scen = Cache_channel.l1_scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "closed by flush+pad" true
+    (closed (capacity scen Presets.flush_pad));
+  Alcotest.(check bool) "colouring alone cannot close it" true
+    (open_ (capacity scen Presets.colour_only))
+
+let test_llc_channel () =
+  let scen = Cache_channel.llc_scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "flushing does not close a shared cache" true
+    (open_ (capacity scen Presets.flush_pad));
+  Alcotest.(check bool) "closed by colouring" true
+    (closed (capacity scen Presets.colour_only));
+  Alcotest.(check bool) "closed under full TP" true
+    (closed (capacity scen Presets.full))
+
+let test_kernel_text_channel () =
+  let scen = Kernel_text.scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "survives everything but the clone" true
+    (open_ (capacity scen Presets.without_clone));
+  Alcotest.(check bool) "closed by kernel clone" true
+    (closed (capacity scen Presets.full))
+
+let test_irq_channel () =
+  let scen = Irq_channel.scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "survives everything but partitioning" true
+    (open_ (capacity scen Presets.without_irq_partitioning));
+  Alcotest.(check bool) "closed by IRQ partitioning" true
+    (closed (capacity scen Presets.full))
+
+let test_downgrader_channel () =
+  let scen = Downgrader.scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "closed by deterministic delivery" true
+    (closed (capacity scen Presets.full));
+  Alcotest.(check bool) "closed by app-level WCET padding" true
+    (closed (capacity (Downgrader.padded_scenario ()) Presets.none))
+
+let test_tlb_channel () =
+  let scen = Tlb_channel.scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "ASID tagging alone leaks" true
+    (open_ (capacity scen Presets.without_flush));
+  Alcotest.(check bool) "closed by flushing" true
+    (closed (capacity scen Presets.full))
+
+let test_bp_channel () =
+  let scen = Bp_channel.scenario () in
+  Alcotest.(check bool) "open without TP" true (open_ (capacity scen Presets.none));
+  Alcotest.(check bool) "survives everything but the flush" true
+    (open_ (capacity scen Presets.without_flush));
+  Alcotest.(check bool) "closed by flushing" true
+    (closed (capacity scen Presets.full))
+
+let test_interconnect_channel () =
+  let shared = Interconnect_channel.scenario ~bus:Interconnect_channel.shared_bus () in
+  let tdma = Interconnect_channel.scenario ~bus:Interconnect_channel.tdma_bus () in
+  Alcotest.(check bool) "open under FULL time protection (the scope limit)" true
+    (open_ (capacity shared Presets.full));
+  Alcotest.(check bool) "closed by hardware TDMA" true
+    (closed (capacity tdma Presets.full))
+
+let test_trial_determinism () =
+  let scen = Cache_channel.l1_scenario () in
+  let a = Attack.run_trial scen ~cfg:Presets.none ~seed:3 ~secret:5 in
+  let b = Attack.run_trial scen ~cfg:Presets.none ~seed:3 ~secret:5 in
+  Alcotest.(check int) "trials are reproducible" a b
+
+let test_outcome_fields () =
+  let o = Attack.measure ~seeds:[ 0 ] (Kernel_text.scenario ()) ~cfg:Presets.none () in
+  Alcotest.(check int) "sample count = symbols x seeds" 2
+    (List.length o.Attack.samples);
+  Alcotest.(check bool) "matrix builds" true
+    (Matrix.n_inputs (Attack.matrix o) = 2)
+
+(* Calibration helpers *)
+
+let test_calibration () =
+  let open Tpro_kernel in
+  let k =
+    Kernel.create
+      ~machine_config:(Cache_channel.llc_machine ~seed:0)
+      Kernel.config_none
+  in
+  let d = Kernel.create_domain k ~slice:1000 ~pad_cycles:0 () in
+  Kernel.map_region k d ~vbase:0x20000000 ~pages:8;
+  (* without colouring the 8 pages cover ascending frames: two of each of
+     the 4 colours *)
+  let pages =
+    Calibrate.pages_of_colour k d ~vbase:0x20000000 ~pages:8 ~colour:2
+  in
+  Alcotest.(check int) "two pages of colour 2" 2 (List.length pages);
+  let picked =
+    Calibrate.pick_colour_pages k d ~vbase:0x20000000 ~pages:8 ~colour:2
+      ~want:4
+  in
+  Alcotest.(check int) "padded to want" 4 (List.length picked);
+  Alcotest.(check (option int)) "unmapped vaddr has no colour" None
+    (Calibrate.colour_of_vaddr k d 0x66600000)
+
+let suite =
+  [
+    Alcotest.test_case "L1 channel" `Slow test_l1_channel;
+    Alcotest.test_case "LLC channel" `Slow test_llc_channel;
+    Alcotest.test_case "kernel-text channel" `Slow test_kernel_text_channel;
+    Alcotest.test_case "irq channel" `Slow test_irq_channel;
+    Alcotest.test_case "downgrader channel" `Slow test_downgrader_channel;
+    Alcotest.test_case "TLB channel" `Slow test_tlb_channel;
+    Alcotest.test_case "branch-predictor channel" `Slow test_bp_channel;
+    Alcotest.test_case "interconnect channel" `Slow test_interconnect_channel;
+    Alcotest.test_case "trial determinism" `Quick test_trial_determinism;
+    Alcotest.test_case "outcome fields" `Quick test_outcome_fields;
+    Alcotest.test_case "calibration" `Quick test_calibration;
+  ]

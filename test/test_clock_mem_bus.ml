@@ -1,0 +1,144 @@
+open Tpro_hw
+
+(* ------------------------- Clock ---------------------------------- *)
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.now c);
+  Clock.advance c 10;
+  Clock.advance c 5;
+  Alcotest.(check int) "accumulates" 15 (Clock.now c)
+
+let test_clock_wait_until () =
+  let c = Clock.create () in
+  Clock.advance c 10;
+  Alcotest.(check int) "waits forward" 20 (Clock.wait_until c 30);
+  Alcotest.(check int) "now at deadline" 30 (Clock.now c);
+  Alcotest.(check int) "past deadline waits zero" 0 (Clock.wait_until c 5);
+  Alcotest.(check int) "clock unchanged" 30 (Clock.now c)
+
+let test_clock_negative () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Clock.advance: negative cycles") (fun () ->
+      Clock.advance c (-1))
+
+(* ------------------------- Mem ------------------------------------ *)
+
+let test_mem_ownership () =
+  let m = Mem.create ~n_frames:8 () in
+  Alcotest.(check int) "frames" 8 (Mem.n_frames m);
+  Alcotest.(check int) "free initially" Mem.free_owner (Mem.owner_of_frame m 3);
+  Mem.set_owner m ~frame:3 ~owner:7;
+  Alcotest.(check int) "owner set" 7 (Mem.owner_of_frame m 3);
+  Alcotest.(check (list int)) "frames_owned_by" [ 3 ] (Mem.frames_owned_by m 7)
+
+let test_mem_addresses () =
+  let m = Mem.create ~n_frames:8 () in
+  Alcotest.(check int) "paddr of frame" (5 * 4096) (Mem.paddr_of_frame m 5);
+  Alcotest.(check int) "frame of paddr" 5 (Mem.frame_of_paddr m (5 * 4096 + 123))
+
+let test_mem_bounds () =
+  let m = Mem.create ~n_frames:8 () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Mem: frame out of range")
+    (fun () -> ignore (Mem.owner_of_frame m 8))
+
+(* ------------------------- Interconnect --------------------------- *)
+
+let test_bus_uncontended () =
+  let b = Interconnect.create ~service:8 () in
+  Alcotest.(check int) "service only" 8 (Interconnect.request b ~domain:0 ~now:100)
+
+let test_bus_contention () =
+  let b = Interconnect.create ~service:8 () in
+  ignore (Interconnect.request b ~domain:0 ~now:100);
+  (* second request at the same instant queues behind the first *)
+  Alcotest.(check int) "queued" 16 (Interconnect.request b ~domain:1 ~now:100)
+
+let test_bus_drains () =
+  let b = Interconnect.create ~service:8 () in
+  ignore (Interconnect.request b ~domain:0 ~now:100);
+  Alcotest.(check int) "later request sees idle bus" 8
+    (Interconnect.request b ~domain:1 ~now:200)
+
+let test_bus_cross_domain_leak () =
+  (* the stateless-interconnect channel (Sect. 2): domain 1's latency
+     depends on domain 0's concurrent traffic *)
+  let quiet = Interconnect.create ~service:8 () in
+  let busy = Interconnect.create ~service:8 () in
+  for i = 0 to 9 do
+    ignore (Interconnect.request busy ~domain:0 ~now:(100 + i))
+  done;
+  let l_quiet = Interconnect.request quiet ~domain:1 ~now:105 in
+  let l_busy = Interconnect.request busy ~domain:1 ~now:105 in
+  Alcotest.(check bool) "contention visible across domains" true
+    (l_busy > l_quiet)
+
+let test_bus_partitioned_isolation () =
+  (* under TDMA partitioning the same experiment shows nothing *)
+  let mk () =
+    Interconnect.create ~service:4
+      ~mode:(Interconnect.Partitioned { slot = 16; n_domains = 2 })
+      ()
+  in
+  let quiet = mk () and busy = mk () in
+  for i = 0 to 9 do
+    ignore (Interconnect.request busy ~domain:0 ~now:(100 + i))
+  done;
+  let l_quiet = Interconnect.request quiet ~domain:1 ~now:105 in
+  let l_busy = Interconnect.request busy ~domain:1 ~now:105 in
+  Alcotest.(check int) "no cross-domain influence" l_quiet l_busy
+
+let test_bus_reset () =
+  let b = Interconnect.create ~service:8 () in
+  ignore (Interconnect.request b ~domain:0 ~now:0);
+  Interconnect.reset b;
+  Alcotest.(check int) "idle after reset" 8 (Interconnect.request b ~domain:0 ~now:0)
+
+(* ------------------------- Latency -------------------------------- *)
+
+let test_jitter_deterministic () =
+  let l = Latency.default in
+  Alcotest.(check int) "same digest same jitter" (Latency.jitter l 42L)
+    (Latency.jitter l 42L)
+
+let test_jitter_bounded () =
+  let l = Latency.default in
+  for i = 0 to 1000 do
+    let j = Latency.jitter l (Int64.of_int i) in
+    Alcotest.(check bool) "within magnitude" true (j >= 0 && j <= l.Latency.jitter_mag)
+  done
+
+let test_jitter_seed_dependent () =
+  let l1 = Latency.with_seed Latency.default 1 in
+  let l2 = Latency.with_seed Latency.default 2 in
+  let differs = ref false in
+  for i = 0 to 100 do
+    if Latency.jitter l1 (Int64.of_int i) <> Latency.jitter l2 (Int64.of_int i)
+    then differs := true
+  done;
+  Alcotest.(check bool) "different seeds give different functions" true !differs
+
+let test_jitter_zero_mag () =
+  let l = { Latency.default with Latency.jitter_mag = 0 } in
+  Alcotest.(check int) "no jitter when disabled" 0 (Latency.jitter l 99L)
+
+let suite =
+  [
+    Alcotest.test_case "clock advance" `Quick test_clock_advance;
+    Alcotest.test_case "clock wait_until" `Quick test_clock_wait_until;
+    Alcotest.test_case "clock negative" `Quick test_clock_negative;
+    Alcotest.test_case "mem ownership" `Quick test_mem_ownership;
+    Alcotest.test_case "mem addresses" `Quick test_mem_addresses;
+    Alcotest.test_case "mem bounds" `Quick test_mem_bounds;
+    Alcotest.test_case "bus uncontended" `Quick test_bus_uncontended;
+    Alcotest.test_case "bus contention" `Quick test_bus_contention;
+    Alcotest.test_case "bus drains" `Quick test_bus_drains;
+    Alcotest.test_case "bus cross-domain leak" `Quick test_bus_cross_domain_leak;
+    Alcotest.test_case "bus TDMA isolation" `Quick test_bus_partitioned_isolation;
+    Alcotest.test_case "bus reset" `Quick test_bus_reset;
+    Alcotest.test_case "jitter deterministic" `Quick test_jitter_deterministic;
+    Alcotest.test_case "jitter bounded" `Quick test_jitter_bounded;
+    Alcotest.test_case "jitter seed dependent" `Quick test_jitter_seed_dependent;
+    Alcotest.test_case "jitter zero magnitude" `Quick test_jitter_zero_mag;
+  ]

@@ -1,0 +1,175 @@
+open Tpro_hw
+open Tpro_kernel
+
+(* Edge cases of the kernel execution engine. *)
+
+let small_machine =
+  {
+    Machine.default_config with
+    Machine.n_frames = 512;
+    llc_geom = Cache.geometry ~sets:256 ~ways:4 ~line_bits:6 ();
+  }
+
+let boot cfg = Kernel.create ~machine_config:small_machine cfg
+
+let test_intra_domain_round_robin () =
+  (* two threads of one domain interleave without domain switches *)
+  let k = boot Kernel.config_full in
+  let d = Kernel.create_domain k ~slice:1_000_000 ~pad_cycles:0 () in
+  let a = Kernel.spawn k d (Array.make 10 (Program.Compute 5)) in
+  let b = Kernel.spawn k d (Array.make 10 (Program.Compute 5)) in
+  (* step a few times: both threads must make progress *)
+  for _ = 1 to 10 do
+    ignore (Kernel.step k)
+  done;
+  Alcotest.(check bool) "both progressed" true (a.Thread.pc > 0 && b.Thread.pc > 0);
+  Alcotest.(check bool) "no switch happened" true
+    (not
+       (List.exists
+          (function Event.Switch _ -> true | _ -> false)
+          (Kernel.events k)))
+
+let test_cross_core_ipc () =
+  let k =
+    Kernel.create
+      ~machine_config:{ small_machine with Machine.n_cores = 2 }
+      Kernel.config_full
+  in
+  let d0 = Kernel.create_domain k ~core:0 ~slice:10_000 ~pad_cycles:100 () in
+  let d1 = Kernel.create_domain k ~core:1 ~slice:10_000 ~pad_cycles:100 () in
+  ignore
+    (Kernel.spawn k d0
+       [| Program.Syscall (Program.Sys_send { ep = 0; msg = 77 }); Program.Halt |]);
+  let rx =
+    Kernel.spawn k d1
+      [| Program.Compute 2_000;
+         Program.Syscall (Program.Sys_recv { ep = 0 });
+         Program.Halt |]
+  in
+  Kernel.run k;
+  Alcotest.(check bool) "message crossed cores" true
+    (List.mem (Event.Recv 77) (Thread.observations rx))
+
+let test_colour_exhaustion () =
+  (* 4 colours, one reserved for the kernel: a fourth 1-colour domain
+     cannot be created *)
+  let k = boot Kernel.config_full in
+  for _ = 1 to 3 do
+    ignore (Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 ())
+  done;
+  Alcotest.check_raises "out of colours"
+    (Failure "Kernel.create_domain: out of page colours") (fun () ->
+      ignore (Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 ()))
+
+let test_store_fault () =
+  let k = boot Kernel.config_none in
+  let d = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  let th = Kernel.spawn k d [| Program.Store 0x6000_0000; Program.Halt |] in
+  Kernel.run k;
+  Alcotest.(check bool) "store to unmapped memory faults" true
+    (th.Thread.state = Thread.Halted
+    && List.exists
+         (function Event.Fault _ -> true | _ -> false)
+         (Kernel.events k))
+
+let test_run_respects_max_steps () =
+  let k = boot Kernel.config_none in
+  let d = Kernel.create_domain k ~slice:1_000_000 ~pad_cycles:0 () in
+  let th = Kernel.spawn k d (Array.make 1_000 (Program.Compute 1)) in
+  Kernel.run ~max_steps:10 k;
+  Alcotest.(check bool) "stopped early" true (th.Thread.pc <= 10)
+
+let test_deadlock_detected () =
+  (* both threads block on receives that can never be satisfied: the
+     engine must stop rather than idle-switch forever *)
+  let k = boot Kernel.config_none in
+  let d0 = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  let d1 = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  ignore
+    (Kernel.spawn k d0
+       [| Program.Syscall (Program.Sys_recv { ep = 0 }); Program.Halt |]);
+  ignore
+    (Kernel.spawn k d1
+       [| Program.Syscall (Program.Sys_recv { ep = 1 }); Program.Halt |]);
+  Kernel.run ~max_steps:100_000 k;
+  Alcotest.(check bool) "engine quiesced" false (Kernel.step k)
+
+let test_accessors () =
+  let k = boot Kernel.config_full in
+  let d = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  Alcotest.(check int) "line bits" 6 (Kernel.line_bits k);
+  Alcotest.(check int) "page bits" 12 (Kernel.page_bits k);
+  Alcotest.(check int) "colours" 4 (Kernel.n_colours k);
+  Alcotest.(check int) "current domain" d.Domain.did
+    (Kernel.current_domain k ~core:0).Domain.did;
+  Alcotest.(check (option int)) "unmapped vaddr" None
+    (Kernel.vaddr_to_paddr k d 0x7777_0000)
+
+let test_single_domain_slice_rollover () =
+  (* a sole domain with an armed future irq: the slice must roll forward
+     so the interrupt is eventually delivered *)
+  let k = boot Kernel.config_none in
+  let d = Kernel.create_domain k ~slice:2_000 ~pad_cycles:0 () in
+  Kernel.set_irq_owner k ~irq:1 ~dom:d;
+  ignore
+    (Kernel.spawn k d
+       [| Program.Syscall (Program.Sys_arm_irq { irq = 1; delay = 30_000 });
+          Program.Halt |]);
+  Kernel.run ~max_steps:10_000 k;
+  Alcotest.(check bool) "irq delivered after idle rollover" true
+    (List.exists
+       (function Event.Irq_handled _ -> true | _ -> false)
+       (Kernel.events k))
+
+let test_machine_digest_shared_stable () =
+  let m = Machine.create small_machine in
+  let d0 = Machine.digest_shared m in
+  ignore (Machine.compute m ~core:0 ~cycles:100);
+  Alcotest.(check int64) "compute does not disturb shared state" d0
+    (Machine.digest_shared m);
+  ignore
+    (Machine.load m ~core:0 ~asid:1 ~domain:0
+       ~translate:(fun v -> Some v)
+       ~pc:0 0x9000);
+  Alcotest.(check bool) "a memory access does" true
+    (d0 <> Machine.digest_shared m)
+
+let test_machine_wait_until () =
+  let m = Machine.create small_machine in
+  ignore (Machine.compute m ~core:0 ~cycles:50);
+  Alcotest.(check int) "waited" 50 (Machine.wait_until m ~core:0 100);
+  Alcotest.(check int) "no backwards wait" 0 (Machine.wait_until m ~core:0 10);
+  Alcotest.(check int) "clock at deadline" 100 (Machine.now m ~core:0)
+
+let test_fetch_fault_on_unmapped_code () =
+  let k = boot Kernel.config_none in
+  let d = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  let th = Kernel.spawn k d [| Program.Compute 5; Program.Halt |] in
+  (* sabotage: unmap the code page to force a fetch fault *)
+  Domain.unmap_page d ~vpn:(th.Thread.code_vbase lsr 12);
+  Kernel.run k;
+  Alcotest.(check bool) "fetch fault halts the thread" true
+    (th.Thread.state = Thread.Halted);
+  Alcotest.(check bool) "fault recorded" true
+    (List.exists
+       (function Event.Fault _ -> true | _ -> false)
+       (Kernel.events k))
+
+let suite =
+  [
+    Alcotest.test_case "intra-domain round robin" `Quick
+      test_intra_domain_round_robin;
+    Alcotest.test_case "cross-core IPC" `Quick test_cross_core_ipc;
+    Alcotest.test_case "colour exhaustion" `Quick test_colour_exhaustion;
+    Alcotest.test_case "store fault" `Quick test_store_fault;
+    Alcotest.test_case "run respects max_steps" `Quick test_run_respects_max_steps;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "single-domain slice rollover" `Quick
+      test_single_domain_slice_rollover;
+    Alcotest.test_case "digest_shared stability" `Quick
+      test_machine_digest_shared_stable;
+    Alcotest.test_case "machine wait_until" `Quick test_machine_wait_until;
+    Alcotest.test_case "fetch fault on unmapped code" `Quick
+      test_fetch_fault_on_unmapped_code;
+  ]

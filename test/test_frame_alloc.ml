@@ -1,0 +1,83 @@
+open Tpro_hw
+open Tpro_kernel
+
+let mk () =
+  let mem = Mem.create ~n_frames:64 () in
+  (mem, Frame_alloc.create mem ~n_colours:4)
+
+let test_colour_of_frame () =
+  let _, a = mk () in
+  Alcotest.(check int) "frame 0" 0 (Frame_alloc.colour_of_frame a 0);
+  Alcotest.(check int) "frame 5" 1 (Frame_alloc.colour_of_frame a 5);
+  Alcotest.(check int) "frame 7" 3 (Frame_alloc.colour_of_frame a 7)
+
+let test_alloc_respects_colours () =
+  let mem, a = mk () in
+  match Frame_alloc.alloc a ~owner:9 ~colours:[ 2 ] with
+  | None -> Alcotest.fail "allocation should succeed"
+  | Some f ->
+    Alcotest.(check int) "colour 2 frame" 2 (Frame_alloc.colour_of_frame a f);
+    Alcotest.(check int) "ownership recorded" 9 (Mem.owner_of_frame mem f)
+
+let test_alloc_ascending () =
+  let _, a = mk () in
+  let f1 = Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 0; 1; 2; 3 ] in
+  let f2 = Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "lowest frames first" true (f1 < f2);
+  Alcotest.(check int) "first frame is 0" 0 f1
+
+let test_exhaustion () =
+  let _, a = mk () in
+  (* 16 frames of each colour *)
+  for _ = 1 to 16 do
+    ignore (Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 1 ])
+  done;
+  Alcotest.(check (option int)) "colour 1 exhausted" None
+    (Frame_alloc.alloc a ~owner:1 ~colours:[ 1 ]);
+  Alcotest.(check bool) "other colours still available" true
+    (Frame_alloc.alloc a ~owner:1 ~colours:[ 2 ] <> None)
+
+let test_free_and_reuse () =
+  let mem, a = mk () in
+  let f = Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 0 ] in
+  Frame_alloc.free a ~frame:f;
+  Alcotest.(check int) "freed" Mem.free_owner (Mem.owner_of_frame mem f);
+  Alcotest.(check int) "reused" f (Frame_alloc.alloc_exn a ~owner:2 ~colours:[ 0 ])
+
+let test_free_count () =
+  let _, a = mk () in
+  Alcotest.(check int) "initial" 16 (Frame_alloc.free_count a ~colour:3);
+  ignore (Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 3 ]);
+  Alcotest.(check int) "one taken" 15 (Frame_alloc.free_count a ~colour:3)
+
+let test_respects_preexisting_ownership () =
+  let mem = Mem.create ~n_frames:8 () in
+  Mem.set_owner mem ~frame:0 ~owner:42;
+  let a = Frame_alloc.create mem ~n_colours:4 in
+  let f = Frame_alloc.alloc_exn a ~owner:1 ~colours:[ 0 ] in
+  Alcotest.(check bool) "already-owned frame skipped" true (f <> 0)
+
+let prop_alloc_never_two_owners =
+  QCheck.Test.make ~name:"no frame handed out twice" ~count:100
+    QCheck.(list (int_bound 3))
+    (fun colour_requests ->
+      let _, a = mk () in
+      let frames =
+        List.filter_map
+          (fun c -> Frame_alloc.alloc a ~owner:1 ~colours:[ c ])
+          colour_requests
+      in
+      List.length frames = List.length (List.sort_uniq compare frames))
+
+let suite =
+  [
+    Alcotest.test_case "colour_of_frame" `Quick test_colour_of_frame;
+    Alcotest.test_case "alloc respects colours" `Quick test_alloc_respects_colours;
+    Alcotest.test_case "alloc ascending" `Quick test_alloc_ascending;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+    Alcotest.test_case "free_count" `Quick test_free_count;
+    Alcotest.test_case "respects preexisting ownership" `Quick
+      test_respects_preexisting_ownership;
+    QCheck_alcotest.to_alcotest prop_alloc_never_two_owners;
+  ]

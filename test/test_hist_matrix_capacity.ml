@@ -1,0 +1,149 @@
+open Tpro_channel
+
+(* ------------------------- Hist ----------------------------------- *)
+
+let test_hist_basics () =
+  let h = Hist.of_list [ 3; 1; 3; 5 ] in
+  Alcotest.(check int) "total" 4 (Hist.total h);
+  Alcotest.(check int) "count 3" 2 (Hist.count h 3);
+  Alcotest.(check int) "count absent" 0 (Hist.count h 9);
+  Alcotest.(check int) "distinct" 3 (Hist.distinct h);
+  Alcotest.(check (list (pair int int))) "bins sorted" [ (1, 1); (3, 2); (5, 1) ]
+    (Hist.bins h);
+  Alcotest.(check (option int)) "min" (Some 1) (Hist.min_value h);
+  Alcotest.(check (option int)) "max" (Some 5) (Hist.max_value h)
+
+let test_hist_stats () =
+  let h = Hist.of_list [ 2; 4; 4; 4; 5; 5; 7; 9 ] in
+  Alcotest.(check (float 0.001)) "mean" 5.0 (Hist.mean h);
+  Alcotest.(check (float 0.001)) "stddev" 2.0 (Hist.stddev h)
+
+let test_hist_quantile () =
+  let h = Hist.of_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check int) "median" 5 (Hist.quantile h 0.5);
+  Alcotest.(check int) "p90" 9 (Hist.quantile h 0.9);
+  Alcotest.(check int) "p0 is min" 1 (Hist.quantile h 0.0);
+  Alcotest.(check int) "p100 is max" 10 (Hist.quantile h 1.0)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check (float 0.001)) "empty mean" 0.0 (Hist.mean h);
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Hist.quantile: empty histogram") (fun () ->
+      ignore (Hist.quantile h 0.5))
+
+(* ------------------------- Matrix --------------------------------- *)
+
+let test_matrix_shape () =
+  let m = Matrix.of_samples [ (0, 10); (0, 10); (1, 20); (1, 10) ] in
+  Alcotest.(check int) "inputs" 2 (Matrix.n_inputs m);
+  Alcotest.(check int) "outputs" 2 (Matrix.n_outputs m);
+  Alcotest.(check (array int)) "input symbols" [| 0; 1 |] (Matrix.inputs m);
+  Alcotest.(check (array int)) "output symbols" [| 10; 20 |] (Matrix.outputs m)
+
+let test_matrix_probabilities () =
+  let m = Matrix.of_samples [ (0, 10); (0, 10); (1, 20); (1, 10) ] in
+  Alcotest.(check (float 0.001)) "P(10|0)" 1.0 (Matrix.prob m 0 0);
+  Alcotest.(check (float 0.001)) "P(20|0)" 0.0 (Matrix.prob m 0 1);
+  Alcotest.(check (float 0.001)) "P(10|1)" 0.5 (Matrix.prob m 1 0);
+  Alcotest.(check (float 0.001)) "P(20|1)" 0.5 (Matrix.prob m 1 1)
+
+let test_matrix_predicates () =
+  let det = Matrix.of_samples [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "deterministic" true (Matrix.deterministic det);
+  Alcotest.(check bool) "not constant" false (Matrix.constant det);
+  let const = Matrix.of_samples [ (0, 7); (1, 7); (2, 7) ] in
+  Alcotest.(check bool) "constant" true (Matrix.constant const)
+
+let test_matrix_empty () =
+  Alcotest.check_raises "no samples"
+    (Invalid_argument "Matrix.of_samples: no samples") (fun () ->
+      ignore (Matrix.of_samples []))
+
+(* ------------------------- Capacity ------------------------------- *)
+
+let test_entropy () =
+  Alcotest.(check (float 0.001)) "uniform 2" 1.0 (Capacity.entropy [| 0.5; 0.5 |]);
+  Alcotest.(check (float 0.001)) "uniform 4" 2.0
+    (Capacity.entropy [| 0.25; 0.25; 0.25; 0.25 |]);
+  Alcotest.(check (float 0.001)) "deterministic" 0.0 (Capacity.entropy [| 1.0 |]);
+  Alcotest.(check (float 0.001)) "unnormalised" 1.0 (Capacity.entropy [| 2.; 2. |])
+
+let test_perfect_channel_capacity () =
+  (* identity channel over 4 symbols: capacity = 2 bits *)
+  let samples = List.init 4 (fun i -> (i, i)) in
+  Alcotest.(check (float 0.01)) "identity capacity" 2.0
+    (Capacity.of_samples samples)
+
+let test_dead_channel_capacity () =
+  let samples = List.concat_map (fun i -> [ (i, 0); (i, 0) ]) [ 0; 1; 2; 3 ] in
+  Alcotest.(check (float 0.0001)) "dead channel" 0.0 (Capacity.of_samples samples)
+
+let test_bsc_capacity () =
+  (* binary symmetric channel with crossover 0.25:
+     C = 1 - H(0.25) = 1 - 0.8113 = 0.1887 bits *)
+  let samples =
+    List.concat
+      [
+        List.init 3 (fun _ -> (0, 0)); [ (0, 1) ];
+        List.init 3 (fun _ -> (1, 1)); [ (1, 0) ];
+      ]
+  in
+  Alcotest.(check (float 0.01)) "BSC(0.25)" 0.1887 (Capacity.of_samples samples)
+
+let test_mutual_information_uniform () =
+  let m = Matrix.of_samples [ (0, 0); (1, 1) ] in
+  Alcotest.(check (float 0.001)) "identity MI" 1.0 (Capacity.mutual_information m)
+
+let test_mi_with_prior () =
+  let m = Matrix.of_samples [ (0, 0); (1, 1) ] in
+  (* degenerate prior: all mass on one input -> no information *)
+  Alcotest.(check (float 0.001)) "degenerate prior" 0.0
+    (Capacity.mutual_information ~prior:[| 1.0; 0.0 |] m)
+
+let test_capacity_at_least_mi () =
+  (* capacity maximises over priors, so it dominates uniform-prior MI *)
+  let samples =
+    [ (0, 0); (0, 0); (0, 1); (1, 1); (1, 1); (1, 0); (2, 2); (2, 2); (2, 2) ]
+  in
+  let m = Matrix.of_samples samples in
+  let mi = Capacity.mutual_information m in
+  let c = Capacity.blahut_arimoto m in
+  Alcotest.(check bool) "C >= I_uniform" true (c >= mi -. 1e-9)
+
+let test_single_input_zero () =
+  Alcotest.(check (float 0.0001)) "one symbol cannot leak" 0.0
+    (Capacity.of_samples [ (0, 1); (0, 2); (0, 3) ])
+
+let prop_capacity_bounded =
+  QCheck.Test.make ~name:"0 <= capacity <= log2(inputs)" ~count:100
+    QCheck.(list_of_size (Gen.int_range 4 40) (pair (int_bound 3) (int_bound 5)))
+    (fun samples ->
+      match samples with
+      | [] -> true
+      | _ ->
+        let inputs = List.sort_uniq compare (List.map fst samples) in
+        let c = Capacity.of_samples samples in
+        c >= 0.
+        && c <= (log (float_of_int (max 1 (List.length inputs))) /. log 2.) +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "hist basics" `Quick test_hist_basics;
+    Alcotest.test_case "hist stats" `Quick test_hist_stats;
+    Alcotest.test_case "hist quantile" `Quick test_hist_quantile;
+    Alcotest.test_case "hist empty" `Quick test_hist_empty;
+    Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+    Alcotest.test_case "matrix probabilities" `Quick test_matrix_probabilities;
+    Alcotest.test_case "matrix predicates" `Quick test_matrix_predicates;
+    Alcotest.test_case "matrix empty" `Quick test_matrix_empty;
+    Alcotest.test_case "entropy" `Quick test_entropy;
+    Alcotest.test_case "perfect channel" `Quick test_perfect_channel_capacity;
+    Alcotest.test_case "dead channel" `Quick test_dead_channel_capacity;
+    Alcotest.test_case "binary symmetric channel" `Quick test_bsc_capacity;
+    Alcotest.test_case "mutual information" `Quick test_mutual_information_uniform;
+    Alcotest.test_case "MI with prior" `Quick test_mi_with_prior;
+    Alcotest.test_case "capacity dominates MI" `Quick test_capacity_at_least_mi;
+    Alcotest.test_case "single input" `Quick test_single_input_zero;
+    QCheck_alcotest.to_alcotest prop_capacity_bounded;
+  ]

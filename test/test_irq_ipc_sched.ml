@@ -1,0 +1,134 @@
+open Tpro_kernel
+
+(* ------------------------- Irq ------------------------------------ *)
+
+let test_irq_owner () =
+  let t = Irq.create ~n_irqs:4 in
+  Alcotest.(check int) "unassigned" (-1) (Irq.owner t 2);
+  Irq.set_owner t ~irq:2 ~dom:5;
+  Alcotest.(check int) "assigned" 5 (Irq.owner t 2)
+
+let test_irq_pending_order () =
+  let t = Irq.create ~n_irqs:4 in
+  Irq.arm t ~irq:1 ~at:200;
+  Irq.arm t ~irq:2 ~at:100;
+  Alcotest.(check (option int)) "not yet due" None
+    (Irq.take_pending t ~now:50 ~allowed:(fun _ -> true));
+  Alcotest.(check (option int)) "earliest first" (Some 2)
+    (Irq.take_pending t ~now:150 ~allowed:(fun _ -> true));
+  Alcotest.(check (option int)) "second stays pending" (Some 1)
+    (Irq.take_pending t ~now:300 ~allowed:(fun _ -> true));
+  Alcotest.(check (option int)) "drained" None
+    (Irq.take_pending t ~now:400 ~allowed:(fun _ -> true))
+
+let test_irq_masking_defers () =
+  let t = Irq.create ~n_irqs:4 in
+  Irq.arm t ~irq:1 ~at:10;
+  Alcotest.(check (option int)) "masked irq stays pending" None
+    (Irq.take_pending t ~now:100 ~allowed:(fun _ -> false));
+  Alcotest.(check int) "still armed" 1 (List.length (Irq.pending t));
+  Alcotest.(check (option int)) "delivered when unmasked" (Some 1)
+    (Irq.take_pending t ~now:100 ~allowed:(fun irq -> irq = 1))
+
+let test_irq_bounds () =
+  let t = Irq.create ~n_irqs:2 in
+  Alcotest.check_raises "irq out of range"
+    (Invalid_argument "Irq: irq out of range") (fun () ->
+      Irq.arm t ~irq:2 ~at:0)
+
+(* ------------------------- Ipc ------------------------------------ *)
+
+let dummy_thread tid = Thread.create ~tid ~dom:0 ~code_vbase:0 [| Program.Halt |]
+
+let test_ipc_queue_sender () =
+  let t = Ipc.create ~n_endpoints:2 in
+  let th = dummy_thread 1 in
+  Alcotest.(check bool) "empty" true (Ipc.queued_sender t ~ep:0 = None);
+  Ipc.queue_sender t ~ep:0 th ~msg:42;
+  (match Ipc.queued_sender t ~ep:0 with
+  | Some (th', msg) ->
+    Alcotest.(check int) "thread id" 1 th'.Thread.tid;
+    Alcotest.(check int) "message" 42 msg
+  | None -> Alcotest.fail "sender should be queued");
+  Ipc.clear_sender t ~ep:0;
+  Alcotest.(check bool) "cleared" true (Ipc.queued_sender t ~ep:0 = None)
+
+let test_ipc_busy_endpoint () =
+  let t = Ipc.create ~n_endpoints:1 in
+  Ipc.queue_receiver t ~ep:0 (dummy_thread 1);
+  Alcotest.check_raises "second receiver rejected"
+    (Invalid_argument "Ipc.queue_receiver: endpoint busy") (fun () ->
+      Ipc.queue_receiver t ~ep:0 (dummy_thread 2))
+
+let test_ipc_endpoint_bounds () =
+  let t = Ipc.create ~n_endpoints:1 in
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Ipc: endpoint out of range") (fun () ->
+      ignore (Ipc.queued_sender t ~ep:3))
+
+(* ------------------------- Sched ---------------------------------- *)
+
+let test_sched_cycle () =
+  let s = Sched.create [| 3; 1; 4 |] in
+  Alcotest.(check int) "starts at first" 3 (Sched.current s);
+  Alcotest.(check int) "advance" 1 (Sched.advance s);
+  Alcotest.(check int) "advance" 4 (Sched.advance s);
+  Alcotest.(check int) "wraps" 3 (Sched.advance s)
+
+let test_sched_empty () =
+  Alcotest.check_raises "empty schedule"
+    (Invalid_argument "Sched.create: empty schedule") (fun () ->
+      ignore (Sched.create [||]))
+
+let test_sched_static_order () =
+  (* the schedule never depends on anything dynamic: 10 rounds repeat
+     exactly *)
+  let s = Sched.create [| 0; 1 |] in
+  let seq = List.init 10 (fun _ -> Sched.advance s) in
+  Alcotest.(check (list int)) "strict alternation" [ 1; 0; 1; 0; 1; 0; 1; 0; 1; 0 ]
+    seq
+
+(* ------------------------- Event ---------------------------------- *)
+
+let test_event_switch_duration () =
+  let e =
+    Event.Switch
+      {
+        core = 0;
+        from_dom = 0;
+        to_dom = 1;
+        reason = Event.Timer;
+        slice_start = 100;
+        start = 150;
+        finish = 400;
+        flush_cycles = 30;
+        padded = true;
+        overrun = false;
+      }
+  in
+  Alcotest.(check (option (pair int int))) "duration and slot" (Some (250, 300))
+    (Event.switch_duration e);
+  Alcotest.(check bool) "not an overrun" false (Event.is_overrun e)
+
+let test_event_pp_smoke () =
+  let s =
+    Format.asprintf "%a" Event.pp
+      (Event.Trap { core = 0; dom = 1; kind = "null"; start = 5; cycles = 10 })
+  in
+  Alcotest.(check bool) "pp output" true (String.length s > 5)
+
+let suite =
+  [
+    Alcotest.test_case "irq owner" `Quick test_irq_owner;
+    Alcotest.test_case "irq pending order" `Quick test_irq_pending_order;
+    Alcotest.test_case "irq masking defers" `Quick test_irq_masking_defers;
+    Alcotest.test_case "irq bounds" `Quick test_irq_bounds;
+    Alcotest.test_case "ipc queue sender" `Quick test_ipc_queue_sender;
+    Alcotest.test_case "ipc busy endpoint" `Quick test_ipc_busy_endpoint;
+    Alcotest.test_case "ipc endpoint bounds" `Quick test_ipc_endpoint_bounds;
+    Alcotest.test_case "sched cycle" `Quick test_sched_cycle;
+    Alcotest.test_case "sched empty" `Quick test_sched_empty;
+    Alcotest.test_case "sched static order" `Quick test_sched_static_order;
+    Alcotest.test_case "event switch duration" `Quick test_event_switch_duration;
+    Alcotest.test_case "event pp smoke" `Quick test_event_pp_smoke;
+  ]

@@ -1,0 +1,128 @@
+open Tpro_hw
+open Tpro_kernel
+open Time_protection
+
+(* Property tests over whole-kernel executions with random workloads. *)
+
+let run_random ~cfg ~seed ~prog_seed =
+  let machine_config =
+    {
+      Machine.default_config with
+      Machine.lat = Latency.with_seed Latency.default seed;
+    }
+  in
+  let k = Kernel.create ~machine_config cfg in
+  let d0 = Kernel.create_domain k ~slice:8_000 ~pad_cycles:15_000 () in
+  let d1 = Kernel.create_domain k ~slice:8_000 ~pad_cycles:15_000 () in
+  Kernel.map_region k d0 ~vbase:0x2000_0000 ~pages:2;
+  Kernel.map_region k d1 ~vbase:0x2000_0000 ~pages:2;
+  let mk s =
+    Program.random (Rng.create s) ~len:120 ~data_base:0x2000_0000
+      ~data_bytes:(2 * 4096)
+  in
+  ignore (Kernel.spawn k d0 (mk prog_seed));
+  ignore (Kernel.spawn k d1 (mk (prog_seed + 1)));
+  Kernel.run ~max_steps:50_000 k;
+  k
+
+let event_time = function
+  | Event.Switch { start; _ } -> Some start
+  | Event.Trap { start; _ } -> Some start
+  | Event.Irq_handled { at; _ } -> Some at
+  | Event.Ipc_delivered { at; _ } -> Some at
+  | Event.Thread_halted { at; _ } -> Some at
+  | Event.Fault { at; _ } -> Some at
+
+let configs = [ Presets.none; Presets.flush_pad; Presets.full ]
+
+let gen =
+  QCheck.make
+    QCheck.Gen.(
+      triple (int_bound 20) (int_bound 1000) (int_bound (List.length configs - 1)))
+
+let prop_event_times_monotone =
+  QCheck.Test.make ~name:"kernel events are time-monotone" ~count:30 gen
+    (fun (seed, prog_seed, ci) ->
+      let k = run_random ~cfg:(List.nth configs ci) ~seed ~prog_seed in
+      let times = List.filter_map event_time (Kernel.events k) in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono times)
+
+let prop_switches_follow_schedule =
+  QCheck.Test.make ~name:"switches alternate 0->1->0 per the static schedule"
+    ~count:30 gen (fun (seed, prog_seed, ci) ->
+      let k = run_random ~cfg:(List.nth configs ci) ~seed ~prog_seed in
+      let switches =
+        List.filter_map
+          (function
+            | Event.Switch { from_dom; to_dom; _ } -> Some (from_dom, to_dom)
+            | _ -> None)
+          (Kernel.events k)
+      in
+      let rec ok expected_from = function
+        | [] -> true
+        | (f, t) :: rest -> f = expected_from && t = 1 - f && ok t rest
+      in
+      ok 0 switches)
+
+let prop_switch_slots_padded =
+  QCheck.Test.make
+    ~name:"every padded switch ends exactly at slice + pad, regardless of workload"
+    ~count:30
+    QCheck.(pair (int_bound 20) (int_bound 1000))
+    (fun (seed, prog_seed) ->
+      let k = run_random ~cfg:Presets.full ~seed ~prog_seed in
+      List.for_all
+        (function
+          | Event.Switch { slice_start; finish; padded = true; _ } ->
+            finish - slice_start = 8_000 + 15_000
+          | _ -> true)
+        (Kernel.events k))
+
+let prop_observations_clock_monotone =
+  QCheck.Test.make ~name:"a thread's clock observations never go backwards"
+    ~count:30 gen (fun (seed, prog_seed, ci) ->
+      let k = run_random ~cfg:(List.nth configs ci) ~seed ~prog_seed in
+      List.for_all
+        (fun (d : Domain.t) ->
+          List.for_all
+            (fun th ->
+              let clocks =
+                List.filter_map
+                  (function Event.Clock c -> Some c | _ -> None)
+                  (Thread.observations th)
+              in
+              let rec mono = function
+                | a :: (b :: _ as rest) -> a <= b && mono rest
+                | _ -> true
+              in
+              mono clocks)
+            (Domain.threads d))
+        (Kernel.domains k))
+
+let prop_no_cross_owner_frames =
+  QCheck.Test.make
+    ~name:"frame ownership is a partition: no frame mapped by two domains"
+    ~count:30
+    QCheck.(pair (int_bound 20) (int_bound 1000))
+    (fun (seed, prog_seed) ->
+      let k = run_random ~cfg:Presets.full ~seed ~prog_seed in
+      let frames_of (d : Domain.t) =
+        List.filter_map (Domain.translate d) (Domain.mapped_vpns d)
+      in
+      match Kernel.domains k with
+      | [ a; b ] ->
+        List.for_all (fun f -> not (List.mem f (frames_of b))) (frames_of a)
+      | _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_event_times_monotone;
+    QCheck_alcotest.to_alcotest prop_switches_follow_schedule;
+    QCheck_alcotest.to_alcotest prop_switch_slots_padded;
+    QCheck_alcotest.to_alcotest prop_observations_clock_monotone;
+    QCheck_alcotest.to_alcotest prop_no_cross_owner_frames;
+  ]

@@ -1,0 +1,217 @@
+open Tpro_hw
+
+let small_config =
+  {
+    Machine.default_config with
+    Machine.n_frames = 256;
+    l1_geom = Cache.geometry ~sets:16 ~ways:2 ~line_bits:6 ();
+    llc_geom = Cache.geometry ~sets:256 ~ways:4 ~line_bits:6 ();
+  }
+
+let ident_translate vpn = Some vpn
+
+let test_load_advances_clock () =
+  let m = Machine.create small_config in
+  match
+    Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+      0x1000
+  with
+  | Error `Fault -> Alcotest.fail "unexpected fault"
+  | Ok cycles ->
+    Alcotest.(check bool) "cost positive" true (cycles > 0);
+    Alcotest.(check int) "clock advanced by cost" cycles (Machine.now m ~core:0)
+
+let test_fault_on_unmapped () =
+  let m = Machine.create small_config in
+  match
+    Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:(fun _ -> None) ~pc:0
+      0x1000
+  with
+  | Error `Fault -> ()
+  | Ok _ -> Alcotest.fail "expected fault"
+
+let test_warm_faster_than_cold () =
+  let m = Machine.create small_config in
+  let cost vaddr =
+    match
+      Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+        vaddr
+    with
+    | Ok c -> c
+    | Error `Fault -> Alcotest.fail "fault"
+  in
+  let cold = cost 0x3000 in
+  let warm = cost 0x3000 in
+  Alcotest.(check bool) "warm access is faster" true (warm < cold)
+
+let test_llc_backs_l1 () =
+  let m = Machine.create small_config in
+  let lat = Machine.lat m in
+  (* fill L1 set with conflicting lines so the first line falls to LLC only *)
+  let target = 0x3000 in
+  ignore
+    (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+       target);
+  (* evict from L1: same L1 set, different tags; L1 span is 16 sets * 64B = 1 KiB *)
+  for i = 1 to 4 do
+    ignore
+      (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate
+         ~pc:0
+         (target + (i * 1024)))
+  done;
+  match
+    Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+      target
+  with
+  | Error `Fault -> Alcotest.fail "fault"
+  | Ok c ->
+    Alcotest.(check bool) "L1 miss but LLC hit: between L1 and DRAM" true
+      (c > lat.Latency.l1_hit && c < lat.Latency.mem_lat)
+
+let test_flush_cost_depends_on_dirtiness () =
+  let cost_with_stores n =
+    let m = Machine.create small_config in
+    for i = 0 to n - 1 do
+      ignore
+        (Machine.store m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate
+           ~pc:0
+           (0x4000 + (i * 64)))
+    done;
+    Machine.flush_core_local m ~core:0
+  in
+  let clean = cost_with_stores 0 in
+  let dirty = cost_with_stores 16 in
+  Alcotest.(check bool) "dirty flush slower" true (dirty > clean)
+
+let test_flush_resets_private_state () =
+  let m = Machine.create small_config in
+  ignore
+    (Machine.store m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+       0x4000);
+  ignore (Machine.branch m ~core:0 ~pc:0x40 ~taken:true);
+  ignore (Machine.flush_core_local m ~core:0);
+  let fresh = Machine.create small_config in
+  Alcotest.(check int64) "private state back to power-on"
+    (Machine.digest_core fresh ~core:0)
+    (Machine.digest_core m ~core:0)
+
+let test_flush_does_not_touch_llc () =
+  let m = Machine.create small_config in
+  ignore
+    (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+       0x5000);
+  let d = Cache.digest (Machine.llc m) in
+  ignore (Machine.flush_core_local m ~core:0);
+  Alcotest.(check int64) "LLC unchanged by core-local flush" d
+    (Cache.digest (Machine.llc m))
+
+let test_branch_costs () =
+  let m = Machine.create small_config in
+  let lat = Machine.lat m in
+  (* untrained predictor says not-taken; a taken branch mispredicts *)
+  let c1 = Machine.branch m ~core:0 ~pc:0x80 ~taken:true in
+  Alcotest.(check int) "mispredict penalty" lat.Latency.branch_miss c1;
+  (* train *)
+  ignore (Machine.branch m ~core:0 ~pc:0x80 ~taken:true);
+  ignore (Machine.branch m ~core:0 ~pc:0x80 ~taken:true);
+  let hits = ref 0 in
+  for _ = 1 to 32 do
+    if Machine.branch m ~core:0 ~pc:0x80 ~taken:true = lat.Latency.branch_hit
+    then incr hits
+  done;
+  Alcotest.(check bool) "trained branch mostly cheap" true (!hits > 24)
+
+let test_compute_exact () =
+  let m = Machine.create small_config in
+  Alcotest.(check int) "compute is exact" 37 (Machine.compute m ~core:0 ~cycles:37)
+
+let test_multicore_clocks_independent () =
+  let m = Machine.create { small_config with Machine.n_cores = 2 } in
+  ignore (Machine.compute m ~core:0 ~cycles:100);
+  Alcotest.(check int) "core 1 clock untouched" 0 (Machine.now m ~core:1)
+
+let test_cross_core_llc_sharing () =
+  let m = Machine.create { small_config with Machine.n_cores = 2 } in
+  (* core 0 warms the LLC; core 1's first access is then an LLC hit *)
+  ignore
+    (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate ~pc:0
+       0x6000);
+  let lat = Machine.lat m in
+  match
+    Machine.load m ~core:1 ~asid:2 ~domain:1 ~translate:ident_translate ~pc:0
+      0x6000
+  with
+  | Error `Fault -> Alcotest.fail "fault"
+  | Ok c ->
+    Alcotest.(check bool) "cross-core LLC hit" true (c < lat.Latency.mem_lat)
+
+let test_prefetch_effect () =
+  let m =
+    Machine.create { small_config with Machine.prefetch_enabled = true }
+  in
+  (* walk a strided stream to train the prefetcher, then check the next
+     line is already cached *)
+  for i = 0 to 5 do
+    ignore
+      (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate
+         ~pc:0x40
+         (0x7000 + (i * 64)))
+  done;
+  Alcotest.(check bool) "next line prefetched" true
+    (Cache.probe (Machine.l1d m ~core:0) (0x7000 + (6 * 64)))
+
+let test_prefetch_disabled () =
+  let m =
+    Machine.create { small_config with Machine.prefetch_enabled = false }
+  in
+  for i = 0 to 5 do
+    ignore
+      (Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate
+         ~pc:0x40
+         (0x7000 + (i * 64)))
+  done;
+  Alcotest.(check bool) "no prefetch when disabled" false
+    (Cache.probe (Machine.l1d m ~core:0) (0x7000 + (6 * 64)))
+
+let test_determinism () =
+  (* the whole machine is a deterministic function of its inputs *)
+  let run () =
+    let m = Machine.create small_config in
+    let acc = ref 0 in
+    for i = 0 to 100 do
+      (match
+         Machine.load m ~core:0 ~asid:1 ~domain:0 ~translate:ident_translate
+           ~pc:(i * 4)
+           (0x8000 + (i * 48))
+       with
+      | Ok c -> acc := !acc + c
+      | Error `Fault -> ());
+      ignore (Machine.branch m ~core:0 ~pc:(i * 8) ~taken:(i mod 3 = 0))
+    done;
+    (!acc, Machine.now m ~core:0, Machine.digest_shared m)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "load advances clock" `Quick test_load_advances_clock;
+    Alcotest.test_case "fault on unmapped" `Quick test_fault_on_unmapped;
+    Alcotest.test_case "warm faster than cold" `Quick test_warm_faster_than_cold;
+    Alcotest.test_case "LLC backs L1" `Quick test_llc_backs_l1;
+    Alcotest.test_case "flush cost depends on dirtiness" `Quick
+      test_flush_cost_depends_on_dirtiness;
+    Alcotest.test_case "flush resets private state" `Quick
+      test_flush_resets_private_state;
+    Alcotest.test_case "flush does not touch LLC" `Quick
+      test_flush_does_not_touch_llc;
+    Alcotest.test_case "branch costs" `Quick test_branch_costs;
+    Alcotest.test_case "compute exact" `Quick test_compute_exact;
+    Alcotest.test_case "multicore clocks independent" `Quick
+      test_multicore_clocks_independent;
+    Alcotest.test_case "cross-core LLC sharing" `Quick
+      test_cross_core_llc_sharing;
+    Alcotest.test_case "prefetch effect" `Quick test_prefetch_effect;
+    Alcotest.test_case "prefetch disabled" `Quick test_prefetch_disabled;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "time-protection"
+    [
+      ("rng", Test_rng.suite);
+      ("cache", Test_cache.suite);
+      ("tlb", Test_tlb.suite);
+      ("bpred", Test_bpred.suite);
+      ("prefetch", Test_prefetch.suite);
+      ("clock/mem/bus/latency", Test_clock_mem_bus.suite);
+      ("machine", Test_machine.suite);
+      ("kernel", Test_kernel.suite);
+      ("program", Test_program.suite);
+      ("frame_alloc", Test_frame_alloc.suite);
+      ("kclone", Test_kclone.suite);
+      ("irq/ipc/sched/event", Test_irq_ipc_sched.suite);
+      ("hist/matrix/capacity", Test_hist_matrix_capacity.suite);
+      ("prime_probe", Test_prime_probe.suite);
+      ("secmodel", Test_secmodel.suite);
+      ("nonint/proofs", Test_nonint_proofs.suite);
+      ("channels", Test_channels.suite);
+      ("core", Test_core_lib.suite);
+      ("hw-extensions", Test_hw_extensions.suite);
+      ("wcet/trace/protocol", Test_wcet_trace_protocol.suite);
+      ("exhaustive/mutual", Test_exhaustive_mutual.suite);
+      ("system", Test_system.suite);
+      ("kernel-properties", Test_kernel_properties.suite);
+      ("side-channel", Test_side_channel.suite);
+      ("more-properties", Test_more_properties.suite);
+      ("engine-edges", Test_engine_edges.suite);
+    ]

@@ -1,0 +1,132 @@
+open Tpro_hw
+open Tpro_channel
+open Time_protection
+
+(* A final batch of cross-cutting properties. *)
+
+let prop_matrix_rows_normalised =
+  QCheck.Test.make ~name:"channel matrix rows sum to 1" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (pair (int_bound 5) (int_bound 9)))
+    (fun samples ->
+      match samples with
+      | [] -> true
+      | _ ->
+        let m = Matrix.of_samples samples in
+        let ok = ref true in
+        for i = 0 to Matrix.n_inputs m - 1 do
+          let s = Array.fold_left ( +. ) 0. (Matrix.row m i) in
+          if Float.abs (s -. 1.) > 1e-9 then ok := false
+        done;
+        !ok)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 1000))
+    (fun values ->
+      let h = Hist.of_list values in
+      let qs = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+      let quantiles = List.map (Hist.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono quantiles)
+
+let prop_mi_bounded_by_entropy =
+  QCheck.Test.make ~name:"mutual information <= min(H(X), log |Y|)" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 60) (pair (int_bound 3) (int_bound 7)))
+    (fun samples ->
+      match List.sort_uniq compare (List.map fst samples) with
+      | [] | [ _ ] -> true
+      | inputs ->
+        let m = Matrix.of_samples samples in
+        let mi = Capacity.mutual_information m in
+        let hx = log (float_of_int (List.length inputs)) /. log 2. in
+        let hy = log (float_of_int (Matrix.n_outputs m)) /. log 2. in
+        mi <= hx +. 1e-9 && mi <= hy +. 1e-9)
+
+let prop_tdma_isolation =
+  (* under strict TDMA, domain 1's latencies are a function of its own
+     request times only, whatever domain 0 does *)
+  QCheck.Test.make ~name:"TDMA: foreign traffic never changes own latency"
+    ~count:100
+    QCheck.(pair (list (int_bound 500)) (list_of_size (Gen.int_range 1 10) (int_bound 500)))
+    (fun (foreign, own) ->
+      let mk () =
+        Interconnect.create ~service:16
+          ~mode:(Interconnect.Partitioned { slot = 32; n_domains = 2 })
+          ()
+      in
+      let quiet = mk () and noisy = mk () in
+      List.iter
+        (fun t -> ignore (Interconnect.request noisy ~domain:0 ~now:t))
+        (List.sort compare foreign);
+      let own = List.sort compare own in
+      let run bus = List.map (fun t -> Interconnect.request bus ~domain:1 ~now:(1000 + t)) own in
+      run quiet = run noisy)
+
+let prop_shared_bus_not_isolated =
+  (* sanity for the property above: the same experiment on a shared bus
+     does find interference for heavy foreign traffic *)
+  QCheck.Test.make ~name:"shared bus: saturated foreign traffic delays us"
+    ~count:50
+    QCheck.(int_bound 100)
+    (fun jitter ->
+      let mk () = Interconnect.create ~service:64 () in
+      let quiet = mk () and noisy = mk () in
+      for i = 0 to 19 do
+        ignore (Interconnect.request noisy ~domain:0 ~now:(900 + i + jitter))
+      done;
+      Interconnect.request noisy ~domain:1 ~now:(1000 + jitter)
+      > Interconnect.request quiet ~domain:1 ~now:(1000 + jitter))
+
+let prop_exhaustive_universe_size =
+  QCheck.Test.make ~name:"exhaustive enumeration covers |alphabet|^len"
+    ~count:20
+    QCheck.(pair (int_range 1 3) (int_range 1 4))
+    (fun (len, alpha_n) ->
+      let open Tpro_secmodel in
+      let u =
+        {
+          Exhaustive.hi_len = len;
+          hi_alphabet =
+            List.init alpha_n (fun i -> Tpro_kernel.Program.Compute (i + 1));
+          seeds = [ 0 ];
+        }
+      in
+      let programs = Exhaustive.enumerate u in
+      List.length programs = Exhaustive.universe_size u
+      && List.length (List.sort_uniq compare programs) = List.length programs)
+
+let prop_wcet_monotone_in_jitter =
+  QCheck.Test.make ~name:"WCET bounds grow with jitter magnitude" ~count:50
+    QCheck.(int_range 0 10)
+    (fun mag ->
+      let cfg m =
+        {
+          Machine.default_config with
+          Machine.lat = { Latency.default with Latency.jitter_mag = m };
+        }
+      in
+      Wcet.recommended_pad (cfg (mag + 1)) >= Wcet.recommended_pad (cfg mag))
+
+let prop_protocol_roundtrip_without_tp =
+  QCheck.Test.make ~name:"downgrader protocol roundtrips any message" ~count:5
+    QCheck.(list_of_size (Gen.int_range 1 6) (int_bound 7))
+    (fun message ->
+      let t =
+        Protocol.transmit (Downgrader.scenario ()) ~cfg:Presets.none ~message
+      in
+      t.Protocol.received = message)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_matrix_rows_normalised;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_mi_bounded_by_entropy;
+    QCheck_alcotest.to_alcotest prop_tdma_isolation;
+    QCheck_alcotest.to_alcotest prop_shared_bus_not_isolated;
+    QCheck_alcotest.to_alcotest prop_exhaustive_universe_size;
+    QCheck_alcotest.to_alcotest prop_wcet_monotone_in_jitter;
+    QCheck_alcotest.to_alcotest prop_protocol_roundtrip_without_tp;
+  ]

@@ -1,0 +1,162 @@
+open Tpro_kernel
+open Tpro_secmodel
+open Time_protection
+
+(* These are the headline verification regression tests: the proof stack
+   must hold under full time protection and find counter-examples when any
+   single mechanism is removed.  A reduced sampled universe (2 secrets,
+   1 seed) keeps them fast. *)
+
+let secrets = [ 0; 1 ]
+let seed = 0
+
+let build cfg ~secret = Ni_scenario.build ~cfg ~seed ~secret
+
+let report cfg =
+  Nonint.two_run ~build:(build cfg) ~secret1:0 ~secret2:1 ()
+
+let test_full_is_secure () =
+  Alcotest.(check bool) "no divergence under full TP" true
+    (Nonint.secure (report Presets.full))
+
+let test_none_is_insecure () =
+  Alcotest.(check bool) "divergence without TP" false
+    (Nonint.secure (report Presets.none))
+
+let test_each_ablation_leaks () =
+  (* a knocked-out mechanism may only leak for some secret pairs, so this
+     check samples a wider universe than the quick two-run tests *)
+  let leaks cfg =
+    Nonint.check_secrets ~build:(build cfg) ~secrets:[ 0; 1; 2; 3 ] () <> []
+  in
+  List.iter
+    (fun (name, cfg) ->
+      if name <> "full" then
+        Alcotest.(check bool) (name ^ " leaks") true (leaks cfg))
+    Presets.ablations
+
+let test_case1_full () =
+  let c =
+    Proofs.case1_user_steps ~build:(fun ~secret -> build Presets.full ~secret)
+      ~secrets ()
+  in
+  Alcotest.(check bool) "case 1 holds" true c.Proofs.holds
+
+let test_case2a_full () =
+  let c =
+    Proofs.case2a_traps ~build:(fun ~secret -> build Presets.full ~secret)
+      ~secrets ()
+  in
+  Alcotest.(check bool) "case 2a holds" true c.Proofs.holds
+
+let test_case2b_full () =
+  let run = Nonint.execute (build Presets.full) 0 in
+  let c = Proofs.case2b_constant_switch run.Nonint.kernel in
+  Alcotest.(check bool) "case 2b holds" true c.Proofs.holds
+
+let test_case2b_catches_unpadded_idle () =
+  (* without deterministic delivery, idle handovers land off the deadline *)
+  let run =
+    Nonint.execute (build Presets.without_deterministic_delivery) 0
+  in
+  let c = Proofs.case2b_constant_switch run.Nonint.kernel in
+  Alcotest.(check bool) "case 2b detects early handover" false c.Proofs.holds
+
+let test_noninterference_check () =
+  let c =
+    Proofs.noninterference ~build:(fun ~secret -> build Presets.full ~secret)
+      ~secrets ()
+  in
+  Alcotest.(check bool) "NI holds" true c.Proofs.holds;
+  let c' =
+    Proofs.noninterference ~build:(fun ~secret -> build Presets.none ~secret)
+      ~secrets ()
+  in
+  Alcotest.(check bool) "NI violated without TP" false c'.Proofs.holds
+
+let test_invariants_throughout () =
+  let c =
+    Proofs.invariants_throughout ~check_every:100
+      ~build:(fun ~secret -> build Presets.full ~secret)
+      ~secret:0 ()
+  in
+  Alcotest.(check bool) "invariants hold" true c.Proofs.holds
+
+let test_across_seeds_conjunction () =
+  let c =
+    Proofs.across_seeds ~seeds:[ 0; 1 ] (fun ~seed ->
+        Proofs.noninterference
+          ~build:(fun ~secret -> Ni_scenario.build ~cfg:Presets.full ~seed ~secret)
+          ~secrets ())
+  in
+  Alcotest.(check bool) "holds across seeds" true c.Proofs.holds
+
+let test_across_seeds_reports_failing_seed () =
+  let c =
+    Proofs.across_seeds ~seeds:[ 7 ] (fun ~seed ->
+        Proofs.noninterference
+          ~build:(fun ~secret -> Ni_scenario.build ~cfg:Presets.none ~seed ~secret)
+          ~secrets ())
+  in
+  Alcotest.(check bool) "failure surfaces" false c.Proofs.holds;
+  Alcotest.(check bool) "seed named in detail" true
+    (String.length c.Proofs.detail > 0)
+
+let test_unwinding_holds_full () =
+  let c =
+    Unwinding.check ~build:(build Presets.full) ~secrets:[ 0; 1; 2 ] ()
+  in
+  Alcotest.(check bool) "unwinding relation preserved" true c.Proofs.holds
+
+let test_unwinding_names_component () =
+  match
+    Unwinding.check_pair ~build:(build Presets.without_colouring) ~secret1:0
+      ~secret2:1 ()
+  with
+  | None -> Alcotest.fail "colour ablation must break the relation"
+  | Some d ->
+    Alcotest.(check string) "the LLC partition is the broken component"
+      "llc-partition" d.Unwinding.component;
+    Alcotest.(check bool) "at a definite Lo step" true (d.Unwinding.lo_step >= 1)
+
+let test_lo_view_shape () =
+  let run = Nonint.execute (build Presets.full) 0 in
+  let lo_dom = (List.hd run.Nonint.observers).Thread.dom in
+  let view = Unwinding.lo_view run.Nonint.kernel ~lo_dom in
+  Alcotest.(check (list string)) "view components"
+    [ "lo-threads"; "lo-observations"; "llc-partition"; "core-private"; "clock" ]
+    (List.map fst view)
+
+let test_execute_traces_observers () =
+  let run = Nonint.execute (build Presets.full) 0 in
+  List.iter
+    (fun th ->
+      Alcotest.(check bool) "cost trace recorded" true
+        (Thread.cost_trace th <> []))
+    run.Nonint.observers
+
+let suite =
+  [
+    Alcotest.test_case "full is secure" `Quick test_full_is_secure;
+    Alcotest.test_case "none is insecure" `Quick test_none_is_insecure;
+    Alcotest.test_case "each ablation leaks" `Slow test_each_ablation_leaks;
+    Alcotest.test_case "case 1 (user steps)" `Quick test_case1_full;
+    Alcotest.test_case "case 2a (traps)" `Quick test_case2a_full;
+    Alcotest.test_case "case 2b (switch slot)" `Quick test_case2b_full;
+    Alcotest.test_case "case 2b catches early handover" `Quick
+      test_case2b_catches_unpadded_idle;
+    Alcotest.test_case "noninterference both ways" `Quick
+      test_noninterference_check;
+    Alcotest.test_case "invariants throughout" `Quick test_invariants_throughout;
+    Alcotest.test_case "across seeds conjunction" `Quick
+      test_across_seeds_conjunction;
+    Alcotest.test_case "across seeds failure reporting" `Quick
+      test_across_seeds_reports_failing_seed;
+    Alcotest.test_case "execute traces observers" `Quick
+      test_execute_traces_observers;
+    Alcotest.test_case "unwinding holds under full TP" `Slow
+      test_unwinding_holds_full;
+    Alcotest.test_case "unwinding names the broken component" `Quick
+      test_unwinding_names_component;
+    Alcotest.test_case "lo_view shape" `Quick test_lo_view_shape;
+  ]

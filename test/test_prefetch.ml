@@ -1,0 +1,67 @@
+open Tpro_hw
+
+let test_no_prefetch_cold () =
+  let p = Prefetch.create () in
+  Alcotest.(check (list int)) "first access trains only" []
+    (Prefetch.observe p ~pc:0x40 ~addr:0x1000)
+
+let test_stride_detection () =
+  let p = Prefetch.create () in
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1000);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1040);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1080);
+  let pf = Prefetch.observe p ~pc:0x40 ~addr:0x10C0 in
+  Alcotest.(check (list int)) "prefetches next strides" [ 0x1100; 0x1140 ] pf
+
+let test_stride_change_resets_confidence () =
+  let p = Prefetch.create () in
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1000);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1040);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1080);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x5000);
+  Alcotest.(check (list int)) "irregular access stops prefetching" []
+    (Prefetch.observe p ~pc:0x40 ~addr:0x6000)
+
+let test_zero_stride_no_prefetch () =
+  let p = Prefetch.create () in
+  for _ = 1 to 8 do
+    ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1000)
+  done;
+  Alcotest.(check (list int)) "repeated same address: nothing to prefetch" []
+    (Prefetch.observe p ~pc:0x40 ~addr:0x1000)
+
+let test_flush () =
+  let p = Prefetch.create () in
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1000);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1040);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1080);
+  Prefetch.flush p;
+  let fresh = Prefetch.create () in
+  Alcotest.(check int64) "flush equals power-on" (Prefetch.digest fresh)
+    (Prefetch.digest p);
+  Alcotest.(check (list int)) "no prefetch after flush" []
+    (Prefetch.observe p ~pc:0x40 ~addr:0x10C0)
+
+let test_per_pc_tracking () =
+  let p = Prefetch.create ~slots:16 () in
+  (* interleave two streams on different pcs: both should train *)
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1000);
+  ignore (Prefetch.observe p ~pc:0x44 ~addr:0x9000);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1040);
+  ignore (Prefetch.observe p ~pc:0x44 ~addr:0x9100);
+  ignore (Prefetch.observe p ~pc:0x40 ~addr:0x1080);
+  ignore (Prefetch.observe p ~pc:0x44 ~addr:0x9200);
+  Alcotest.(check (list int)) "stream A prefetches" [ 0x1100; 0x1140 ]
+    (Prefetch.observe p ~pc:0x40 ~addr:0x10C0);
+  Alcotest.(check (list int)) "stream B prefetches" [ 0x9400; 0x9500 ]
+    (Prefetch.observe p ~pc:0x44 ~addr:0x9300)
+
+let suite =
+  [
+    Alcotest.test_case "cold start" `Quick test_no_prefetch_cold;
+    Alcotest.test_case "stride detection" `Quick test_stride_detection;
+    Alcotest.test_case "stride change resets" `Quick test_stride_change_resets_confidence;
+    Alcotest.test_case "zero stride" `Quick test_zero_stride_no_prefetch;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "per-pc tracking" `Quick test_per_pc_tracking;
+  ]

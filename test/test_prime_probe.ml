@@ -1,0 +1,87 @@
+open Tpro_kernel
+open Tpro_channel
+
+let test_prime_addresses () =
+  match Prime_probe.prime ~base:0x1000 ~lines:3 ~line_size:64 with
+  | [| Program.Load 0x1000; Program.Load 0x1040; Program.Load 0x1080 |] -> ()
+  | _ -> Alcotest.fail "prime addresses"
+
+let test_probe_timed () =
+  Array.iter
+    (function
+      | Program.Timed_load _ -> ()
+      | _ -> Alcotest.fail "probe must use timed loads")
+    (Prime_probe.probe ~base:0 ~lines:8 ~line_size:64)
+
+let test_shuffled_probe_is_permutation () =
+  let plain = Prime_probe.probe ~base:0 ~lines:32 ~line_size:64 in
+  let shuffled = Prime_probe.probe_shuffled ~base:0 ~lines:32 ~line_size:64 () in
+  let addrs p =
+    Array.to_list p
+    |> List.filter_map (function Program.Timed_load a -> Some a | _ -> None)
+  in
+  Alcotest.(check (list int)) "same address set"
+    (List.sort compare (addrs plain))
+    (List.sort compare (addrs shuffled));
+  Alcotest.(check bool) "order actually changed" true
+    (addrs plain <> addrs shuffled)
+
+let test_shuffled_deterministic () =
+  let a = Prime_probe.probe_shuffled ~seed:5 ~base:0 ~lines:16 ~line_size:64 () in
+  let b = Prime_probe.probe_shuffled ~seed:5 ~base:0 ~lines:16 ~line_size:64 () in
+  Alcotest.(check bool) "same seed same order" true (a = b)
+
+let test_pages_builders () =
+  let prime =
+    Prime_probe.prime_pages ~page_vaddrs:[ 0x1000; 0x9000 ] ~lines_per_page:4
+      ~line_size:64
+  in
+  Alcotest.(check int) "two pages x 4 lines" 8 (Array.length prime);
+  let probe =
+    Prime_probe.probe_pages ~page_vaddrs:[ 0x1000 ] ~lines_per_page:4
+      ~line_size:64 ()
+  in
+  Alcotest.(check int) "one page x 4 lines" 4 (Array.length probe)
+
+let test_filler () =
+  let f = Prime_probe.filler ~cycles:100 ~chunk:30 in
+  Alcotest.(check int) "ceil(100/30) chunks" 4 (Array.length f);
+  Array.iter
+    (function
+      | Program.Compute 30 -> ()
+      | _ -> Alcotest.fail "filler uses fixed chunks")
+    f
+
+let test_decoders () =
+  let obs =
+    [ Event.Latency 10; Event.Clock 99; Event.Latency 50; Event.Latency 12;
+      Event.Recv 1 ]
+  in
+  Alcotest.(check (list int)) "latencies" [ 10; 50; 12 ] (Prime_probe.latencies obs);
+  Alcotest.(check int) "slow_count" 1 (Prime_probe.slow_count obs ~threshold:20);
+  Alcotest.(check int) "latency_sum" 72 (Prime_probe.latency_sum obs);
+  Alcotest.(check (list int)) "clock_values" [ 99 ] (Prime_probe.clock_values obs);
+  Alcotest.(check int) "relative slow" 1
+    (Prime_probe.slow_count_relative obs ~margin:20)
+
+let test_relative_decoder_shifts () =
+  (* adding a constant offset must not change the relative count *)
+  let obs k = List.map (fun l -> Event.Latency (l + k)) [ 10; 12; 50; 11 ] in
+  Alcotest.(check int) "base" 1
+    (Prime_probe.slow_count_relative (obs 0) ~margin:20);
+  Alcotest.(check int) "shifted" 1
+    (Prime_probe.slow_count_relative (obs 130) ~margin:20)
+
+let suite =
+  [
+    Alcotest.test_case "prime addresses" `Quick test_prime_addresses;
+    Alcotest.test_case "probe timed" `Quick test_probe_timed;
+    Alcotest.test_case "shuffled probe is permutation" `Quick
+      test_shuffled_probe_is_permutation;
+    Alcotest.test_case "shuffled deterministic" `Quick test_shuffled_deterministic;
+    Alcotest.test_case "pages builders" `Quick test_pages_builders;
+    Alcotest.test_case "filler" `Quick test_filler;
+    Alcotest.test_case "decoders" `Quick test_decoders;
+    Alcotest.test_case "relative decoder shift-invariant" `Quick
+      test_relative_decoder_shifts;
+  ]

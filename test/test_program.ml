@@ -1,0 +1,70 @@
+open Tpro_hw
+open Tpro_kernel
+
+let test_builders () =
+  Alcotest.(check int) "loads length" 3 (Program.length (Program.loads [ 1; 2; 3 ]));
+  (match Program.stores [ 5 ] with
+  | [| Program.Store 5 |] -> ()
+  | _ -> Alcotest.fail "stores builder");
+  match Program.timed_loads [ 7 ] with
+  | [| Program.Timed_load 7 |] -> ()
+  | _ -> Alcotest.fail "timed_loads builder"
+
+let test_strided () =
+  match Program.strided ~op:`Load ~base:100 ~stride:10 ~n:3 with
+  | [| Program.Load 100; Program.Load 110; Program.Load 120 |] -> ()
+  | _ -> Alcotest.fail "strided"
+
+let test_concat_halted () =
+  let p = Program.halted (Program.concat [ Program.loads [ 1 ]; Program.loads [ 2 ] ]) in
+  Alcotest.(check int) "length" 3 (Program.length p);
+  match p.(2) with
+  | Program.Halt -> ()
+  | _ -> Alcotest.fail "halted appends Halt"
+
+let test_random_deterministic () =
+  let mk () =
+    Program.random (Rng.create 9) ~len:50 ~data_base:0x1000 ~data_bytes:4096
+  in
+  Alcotest.(check bool) "same seed same program" true (mk () = mk ())
+
+let test_random_ends_in_halt () =
+  let p = Program.random (Rng.create 3) ~len:20 ~data_base:0 ~data_bytes:64 in
+  Alcotest.(check int) "length is len+1" 21 (Program.length p);
+  match p.(20) with
+  | Program.Halt -> ()
+  | _ -> Alcotest.fail "random programs end in Halt"
+
+let prop_random_addresses_in_range =
+  QCheck.Test.make ~name:"random programs touch only their data window"
+    ~count:100
+    QCheck.(pair small_int (int_range 64 8192))
+    (fun (seed, data_bytes) ->
+      let base = 0x2000 in
+      let p = Program.random (Rng.create seed) ~len:60 ~data_base:base ~data_bytes in
+      Array.for_all
+        (function
+          | Program.Load a | Program.Store a | Program.Timed_load a
+          | Program.Clflush a ->
+            a >= base && a < base + data_bytes
+          | Program.Compute _ | Program.Branch _ | Program.Read_clock
+          | Program.Syscall _ | Program.Halt | Program.Set _ | Program.Add _
+          | Program.Load_idx _ | Program.Store_idx _ ->
+            true)
+        p)
+
+let test_pp_smoke () =
+  let p = Program.random (Rng.create 1) ~len:10 ~data_base:0 ~data_bytes:64 in
+  let s = Format.asprintf "%a" Program.pp p in
+  Alcotest.(check bool) "pretty-printer produces output" true (String.length s > 10)
+
+let suite =
+  [
+    Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "strided" `Quick test_strided;
+    Alcotest.test_case "concat/halted" `Quick test_concat_halted;
+    Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+    Alcotest.test_case "random ends in halt" `Quick test_random_ends_in_halt;
+    QCheck_alcotest.to_alcotest prop_random_addresses_in_range;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

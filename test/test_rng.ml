@@ -1,0 +1,72 @@
+open Tpro_hw
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next a <> Rng.next b)
+
+let test_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_invalid () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xa = Rng.next a and xb = Rng.next b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_hash64_pure () =
+  Alcotest.(check int64) "hash64 pure" (Rng.hash64 123L) (Rng.hash64 123L);
+  Alcotest.(check bool) "hash64 mixes" true (Rng.hash64 1L <> Rng.hash64 2L)
+
+let test_combine_order () =
+  Alcotest.(check bool) "combine is order-sensitive" true
+    (Rng.combine 1L 2L <> Rng.combine 2L 1L)
+
+let test_hash_int_nonneg () =
+  let seed = 0xABCDL in
+  for i = 0 to 1000 do
+    Alcotest.(check bool) "hash_int non-negative" true
+      (Rng.hash_int seed (Int64.of_int i) >= 0)
+  done
+
+let test_bool_balanced () =
+  let r = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4000 && !trues < 6000)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "hash64 pure" `Quick test_hash64_pure;
+    Alcotest.test_case "combine order" `Quick test_combine_order;
+    Alcotest.test_case "hash_int non-negative" `Quick test_hash_int_nonneg;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+  ]

@@ -1,0 +1,199 @@
+open Tpro_hw
+open Tpro_kernel
+open Tpro_secmodel
+
+(* ------------------------- Mstate --------------------------------- *)
+
+let test_taxonomy_total () =
+  (* every component is classified, and the aISA check passes because the
+     only Neither component is explicitly out of scope *)
+  Alcotest.(check bool) "aISA satisfied" true (Mstate.aisa_satisfied ());
+  Alcotest.(check int) "one out-of-scope component" 1
+    (List.length (Mstate.out_of_scope_components ()))
+
+let test_taxonomy_classes () =
+  Alcotest.(check bool) "L1D flushable" true
+    (Mstate.classify Mstate.L1D = Mstate.Flushable);
+  Alcotest.(check bool) "LLC partitionable" true
+    (Mstate.classify Mstate.LLC = Mstate.Partitionable);
+  Alcotest.(check bool) "interconnect neither" true
+    (Mstate.classify Mstate.Interconnect = Mstate.Neither);
+  Alcotest.(check bool) "interconnect out of scope" false
+    (Mstate.in_scope Mstate.Interconnect)
+
+(* ------------------------- Observation ---------------------------- *)
+
+let test_observation_equal () =
+  let a = [ Event.Clock 1; Event.Latency 5 ] in
+  Alcotest.(check bool) "equal" true (Observation.equal a a);
+  Alcotest.(check bool) "diverges" false
+    (Observation.equal a [ Event.Clock 1; Event.Latency 6 ])
+
+let test_first_divergence_position () =
+  let a = [ Event.Clock 1; Event.Latency 5; Event.Recv 0 ] in
+  let b = [ Event.Clock 1; Event.Latency 6; Event.Recv 0 ] in
+  match Observation.first_divergence a b with
+  | Some d -> Alcotest.(check int) "position" 1 d.Observation.position
+  | None -> Alcotest.fail "expected divergence"
+
+let test_divergence_on_length () =
+  let a = [ Event.Clock 1 ] and b = [ Event.Clock 1; Event.Clock 2 ] in
+  match Observation.first_divergence a b with
+  | Some { Observation.position = 1; left = None; right = Some _ } -> ()
+  | _ -> Alcotest.fail "length mismatch must be a divergence"
+
+let test_compare_many () =
+  let t1 = [ [ Event.Clock 1 ]; [ Event.Clock 2 ] ] in
+  let t2 = [ [ Event.Clock 1 ]; [ Event.Clock 3 ] ] in
+  match Observation.compare_many t1 t2 with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "expected divergence in second trace"
+
+(* ------------------------- Tlb_theorem ---------------------------- *)
+
+let test_consistency_definition () =
+  let tlb = Tlb.create ~capacity:8 in
+  let pt = Hashtbl.create 4 in
+  Hashtbl.replace pt 1 100;
+  Tlb.insert tlb ~asid:1 ~vpn:1 ~pfn:100;
+  Alcotest.(check bool) "consistent" true (Tlb_theorem.consistent tlb ~asid:1 pt);
+  Hashtbl.replace pt 1 200;
+  Alcotest.(check bool) "stale entry detected" false
+    (Tlb_theorem.consistent tlb ~asid:1 pt)
+
+let test_apply_map_invalidate () =
+  let tlb = Tlb.create ~capacity:8 in
+  let pt = Hashtbl.create 4 in
+  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 30 });
+  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Touch 3);
+  Alcotest.(check (option int)) "cached" (Some 30) (Tlb.peek tlb ~asid:1 ~vpn:3);
+  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 99 });
+  Alcotest.(check (option int)) "invalidated on remap" None
+    (Tlb.peek tlb ~asid:1 ~vpn:3);
+  Alcotest.(check bool) "still consistent" true
+    (Tlb_theorem.consistent tlb ~asid:1 pt)
+
+let test_buggy_os_breaks_own () =
+  let tlb = Tlb.create ~capacity:8 in
+  let pt = Hashtbl.create 4 in
+  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 30 });
+  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Touch 3);
+  Tlb_theorem.apply ~invalidate_on_update:false tlb ~asid:1 pt
+    (Tlb_theorem.Map { vpn = 3; pfn = 99 });
+  Alcotest.(check bool) "own consistency broken" false
+    (Tlb_theorem.consistent tlb ~asid:1 pt)
+
+let prop_partition_theorem =
+  QCheck.Test.make ~name:"ASID A ops preserve ASID B consistency" ~count:200
+    QCheck.(pair small_int (list (pair (int_bound 15) (int_bound 3))))
+    (fun (seed, raw_ops) ->
+      let rng = Rng.create seed in
+      let tlb = Tlb.create ~capacity:16 in
+      let pt_a = Hashtbl.create 8 and pt_b = Hashtbl.create 8 in
+      for vpn = 0 to 5 do
+        Hashtbl.replace pt_b vpn (200 + vpn);
+        Tlb_theorem.apply tlb ~asid:2 pt_b (Tlb_theorem.Touch vpn)
+      done;
+      let ops =
+        List.map
+          (fun (vpn, k) ->
+            match k with
+            | 0 -> Tlb_theorem.Map { vpn; pfn = Rng.int rng 128 }
+            | 1 -> Tlb_theorem.Unmap vpn
+            | 2 -> Tlb_theorem.Touch vpn
+            | _ -> Tlb_theorem.Flush_asid)
+          raw_ops
+      in
+      Tlb_theorem.partition_preserved tlb ~actor_asid:1 ~ops ~actor_pt:pt_a
+        ~other_asid:2 ~other_pt:pt_b)
+
+(* ------------------------- Invariant ------------------------------ *)
+
+let small_machine =
+  {
+    Machine.default_config with
+    Machine.n_frames = 512;
+    llc_geom = Cache.geometry ~sets:256 ~ways:4 ~line_bits:6 ();
+  }
+
+let test_invariants_hold_on_full () =
+  let k =
+    Kernel.create ~machine_config:small_machine Kernel.config_full
+  in
+  let d0 = Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 () in
+  let d1 = Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 () in
+  Kernel.map_region k d0 ~vbase:0x20000000 ~pages:2;
+  Kernel.map_region k d1 ~vbase:0x20000000 ~pages:2;
+  ignore
+    (Kernel.spawn k d0
+       (Program.halted
+          (Array.init 64 (fun i -> Program.Store (0x20000000 + (i * 64))))));
+  ignore
+    (Kernel.spawn k d1
+       (Program.halted
+          (Array.init 64 (fun i -> Program.Load (0x20000000 + (i * 64))))));
+  Kernel.run ~max_steps:10_000 k;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Invariant.detail) (Invariant.check_all k))
+
+let test_colour_invariant_detects_foreign_line () =
+  let k =
+    Kernel.create ~machine_config:small_machine Kernel.config_full
+  in
+  let d0 = Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 () in
+  ignore d0;
+  (* plant a line owned by domain 0 in a set of a colour it does not own *)
+  let llc = Machine.llc (Kernel.machine k) in
+  let geom = Cache.geom llc in
+  let foreign_colour = 3 in
+  let set_span = geom.Cache.sets / Cache.n_colours geom ~page_bits:12 in
+  let paddr = foreign_colour * set_span * 64 in
+  ignore (Cache.access llc ~owner:0 ~write:false paddr);
+  Alcotest.(check bool) "violation reported" true
+    (Invariant.colour_partition k <> [])
+
+let test_tlb_invariant_detects_stale () =
+  let k =
+    Kernel.create ~machine_config:small_machine Kernel.config_full
+  in
+  let d0 = Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 () in
+  Kernel.map_region k d0 ~vbase:0x20000000 ~pages:1;
+  (* insert a mapping that disagrees with the page table *)
+  Tlb.insert
+    (Machine.tlb (Kernel.machine k) ~core:0)
+    ~asid:d0.Domain.asid ~vpn:(0x20000000 lsr 12) ~pfn:0x123;
+  Alcotest.(check bool) "stale entry detected" true
+    (Invariant.tlb_consistency k <> [])
+
+let test_disjoint_colours_invariant () =
+  let k =
+    Kernel.create ~machine_config:small_machine Kernel.config_full
+  in
+  ignore (Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 ());
+  ignore (Kernel.create_domain k ~slice:5000 ~pad_cycles:9000 ());
+  Alcotest.(check (list string)) "disjoint by construction" []
+    (List.map (fun v -> v.Invariant.detail) (Invariant.disjoint_domain_colours k))
+
+let suite =
+  [
+    Alcotest.test_case "taxonomy total" `Quick test_taxonomy_total;
+    Alcotest.test_case "taxonomy classes" `Quick test_taxonomy_classes;
+    Alcotest.test_case "observation equal" `Quick test_observation_equal;
+    Alcotest.test_case "first divergence position" `Quick
+      test_first_divergence_position;
+    Alcotest.test_case "divergence on length" `Quick test_divergence_on_length;
+    Alcotest.test_case "compare_many" `Quick test_compare_many;
+    Alcotest.test_case "tlb consistency definition" `Quick
+      test_consistency_definition;
+    Alcotest.test_case "apply map invalidates" `Quick test_apply_map_invalidate;
+    Alcotest.test_case "buggy OS breaks own consistency" `Quick
+      test_buggy_os_breaks_own;
+    QCheck_alcotest.to_alcotest prop_partition_theorem;
+    Alcotest.test_case "invariants hold on full config" `Quick
+      test_invariants_hold_on_full;
+    Alcotest.test_case "colour invariant detects foreign line" `Quick
+      test_colour_invariant_detects_foreign_line;
+    Alcotest.test_case "tlb invariant detects stale entry" `Quick
+      test_tlb_invariant_detects_stale;
+    Alcotest.test_case "disjoint colours" `Quick test_disjoint_colours_invariant;
+  ]

@@ -1,0 +1,105 @@
+open Tpro_kernel
+open Time_protection
+
+let simple_spec () =
+  System.spec ~protection:Presets.full
+    [
+      System.domain ~name:"alice" ~slice:10_000
+        ~regions:[ { System.vbase = 0x2000_0000; pages = 2 } ]
+        [
+          [|
+            Program.Read_clock;
+            Program.Load 0x2000_0000;
+            Program.Read_clock;
+            Program.Halt;
+          |];
+        ];
+      System.domain ~name:"bob" ~slice:10_000
+        [ [| Program.Compute 500; Program.Halt |] ];
+    ]
+
+let test_build_and_run () =
+  let sys = System.build (simple_spec ()) in
+  System.run sys;
+  Alcotest.(check bool) "everything halted" true
+    (Kernel.all_halted (System.kernel sys));
+  match System.observations sys "alice" with
+  | [ [ Event.Clock a; Event.Clock b ] ] ->
+    Alcotest.(check bool) "time advanced" true (b > a)
+  | _ -> Alcotest.fail "expected one thread with two clock readings"
+
+let test_lookup () =
+  let sys = System.build (simple_spec ()) in
+  Alcotest.(check int) "alice is domain 0" 0
+    (System.domain_named sys "alice").Domain.did;
+  Alcotest.(check int) "bob has one thread" 1
+    (List.length (System.threads_of sys "bob"));
+  Alcotest.check_raises "unknown domain"
+    (Invalid_argument "System: unknown domain carol") (fun () ->
+      ignore (System.domain_named sys "carol"))
+
+let test_duplicate_names_rejected () =
+  let s =
+    System.spec ~protection:Presets.none
+      [
+        System.domain ~name:"x" ~slice:1_000 [];
+        System.domain ~name:"x" ~slice:1_000 [];
+      ]
+  in
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "System.build: duplicate domain names") (fun () ->
+      ignore (System.build s))
+
+let test_default_pad_is_wcet () =
+  let sys = System.build (simple_spec ()) in
+  let expected =
+    Wcet.recommended_pad Tpro_hw.Machine.default_config
+  in
+  Alcotest.(check int) "pad filled in by the WCET analysis" expected
+    (System.domain_named sys "alice").Domain.pad_cycles
+
+let test_sharing () =
+  let s =
+    System.spec ~protection:Presets.none
+      ~shared:
+        [
+          {
+            System.from_domain = "srv";
+            to_domain = "cli";
+            region = { System.vbase = 0x5000_0000; pages = 1 };
+            at_vbase = 0x6000_0000;
+          };
+        ]
+      [
+        System.domain ~name:"srv" ~slice:1_000
+          ~regions:[ { System.vbase = 0x5000_0000; pages = 1 } ]
+          [];
+        System.domain ~name:"cli" ~slice:1_000 [];
+      ]
+  in
+  let sys = System.build s in
+  let k = System.kernel sys in
+  Alcotest.(check (option int)) "same frame via both views"
+    (Kernel.vaddr_to_paddr k (System.domain_named sys "srv") 0x5000_0000)
+    (Kernel.vaddr_to_paddr k (System.domain_named sys "cli") 0x6000_0000)
+
+let test_irq_ownership () =
+  let s =
+    System.spec ~protection:Presets.full
+      [ System.domain ~name:"drv" ~slice:1_000 ~irqs:[ 2; 3 ] [] ]
+  in
+  let sys = System.build s in
+  let k = System.kernel sys in
+  Alcotest.(check int) "irq 2 owned" 0 (Irq.owner (Kernel.irqs k) 2);
+  Alcotest.(check int) "irq 3 owned" 0 (Irq.owner (Kernel.irqs k) 3)
+
+let suite =
+  [
+    Alcotest.test_case "build and run" `Quick test_build_and_run;
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "duplicate names rejected" `Quick
+      test_duplicate_names_rejected;
+    Alcotest.test_case "default pad is WCET" `Quick test_default_pad_is_wcet;
+    Alcotest.test_case "sharing" `Quick test_sharing;
+    Alcotest.test_case "irq ownership" `Quick test_irq_ownership;
+  ]

@@ -1,0 +1,110 @@
+open Tpro_hw
+
+let test_miss_insert_hit () =
+  let t = Tlb.create ~capacity:4 in
+  Alcotest.(check (option int)) "cold miss" None (Tlb.lookup t ~asid:1 ~vpn:10);
+  Tlb.insert t ~asid:1 ~vpn:10 ~pfn:99;
+  Alcotest.(check (option int)) "hit" (Some 99) (Tlb.lookup t ~asid:1 ~vpn:10)
+
+let test_asid_isolation () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~asid:1 ~vpn:10 ~pfn:99;
+  Alcotest.(check (option int)) "other asid misses" None
+    (Tlb.lookup t ~asid:2 ~vpn:10)
+
+let test_global_entries () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert ~global:true t ~asid:1 ~vpn:10 ~pfn:50;
+  Alcotest.(check (option int)) "global visible to any asid" (Some 50)
+    (Tlb.lookup t ~asid:7 ~vpn:10)
+
+let test_lru_replacement () =
+  let t = Tlb.create ~capacity:2 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.insert t ~asid:1 ~vpn:2 ~pfn:2;
+  ignore (Tlb.lookup t ~asid:1 ~vpn:1);
+  Tlb.insert t ~asid:1 ~vpn:3 ~pfn:3;
+  Alcotest.(check (option int)) "vpn 1 retained" (Some 1)
+    (Tlb.peek t ~asid:1 ~vpn:1);
+  Alcotest.(check (option int)) "vpn 2 evicted" None (Tlb.peek t ~asid:1 ~vpn:2)
+
+let test_flush_all () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.insert t ~asid:2 ~vpn:2 ~pfn:2;
+  Alcotest.(check int) "flush count" 2 (Tlb.flush_all t);
+  Alcotest.(check int) "empty" 0 (Tlb.count t)
+
+let test_flush_asid () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.insert t ~asid:2 ~vpn:2 ~pfn:2;
+  Tlb.insert ~global:true t ~asid:1 ~vpn:3 ~pfn:3;
+  Alcotest.(check int) "flushed only asid 1 non-global" 1 (Tlb.flush_asid t 1);
+  Alcotest.(check (option int)) "asid 2 intact" (Some 2)
+    (Tlb.peek t ~asid:2 ~vpn:2);
+  Alcotest.(check (option int)) "global intact" (Some 3)
+    (Tlb.peek t ~asid:9 ~vpn:3)
+
+let test_invalidate () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.invalidate t ~asid:1 ~vpn:1;
+  Alcotest.(check (option int)) "entry gone" None (Tlb.peek t ~asid:1 ~vpn:1)
+
+let test_update_in_place () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:42;
+  Alcotest.(check int) "no duplicate" 1 (Tlb.count t);
+  Alcotest.(check (option int)) "updated" (Some 42) (Tlb.peek t ~asid:1 ~vpn:1)
+
+let test_peek_preserves_lru () =
+  let t = Tlb.create ~capacity:2 in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Tlb.insert t ~asid:1 ~vpn:2 ~pfn:2;
+  ignore (Tlb.peek t ~asid:1 ~vpn:1);
+  (* vpn 1 is still LRU because peek must not refresh *)
+  Tlb.insert t ~asid:1 ~vpn:3 ~pfn:3;
+  Alcotest.(check (option int)) "vpn 1 evicted despite peek" None
+    (Tlb.peek t ~asid:1 ~vpn:1)
+
+let test_digest_changes () =
+  let t = Tlb.create ~capacity:4 in
+  let d0 = Tlb.digest t in
+  Tlb.insert t ~asid:1 ~vpn:1 ~pfn:1;
+  Alcotest.(check bool) "digest sensitive to contents" true (d0 <> Tlb.digest t)
+
+(* The Sect. 5.3 partitioning property at the TLB level: inserting or
+   invalidating entries under one ASID never changes what another ASID can
+   translate, as long as capacity suffices.  (The *timing* side needs the
+   full model; see the secmodel tests.) *)
+let prop_asid_partition =
+  QCheck.Test.make ~name:"ops under asid A preserve asid B translations"
+    ~count:300
+    QCheck.(list (pair (int_bound 15) (int_bound 7)))
+    (fun ops ->
+      let t = Tlb.create ~capacity:64 in
+      Tlb.insert t ~asid:2 ~vpn:5 ~pfn:55;
+      Tlb.insert t ~asid:2 ~vpn:6 ~pfn:66;
+      List.iter
+        (fun (vpn, k) ->
+          if k land 1 = 0 then Tlb.insert t ~asid:1 ~vpn ~pfn:(vpn + 100)
+          else Tlb.invalidate t ~asid:1 ~vpn)
+        ops;
+      Tlb.peek t ~asid:2 ~vpn:5 = Some 55 && Tlb.peek t ~asid:2 ~vpn:6 = Some 66)
+
+let suite =
+  [
+    Alcotest.test_case "miss insert hit" `Quick test_miss_insert_hit;
+    Alcotest.test_case "asid isolation" `Quick test_asid_isolation;
+    Alcotest.test_case "global entries" `Quick test_global_entries;
+    Alcotest.test_case "LRU replacement" `Quick test_lru_replacement;
+    Alcotest.test_case "flush all" `Quick test_flush_all;
+    Alcotest.test_case "flush by asid" `Quick test_flush_asid;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+    Alcotest.test_case "update in place" `Quick test_update_in_place;
+    Alcotest.test_case "peek preserves LRU" `Quick test_peek_preserves_lru;
+    Alcotest.test_case "digest changes" `Quick test_digest_changes;
+    QCheck_alcotest.to_alcotest prop_asid_partition;
+  ]

@@ -1,0 +1,225 @@
+open Tpro_hw
+open Tpro_kernel
+open Tpro_channel
+open Time_protection
+
+(* ------------------------- Wcet ----------------------------------- *)
+
+let cfg = Machine.default_config
+
+let test_bounds_positive_and_ordered () =
+  Alcotest.(check bool) "bus wait positive" true (Wcet.worst_bus_wait cfg > 0);
+  Alcotest.(check bool) "data access dominates bus wait" true
+    (Wcet.worst_data_access cfg > Wcet.worst_bus_wait cfg);
+  Alcotest.(check bool) "trap dominates one access" true
+    (Wcet.worst_trap cfg > Wcet.worst_data_access cfg);
+  Alcotest.(check bool) "pad dominates flush" true
+    (Wcet.recommended_pad cfg > Wcet.worst_flush cfg)
+
+let test_l2_raises_bounds () =
+  let with_l2 =
+    { cfg with Machine.l2_geom = Some (Cache.geometry ~sets:128 ~ways:4 ()) }
+  in
+  Alcotest.(check bool) "L2 raises the flush bound" true
+    (Wcet.worst_flush with_l2 > Wcet.worst_flush cfg);
+  Alcotest.(check bool) "L2 raises the access bound" true
+    (Wcet.worst_data_access with_l2 > Wcet.worst_data_access cfg)
+
+let test_bus_modes_ordered () =
+  let tdma =
+    { cfg with Machine.bus_mode = Interconnect.Partitioned { slot = 64; n_domains = 4 } }
+  in
+  Alcotest.(check bool) "TDMA worst wait includes a frame" true
+    (Wcet.worst_bus_wait tdma >= 64 * 4)
+
+(* The paper's assumption made checkable: a kernel padded by the WCET
+   analysis never overruns, whatever the domains run. *)
+let prop_recommended_pad_never_overruns =
+  QCheck.Test.make ~name:"recommended pad never overruns" ~count:25
+    QCheck.(pair small_int small_int)
+    (fun (seed, prog_seed) ->
+      let max_compute = 2_000 in
+      let machine_config =
+        { cfg with Machine.lat = Latency.with_seed Latency.default seed }
+      in
+      let pad = Wcet.recommended_pad ~max_compute machine_config in
+      let kernel_cfg =
+        { Kernel.config_full with Kernel.deterministic_delivery = true }
+      in
+      let k = Kernel.create ~machine_config kernel_cfg in
+      let d0 = Kernel.create_domain k ~slice:20_000 ~pad_cycles:pad () in
+      let d1 = Kernel.create_domain k ~slice:20_000 ~pad_cycles:pad () in
+      Kernel.map_region k d0 ~vbase:0x2000_0000 ~pages:4;
+      Kernel.map_region k d1 ~vbase:0x2000_0000 ~pages:4;
+      let mk ds =
+        Program.random (Rng.create ds) ~len:200 ~data_base:0x2000_0000
+          ~data_bytes:(4 * 4096)
+      in
+      ignore (Kernel.spawn k d0 (mk prog_seed));
+      ignore (Kernel.spawn k d1 (mk (prog_seed + 1)));
+      Kernel.run ~max_steps:50_000 k;
+      not (List.exists Event.is_overrun (Kernel.events k)))
+
+(* ------------------------- Trace ---------------------------------- *)
+
+let traced_kernel () =
+  let k = Kernel.create Kernel.config_full in
+  let d0 = Kernel.create_domain k ~slice:5_000 ~pad_cycles:9_000 () in
+  let d1 = Kernel.create_domain k ~slice:5_000 ~pad_cycles:9_000 () in
+  ignore (Kernel.spawn k d0 (Array.make 400 (Program.Compute 50)));
+  ignore (Kernel.spawn k d1 (Array.make 400 (Program.Compute 50)));
+  ignore d0;
+  ignore d1;
+  Kernel.run ~max_steps:5_000 k;
+  k
+
+let test_timeline_contiguous () =
+  let k = traced_kernel () in
+  let segs = Trace.timeline k in
+  Alcotest.(check bool) "has segments" true (List.length segs > 3);
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "no gaps or overlaps" true (a.Trace.finish = b.Trace.start);
+      check rest
+    | _ -> ()
+  in
+  check segs
+
+let test_timeline_alternates () =
+  let k = traced_kernel () in
+  let rec ok = function
+    | { Trace.occupant = `Domain _; _ } :: ({ Trace.occupant = `Switch _; _ } :: _ as rest)
+    | { Trace.occupant = `Switch _; _ } :: ({ Trace.occupant = `Domain _; _ } :: _ as rest)
+      ->
+      ok rest
+    | [ _ ] | [] -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "run and switch segments alternate" true
+    (ok (Trace.timeline k))
+
+let test_utilisation_sums_below_one () =
+  let k = traced_kernel () in
+  let u = Trace.utilisation k in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. u in
+  Alcotest.(check bool) "both domains measured" true (List.length u = 2);
+  Alcotest.(check bool) "utilisation below 1 (padding takes the rest)" true
+    (total > 0.1 && total < 1.0)
+
+(* ------------------------- Protocol ------------------------------- *)
+
+let test_decoder_nearest () =
+  let scen = Kernel_text.scenario () in
+  ignore scen;
+  let decoder =
+    (* hand-build via train on a trivially separable channel *)
+    Protocol.train ~seeds:[ 0; 1 ] (Downgrader.scenario ())
+      ~cfg:Presets.none
+  in
+  (* arrival times grow with the secret, so decoding a small output gives
+     a small secret and a large output a large secret *)
+  Alcotest.(check int) "small output, small symbol" 0
+    (Protocol.decode decoder 0);
+  Alcotest.(check int) "large output, large symbol" 7
+    (Protocol.decode decoder 1_000_000)
+
+let test_transmission_faithful_without_tp () =
+  let scen = Downgrader.scenario () in
+  let msg = Protocol.random_message scen ~len:12 in
+  let t = Protocol.transmit scen ~cfg:Presets.none ~message:msg in
+  Alcotest.(check (list int)) "message received intact" msg t.Protocol.received;
+  Alcotest.(check int) "no errors" 0 t.Protocol.symbol_errors;
+  Alcotest.(check bool) "bandwidth positive" true
+    (t.Protocol.bandwidth_bits_per_mcycle > 1.)
+
+let test_transmission_dies_with_tp () =
+  let scen = Downgrader.scenario () in
+  let msg = Protocol.random_message scen ~len:12 in
+  let t = Protocol.transmit scen ~cfg:Presets.full ~message:msg in
+  Alcotest.(check bool) "errors appear" true (t.Protocol.symbol_errors > 0);
+  Alcotest.(check (float 0.0001)) "zero capacity" 0.0 t.Protocol.capacity_bits;
+  Alcotest.(check (float 0.0001)) "zero bandwidth" 0.0
+    t.Protocol.bandwidth_bits_per_mcycle
+
+let test_alphabet_checked () =
+  let scen = Downgrader.scenario () in
+  Alcotest.check_raises "symbol outside alphabet"
+    (Invalid_argument "Protocol.transmit: symbol outside the alphabet")
+    (fun () -> ignore (Protocol.transmit scen ~cfg:Presets.none ~message:[ 99 ]))
+
+(* ------------------------- Flush+Reload --------------------------- *)
+
+let test_flush_reload_open_under_full_tp () =
+  let cap shared cfg =
+    (Attack.measure ~seeds:[ 0; 1 ] (Flush_reload.scenario ~shared ()) ~cfg ())
+      .Attack.capacity_bits
+  in
+  Alcotest.(check bool) "sharing leaks under full TP" true
+    (cap true Presets.full > 0.5);
+  Alcotest.(check bool) "copies are safe even unprotected" true
+    (cap false Presets.none < 0.01)
+
+let test_clflush_instruction () =
+  let k = Kernel.create Kernel.config_none in
+  let d = Kernel.create_domain k ~slice:100_000 ~pad_cycles:0 () in
+  Kernel.map_region k d ~vbase:0x2000_0000 ~pages:1;
+  let th =
+    Kernel.spawn k d
+      [|
+        Program.Load 0x2000_0000;
+        Program.Timed_load 0x2000_0000;
+        Program.Clflush 0x2000_0000;
+        Program.Timed_load 0x2000_0000;
+        Program.Halt;
+      |]
+  in
+  Kernel.run k;
+  match Prime_probe.latencies (Thread.observations th) with
+  | [ warm; after_flush ] ->
+    Alcotest.(check bool) "clflush evicts the line" true (after_flush > warm + 50)
+  | _ -> Alcotest.fail "expected two latencies"
+
+let test_share_region_same_frame () =
+  let k = Kernel.create Kernel.config_none in
+  let a = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  let b = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  Kernel.map_region k a ~vbase:0x2000_0000 ~pages:2;
+  Kernel.share_region k ~owner:a ~guest:b ~vbase:0x2000_0000 ~pages:2
+    ~guest_vbase:0x3000_0000;
+  Alcotest.(check (option int)) "same physical frame"
+    (Kernel.vaddr_to_paddr k a 0x2000_0040)
+    (Kernel.vaddr_to_paddr k b 0x3000_0040)
+
+let test_share_region_validation () =
+  let k = Kernel.create Kernel.config_none in
+  let a = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  let b = Kernel.create_domain k ~slice:1_000 ~pad_cycles:0 () in
+  Alcotest.check_raises "owner must be mapped"
+    (Invalid_argument "Kernel.share_region: owner region not mapped")
+    (fun () ->
+      Kernel.share_region k ~owner:a ~guest:b ~vbase:0x2000_0000 ~pages:1
+        ~guest_vbase:0x3000_0000)
+
+let suite =
+  [
+    Alcotest.test_case "wcet bounds ordered" `Quick test_bounds_positive_and_ordered;
+    Alcotest.test_case "L2 raises bounds" `Quick test_l2_raises_bounds;
+    Alcotest.test_case "bus modes ordered" `Quick test_bus_modes_ordered;
+    QCheck_alcotest.to_alcotest prop_recommended_pad_never_overruns;
+    Alcotest.test_case "timeline contiguous" `Quick test_timeline_contiguous;
+    Alcotest.test_case "timeline alternates" `Quick test_timeline_alternates;
+    Alcotest.test_case "utilisation" `Quick test_utilisation_sums_below_one;
+    Alcotest.test_case "decoder nearest" `Quick test_decoder_nearest;
+    Alcotest.test_case "faithful transmission without TP" `Slow
+      test_transmission_faithful_without_tp;
+    Alcotest.test_case "transmission dies with TP" `Slow
+      test_transmission_dies_with_tp;
+    Alcotest.test_case "alphabet checked" `Quick test_alphabet_checked;
+    Alcotest.test_case "flush+reload open under full TP" `Slow
+      test_flush_reload_open_under_full_tp;
+    Alcotest.test_case "clflush instruction" `Quick test_clflush_instruction;
+    Alcotest.test_case "share_region same frame" `Quick
+      test_share_region_same_frame;
+    Alcotest.test_case "share_region validation" `Quick
+      test_share_region_validation;
+  ]
