@@ -3,15 +3,49 @@
    Part 1 regenerates every experiment table of DESIGN.md (the rows the
    paper reproduction reports) and prints them.
 
-   Part 2 is a Bechamel suite: one [Test.make] per experiment table
-   (measuring the cost of regenerating it with a reduced trial count) plus
-   micro-benchmarks of the substrate primitives the simulator is built
-   from.  Results are printed as OLS time-per-run estimates. *)
+   Part 2 benchmarks the parallel trial engine: the full experiment
+   suite sequentially vs. fanned out over a domain pool ([-j N]), checks
+   the outputs are bit-identical, prints a pretty comparison and writes
+   a machine-readable BENCH_parallel.json so the perf trajectory is
+   trackable across PRs.
+
+   Part 3 is a Bechamel suite: one [Test.make] per experiment table
+   (measuring the cost of regenerating it with a reduced trial count)
+   plus micro-benchmarks of the substrate primitives the simulator is
+   built from.  Results are printed as OLS time-per-run estimates and
+   folded into the JSON.
+
+   Flags: [-j N] pool size, [--seeds 0,1,...] trial seeds,
+   [--json PATH] output path, [--smoke] reduced CI run (tables +
+   bechamel skipped, seq-vs-par comparison kept). *)
 
 open Bechamel
 open Toolkit
 
-let bench_seeds = [ 0; 1 ]
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+let jobs = ref (Tpro_engine.Pool.recommended ())
+let seeds = ref [ 0; 1 ]
+let json_path = ref "BENCH_parallel.json"
+let smoke = ref false
+
+let parse_seeds s =
+  match List.map int_of_string (String.split_on_char ',' s) with
+  | l -> seeds := l
+  | exception _ ->
+    raise (Arg.Bad (Printf.sprintf "--seeds: %S is not a comma-separated list of integers" s))
+
+let () =
+  Arg.parse
+    [
+      ("-j", Arg.Set_int jobs, "N  domains for the parallel engine");
+      ("--seeds", Arg.String parse_seeds, "S  comma-separated trial seeds");
+      ("--json", Arg.Set_string json_path, "PATH  where to write the JSON");
+      ("--smoke", Arg.Set smoke, "  reduced run for CI (skips part 1 and 3)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [-j N] [--seeds 0,1] [--json PATH] [--smoke]"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the tables                                       *)
@@ -23,7 +57,119 @@ let regenerate_tables () =
     (Time_protection.Experiments.all ())
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel suite                                              *)
+(* Part 2: sequential vs. parallel engine                              *)
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type par_bench = {
+  cores : int;
+  domains : int;
+  bench_seeds : int list;
+  seq_seconds : float;
+  par_seconds : float;
+  speedup : float;
+  identical : bool;
+  per_table_seq : (string * float) list;
+}
+
+let bench_parallel () =
+  let seeds = !seeds and domains = max 1 !jobs in
+  let per_table_seq =
+    List.filter_map
+      (fun id ->
+        match Time_protection.Experiments.by_id id with
+        | None -> None
+        | Some f ->
+          let _, dt = time_wall (fun () -> f ~seeds ()) in
+          Some (id, dt))
+      Time_protection.Experiments.ids
+  in
+  let tables_seq, seq_seconds =
+    time_wall (fun () -> Time_protection.Experiments.all ~seeds ())
+  in
+  let tables_par, par_seconds =
+    time_wall (fun () ->
+        Time_protection.Experiments.all_par ~seeds ~domains ())
+  in
+  {
+    cores = Tpro_engine.Pool.recommended ();
+    domains;
+    bench_seeds = seeds;
+    seq_seconds;
+    par_seconds;
+    speedup = seq_seconds /. par_seconds;
+    identical = tables_seq = tables_par;
+    per_table_seq;
+  }
+
+let print_par_bench b =
+  Format.printf
+    "=== Parallel trial engine: full suite, seq vs. par ===@.@.";
+  Format.printf "  recommended domains (cores): %d@." b.cores;
+  Format.printf "  pool size (-j):              %d@." b.domains;
+  Format.printf "  seeds:                       [%s]@."
+    (String.concat "," (List.map string_of_int b.bench_seeds));
+  Format.printf "  sequential:                  %.3f s@." b.seq_seconds;
+  Format.printf "  parallel:                    %.3f s@." b.par_seconds;
+  Format.printf "  speedup:                     %.2fx@." b.speedup;
+  Format.printf "  outputs bit-identical:       %b@.@." b.identical
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (no external dependency)                              *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path b micro =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tpro-bench-parallel/1\",\n";
+  p "  \"cores\": %d,\n" b.cores;
+  p "  \"domains\": %d,\n" b.domains;
+  p "  \"seeds\": [%s],\n"
+    (String.concat ", " (List.map string_of_int b.bench_seeds));
+  p "  \"sequential_seconds\": %.6f,\n" b.seq_seconds;
+  p "  \"parallel_seconds\": %.6f,\n" b.par_seconds;
+  p "  \"speedup\": %.4f,\n" b.speedup;
+  p "  \"outputs_bit_identical\": %b,\n" b.identical;
+  p "  \"per_table_sequential_seconds\": {\n";
+  let n = List.length b.per_table_seq in
+  List.iteri
+    (fun i (id, dt) ->
+      p "    \"%s\": %.6f%s\n" (json_escape id) dt
+        (if i = n - 1 then "" else ","))
+    b.per_table_seq;
+  p "  },\n";
+  p "  \"microbench_ns_per_run\": {\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (name, ns) ->
+      p "    \"%s\": %.2f%s\n" (json_escape name) ns
+        (if i = n - 1 then "" else ","))
+    micro;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel suite                                              *)
+
+let bench_seeds = [ 0; 1 ]
 
 let experiment_tests =
   List.filter_map
@@ -46,6 +192,15 @@ let cache_access_test =
     (Staged.stage (fun () ->
          incr i;
          ignore (Cache.access c ~owner:0 ~write:false (!i * 8191 land 0xFFFFF))))
+
+let cache_digest_test =
+  let open Tpro_hw in
+  let c = Cache.create (Cache.geometry ~sets:64 ~ways:4 ~line_bits:6 ()) in
+  for i = 0 to 255 do
+    ignore (Cache.access c ~owner:0 ~write:(i land 1 = 0) (i * 64))
+  done;
+  Test.make ~name:"hw:cache-digest"
+    (Staged.stage (fun () -> ignore (Cache.digest c)))
 
 let machine_load_test =
   let open Tpro_hw in
@@ -110,6 +265,7 @@ let two_run_test =
 let micro_tests =
   [
     cache_access_test;
+    cache_digest_test;
     machine_load_test;
     flush_test;
     kernel_step_test;
@@ -117,6 +273,7 @@ let micro_tests =
     two_run_test;
   ]
 
+(* Runs the suite and returns (name, ns-per-run) rows for the JSON. *)
 let run_bechamel tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -134,7 +291,7 @@ let run_bechamel tests =
   let rows = List.sort compare rows in
   Format.printf "=== Bechamel micro/table benchmarks (time per run) ===@.@.";
   Format.printf "  %-32s %14s %8s@." "benchmark" "time/run" "r^2";
-  List.iter
+  List.filter_map
     (fun (name, o) ->
       let time_ns =
         match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
@@ -150,9 +307,20 @@ let run_bechamel tests =
         | Some r -> Printf.sprintf "%.4f" r
         | None -> "-"
       in
-      Format.printf "  %-32s %14s %8s@." name pretty r2)
+      Format.printf "  %-32s %14s %8s@." name pretty r2;
+      if Float.is_nan time_ns then None else Some (name, time_ns))
     rows
 
 let () =
-  regenerate_tables ();
-  run_bechamel (experiment_tests @ micro_tests)
+  if not !smoke then regenerate_tables ();
+  let par = bench_parallel () in
+  print_par_bench par;
+  let micro =
+    if !smoke then [] else run_bechamel (experiment_tests @ micro_tests)
+  in
+  write_json !json_path par micro;
+  if not par.identical then begin
+    Format.printf
+      "ERROR: parallel suite diverged from sequential suite output@.";
+    exit 1
+  end

@@ -9,18 +9,25 @@ let print_table csv table =
   if csv then print_string (Time_protection.Table.to_csv table)
   else Format.printf "%a@." Time_protection.Table.render table
 
-let run_experiment id seeds csv =
+let run_experiment id seeds csv jobs =
   match Time_protection.Experiments.by_id id with
   | None ->
     Printf.eprintf "unknown experiment %s; try `tpro list`\n" id;
     exit 1
   | Some f ->
     let seeds = match seeds with [] -> None | l -> Some l in
-    print_table csv (f ?seeds ())
+    if jobs <= 1 then print_table csv (f ?seeds ())
+    else
+      Tpro_engine.Pool.with_pool ~domains:jobs (fun pool ->
+          print_table csv (f ?seeds ~pool ()))
 
-let run_all seeds csv =
+let run_all seeds csv jobs =
   let seeds = match seeds with [] -> None | l -> Some l in
-  List.iter (print_table csv) (Time_protection.Experiments.all ?seeds ())
+  let tables =
+    if jobs <= 1 then Time_protection.Experiments.all ?seeds ()
+    else Time_protection.Experiments.all_par ?seeds ~domains:jobs ()
+  in
+  List.iter (print_table csv) tables
 
 let configs =
   Time_protection.Presets.standard @ Time_protection.Presets.ablations
@@ -102,6 +109,16 @@ let seeds_arg =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Tpro_engine.Pool.recommended ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Number of domains for the parallel trial engine (default: the \
+           runtime's recommended domain count).  Results are bit-identical \
+           for any value.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids")
     Term.(const list_experiments $ const ())
@@ -109,11 +126,11 @@ let list_cmd =
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "exp" ~doc:"Run one experiment (e.g. e2)")
-    Term.(const run_experiment $ id $ seeds_arg $ csv_arg)
+    Term.(const run_experiment $ id $ seeds_arg $ csv_arg $ jobs_arg)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ seeds_arg $ csv_arg)
+    Term.(const run_all $ seeds_arg $ csv_arg $ jobs_arg)
 
 let trace_cmd =
   let cfg = Arg.(value & pos 0 string "full" & info [] ~docv:"CONFIG") in

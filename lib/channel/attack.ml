@@ -35,21 +35,51 @@ let run_trial_timed scenario ~cfg ~seed ~secret =
 
 let default_seeds = List.init 10 (fun i -> i)
 
-let measure ?(seeds = default_seeds) scenario ~cfg () =
-  let samples =
-    List.concat_map
-      (fun secret ->
-        List.map
-          (fun seed -> (secret, run_trial scenario ~cfg ~seed ~secret))
-          seeds)
-      scenario.symbols
-  in
+(* Count distinct outputs in one pass over the samples we already hold —
+   no rebuilt list, no sort. *)
+let distinct_outputs_of samples =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun (_, out) -> Hashtbl.replace seen out ()) samples;
+  Hashtbl.length seen
+
+let outcome_of_samples scenario samples =
   {
     scenario_name = scenario.name;
     samples;
     capacity_bits = Capacity.of_samples samples;
-    distinct_outputs = List.length (List.sort_uniq compare (List.map snd samples));
+    distinct_outputs = distinct_outputs_of samples;
   }
+
+(* The (secret x seed) grid in the canonical order: secrets outer, seeds
+   inner.  Both [measure] and [measure_par] sample in exactly this order,
+   which is what makes their outcomes bit-identical. *)
+let trial_grid scenario ~seeds =
+  List.concat_map
+    (fun secret -> List.map (fun seed -> (secret, seed)) seeds)
+    scenario.symbols
+
+let measure ?(seeds = default_seeds) scenario ~cfg () =
+  outcome_of_samples scenario
+    (List.map
+       (fun (secret, seed) -> (secret, run_trial scenario ~cfg ~seed ~secret))
+       (trial_grid scenario ~seeds))
+
+let measure_par ?(seeds = default_seeds) ?pool ?domains scenario ~cfg () =
+  let grid = trial_grid scenario ~seeds in
+  let run p =
+    let outputs =
+      Tpro_engine.Pool.map p
+        (fun (secret, seed) -> run_trial scenario ~cfg ~seed ~secret)
+        grid
+    in
+    List.map2 (fun (secret, _) out -> (secret, out)) grid outputs
+  in
+  let samples =
+    match pool with
+    | Some p -> run p
+    | None -> Tpro_engine.Pool.with_pool ?domains run
+  in
+  outcome_of_samples scenario samples
 
 let matrix outcome = Matrix.of_samples outcome.samples
 

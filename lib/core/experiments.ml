@@ -7,8 +7,16 @@ let default_seeds = List.init 8 (fun i -> i)
 (* ------------------------------------------------------------------ *)
 (* Shared helpers                                                      *)
 
-let capacity_row ~seeds scenario (name, cfg) =
-  let o = Attack.measure ~seeds scenario ~cfg () in
+(* All capacity measurements go through here: with a pool the (secret x
+   seed) trial grid fans out across domains; the outcome is bit-identical
+   either way (see Attack.measure_par). *)
+let measure_with ?pool ~seeds scenario ~cfg () =
+  match pool with
+  | None -> Attack.measure ~seeds scenario ~cfg ()
+  | Some p -> Attack.measure_par ~seeds ~pool:p scenario ~cfg ()
+
+let capacity_row ?pool ~seeds scenario (name, cfg) =
+  let o = measure_with ?pool ~seeds scenario ~cfg () in
   [
     name;
     Table.cell_float o.Attack.capacity_bits;
@@ -16,23 +24,23 @@ let capacity_row ~seeds scenario (name, cfg) =
     string_of_int (List.length o.Attack.samples);
   ]
 
-let capacity_table ~seeds ~id ~title ~anchor ~note scenario configs =
+let capacity_table ?pool ~seeds ~id ~title ~anchor ~note scenario configs =
   {
     Table.id;
     title;
     anchor;
     headers = [ "config"; "capacity(bits)"; "distinct-outputs"; "samples" ];
-    rows = List.map (capacity_row ~seeds scenario) configs;
+    rows = List.map (capacity_row ?pool ~seeds scenario) configs;
     note;
   }
 
 (* ------------------------------------------------------------------ *)
 (* E1: downgrader arrival time (Figure 1, Sect. 3.2)                   *)
 
-let e1_downgrader ?(seeds = default_seeds) () =
+let e1_downgrader ?(seeds = default_seeds) ?pool () =
   let scen = Downgrader.scenario () in
   let base =
-    capacity_table ~seeds ~id:"E1"
+    capacity_table ?pool ~seeds ~id:"E1"
       ~title:"downgrader arrival-time channel (encryption component)"
       ~anchor:"Figure 1, Sect. 3.2"
       ~note:
@@ -46,7 +54,7 @@ let e1_downgrader ?(seeds = default_seeds) () =
       ]
   in
   let padded =
-    capacity_row ~seeds (Downgrader.padded_scenario ())
+    capacity_row ?pool ~seeds (Downgrader.padded_scenario ())
       ("none+WCET-padded-app", Presets.none)
   in
   { base with Table.rows = base.Table.rows @ [ padded ] }
@@ -54,8 +62,8 @@ let e1_downgrader ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E2 / E3: prime-and-probe                                            *)
 
-let e2_l1_prime_probe ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E2"
+let e2_l1_prime_probe ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E2"
     ~title:"L1 prime-and-probe covert channel (time-shared, core-private)"
     ~anchor:"Sect. 3.1"
     ~note:
@@ -69,8 +77,8 @@ let e2_l1_prime_probe ?(seeds = default_seeds) () =
       ("full", Presets.full);
     ]
 
-let e3_llc_prime_probe ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E3"
+let e3_llc_prime_probe ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E3"
     ~title:"LLC prime-and-probe covert channel (shared cache)"
     ~anchor:"Sect. 3.1, 4.1"
     ~note:
@@ -187,8 +195,8 @@ let e4_switch_latency ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E5 / E6                                                             *)
 
-let e5_kernel_text ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E5"
+let e5_kernel_text ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E5"
     ~title:"shared kernel-text channel and the kernel clone"
     ~anchor:"Sect. 4.2"
     ~note:
@@ -203,8 +211,8 @@ let e5_kernel_text ?(seeds = default_seeds) () =
       ("full", Presets.full);
     ]
 
-let e6_interrupts ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E6"
+let e6_interrupts ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E6"
     ~title:"interrupt channel and IRQ partitioning"
     ~anchor:"Sect. 4.2"
     ~note:
@@ -322,11 +330,11 @@ let e8_functional_rows () =
       "own-ASID consistency needs the invalidation" ];
   ]
 
-let e8_tlb ?(seeds = default_seeds) () =
+let e8_tlb ?(seeds = default_seeds) ?pool () =
   let timing =
     List.map
       (fun (name, cfg) ->
-        let o = Attack.measure ~seeds (Tlb_channel.scenario ()) ~cfg () in
+        let o = measure_with ?pool ~seeds (Tlb_channel.scenario ()) ~cfg () in
         [
           "TLB timing channel under " ^ name;
           Table.cell_float o.Attack.capacity_bits ^ " bits";
@@ -353,10 +361,10 @@ let e8_tlb ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E9: stateless interconnect (Sect. 2)                                *)
 
-let e9_interconnect ?(seeds = default_seeds) () =
+let e9_interconnect ?(seeds = default_seeds) ?pool () =
   let row (name, bus, cfg) =
     let o =
-      Attack.measure ~seeds (Interconnect_channel.scenario ~bus ()) ~cfg ()
+      measure_with ?pool ~seeds (Interconnect_channel.scenario ~bus ()) ~cfg ()
     in
     [ name; Table.cell_float o.Attack.capacity_bits;
       (if o.Attack.capacity_bits > 0.01 then "open" else "closed") ]
@@ -529,9 +537,9 @@ let e11_padding_strategies ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E12: hyperthreading (Sect. 4.1)                                     *)
 
-let e12_smt ?(seeds = default_seeds) () =
+let e12_smt ?(seeds = default_seeds) ?pool () =
   let row (name, smt, cfg) =
-    let o = Attack.measure ~seeds (Smt_channel.scenario ~smt ()) ~cfg () in
+    let o = measure_with ?pool ~seeds (Smt_channel.scenario ~smt ()) ~cfg () in
     [ name; Table.cell_float o.Attack.capacity_bits;
       (if o.Attack.capacity_bits > 0.01 then "open" else "closed") ]
   in
@@ -557,9 +565,11 @@ let e12_smt ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E13: Flush+Reload on shared memory (Sect. 4.2)                      *)
 
-let e13_flush_reload ?(seeds = default_seeds) () =
+let e13_flush_reload ?(seeds = default_seeds) ?pool () =
   let row (name, shared, cfg) =
-    let o = Attack.measure ~seeds (Flush_reload.scenario ~shared ()) ~cfg () in
+    let o =
+      measure_with ?pool ~seeds (Flush_reload.scenario ~shared ()) ~cfg ()
+    in
     [ name; Table.cell_float o.Attack.capacity_bits;
       (if o.Attack.capacity_bits > 0.01 then "open" else "closed") ]
   in
@@ -628,14 +638,16 @@ let e14_bandwidth ?seeds:_ () =
 (* ------------------------------------------------------------------ *)
 (* E15: exhaustive small-universe verification (Sect. 5)               *)
 
-let e15_exhaustive ?seeds:_ () =
+let e15_exhaustive ?seeds:_ ?pool () =
   let open Tpro_secmodel in
   let row (name, cfg) =
+    let build ~hi_prog ~seed =
+      Ni_scenario.build_with_program ~cfg ~seed ~hi_prog
+    in
     let r =
-      Exhaustive.check
-        ~build:(fun ~hi_prog ~seed ->
-          Ni_scenario.build_with_program ~cfg ~seed ~hi_prog)
-        Exhaustive.default_universe
+      match pool with
+      | None -> Exhaustive.check ~build Exhaustive.default_universe
+      | Some p -> Exhaustive.check_par ~pool:p ~build Exhaustive.default_universe
     in
     [
       name;
@@ -683,8 +695,8 @@ let e16_mutual ?seeds:_ () =
 (* ------------------------------------------------------------------ *)
 (* E17: branch predictor (Sect. 3.1)                                   *)
 
-let e17_branch_predictor ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E17"
+let e17_branch_predictor ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E17"
     ~title:"branch-predictor training channel"
     ~anchor:"Sect. 3.1 (predictor state; the substrate Spectre poisons)"
     ~note:
@@ -701,8 +713,8 @@ let e17_branch_predictor ?(seeds = default_seeds) () =
 (* ------------------------------------------------------------------ *)
 (* E19: true side channel - AES-style table lookup (Sect. 3.1)         *)
 
-let e19_side_channel ?(seeds = default_seeds) () =
-  capacity_table ~seeds ~id:"E19"
+let e19_side_channel ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E19"
     ~title:"table-lookup side channel: victim does not cooperate"
     ~anchor:"Sect. 3.1 (secret-derived array index; Osvik et al.)"
     ~note:
@@ -777,28 +789,42 @@ let e18_overhead ?(seeds = [ 0; 1; 2 ]) () =
 
 (* ------------------------------------------------------------------ *)
 
-let all ?(seeds = default_seeds) () =
+(* The suite as thunks, so [all] and [all_par] share one definition.
+   [pool], when given, additionally fans each capacity table's trial grid
+   and E15's exhaustive sweep over the same domains. *)
+let suite ~seeds ?pool () =
   [
-    e1_downgrader ~seeds ();
-    e2_l1_prime_probe ~seeds ();
-    e3_llc_prime_probe ~seeds ();
-    e4_switch_latency ~seeds ();
-    e5_kernel_text ~seeds ();
-    e6_interrupts ~seeds ();
-    e7_proofs ();
-    e8_tlb ~seeds ();
-    e9_interconnect ~seeds ();
-    e10_colours ();
-    e11_padding_strategies ~seeds ();
-    e12_smt ~seeds ();
-    e13_flush_reload ~seeds ();
-    e14_bandwidth ();
-    e15_exhaustive ();
-    e16_mutual ();
-    e17_branch_predictor ~seeds ();
-    e18_overhead ();
-    e19_side_channel ~seeds ();
+    (fun () -> e1_downgrader ~seeds ?pool ());
+    (fun () -> e2_l1_prime_probe ~seeds ?pool ());
+    (fun () -> e3_llc_prime_probe ~seeds ?pool ());
+    (fun () -> e4_switch_latency ~seeds ());
+    (fun () -> e5_kernel_text ~seeds ?pool ());
+    (fun () -> e6_interrupts ~seeds ?pool ());
+    (fun () -> e7_proofs ());
+    (fun () -> e8_tlb ~seeds ?pool ());
+    (fun () -> e9_interconnect ~seeds ?pool ());
+    (fun () -> e10_colours ());
+    (fun () -> e11_padding_strategies ~seeds ());
+    (fun () -> e12_smt ~seeds ?pool ());
+    (fun () -> e13_flush_reload ~seeds ?pool ());
+    (fun () -> e14_bandwidth ());
+    (fun () -> e15_exhaustive ?pool ());
+    (fun () -> e16_mutual ());
+    (fun () -> e17_branch_predictor ~seeds ?pool ());
+    (fun () -> e18_overhead ());
+    (fun () -> e19_side_channel ~seeds ?pool ());
   ]
+
+let all ?(seeds = default_seeds) () =
+  List.map (fun f -> f ()) (suite ~seeds ())
+
+let all_par ?(seeds = default_seeds) ?pool ?domains () =
+  let run p =
+    Tpro_engine.Pool.map p (fun f -> f ()) (suite ~seeds ~pool:p ())
+  in
+  match pool with
+  | Some p -> run p
+  | None -> Tpro_engine.Pool.with_pool ?domains run
 
 let ids =
   [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
@@ -806,23 +832,23 @@ let ids =
 
 let by_id id =
   match String.lowercase_ascii id with
-  | "e1" -> Some (fun ?seeds () -> e1_downgrader ?seeds ())
-  | "e2" -> Some (fun ?seeds () -> e2_l1_prime_probe ?seeds ())
-  | "e3" -> Some (fun ?seeds () -> e3_llc_prime_probe ?seeds ())
-  | "e4" -> Some (fun ?seeds () -> e4_switch_latency ?seeds ())
-  | "e5" -> Some (fun ?seeds () -> e5_kernel_text ?seeds ())
-  | "e6" -> Some (fun ?seeds () -> e6_interrupts ?seeds ())
-  | "e7" -> Some (fun ?seeds:_ () -> e7_proofs ())
-  | "e8" -> Some (fun ?seeds () -> e8_tlb ?seeds ())
-  | "e9" -> Some (fun ?seeds () -> e9_interconnect ?seeds ())
-  | "e10" -> Some (fun ?seeds:_ () -> e10_colours ())
-  | "e11" -> Some (fun ?seeds () -> e11_padding_strategies ?seeds ())
-  | "e12" -> Some (fun ?seeds () -> e12_smt ?seeds ())
-  | "e13" -> Some (fun ?seeds () -> e13_flush_reload ?seeds ())
-  | "e14" -> Some (fun ?seeds () -> e14_bandwidth ?seeds ())
-  | "e15" -> Some (fun ?seeds () -> e15_exhaustive ?seeds ())
-  | "e16" -> Some (fun ?seeds () -> e16_mutual ?seeds ())
-  | "e17" -> Some (fun ?seeds () -> e17_branch_predictor ?seeds ())
-  | "e18" -> Some (fun ?seeds () -> e18_overhead ?seeds ())
-  | "e19" -> Some (fun ?seeds () -> e19_side_channel ?seeds ())
+  | "e1" -> Some (fun ?seeds ?pool () -> e1_downgrader ?seeds ?pool ())
+  | "e2" -> Some (fun ?seeds ?pool () -> e2_l1_prime_probe ?seeds ?pool ())
+  | "e3" -> Some (fun ?seeds ?pool () -> e3_llc_prime_probe ?seeds ?pool ())
+  | "e4" -> Some (fun ?seeds ?pool:_ () -> e4_switch_latency ?seeds ())
+  | "e5" -> Some (fun ?seeds ?pool () -> e5_kernel_text ?seeds ?pool ())
+  | "e6" -> Some (fun ?seeds ?pool () -> e6_interrupts ?seeds ?pool ())
+  | "e7" -> Some (fun ?seeds:_ ?pool:_ () -> e7_proofs ())
+  | "e8" -> Some (fun ?seeds ?pool () -> e8_tlb ?seeds ?pool ())
+  | "e9" -> Some (fun ?seeds ?pool () -> e9_interconnect ?seeds ?pool ())
+  | "e10" -> Some (fun ?seeds:_ ?pool:_ () -> e10_colours ())
+  | "e11" -> Some (fun ?seeds ?pool:_ () -> e11_padding_strategies ?seeds ())
+  | "e12" -> Some (fun ?seeds ?pool () -> e12_smt ?seeds ?pool ())
+  | "e13" -> Some (fun ?seeds ?pool () -> e13_flush_reload ?seeds ?pool ())
+  | "e14" -> Some (fun ?seeds ?pool:_ () -> e14_bandwidth ?seeds ())
+  | "e15" -> Some (fun ?seeds ?pool () -> e15_exhaustive ?seeds ?pool ())
+  | "e16" -> Some (fun ?seeds ?pool:_ () -> e16_mutual ?seeds ())
+  | "e17" -> Some (fun ?seeds ?pool () -> e17_branch_predictor ?seeds ?pool ())
+  | "e18" -> Some (fun ?seeds ?pool:_ () -> e18_overhead ?seeds ())
+  | "e19" -> Some (fun ?seeds ?pool () -> e19_side_channel ?seeds ?pool ())
   | _ -> None

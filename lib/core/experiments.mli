@@ -9,15 +9,15 @@
 val default_seeds : int list
 (** Latency-function seeds used as trials (default 0..7). *)
 
-val e1_downgrader : ?seeds:int list -> unit -> Table.t
+val e1_downgrader : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Figure 1 / Sect. 3.2: message arrival-time channel from the
     encryption downgrader, per configuration, plus application-level WCET
     padding (Sect. 4.3). *)
 
-val e2_l1_prime_probe : ?seeds:int list -> unit -> Table.t
+val e2_l1_prime_probe : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 3.1: prime-and-probe through the time-shared L1. *)
 
-val e3_llc_prime_probe : ?seeds:int list -> unit -> Table.t
+val e3_llc_prime_probe : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 3.1/4.1: prime-and-probe through the concurrently-shared LLC —
     flushing does not help, colouring does. *)
 
@@ -26,22 +26,22 @@ val e4_switch_latency : ?seeds:int list -> unit -> Table.t
     dirty cache lines; raw cost varies (a channel), the padded slot is
     constant. *)
 
-val e5_kernel_text : ?seeds:int list -> unit -> Table.t
+val e5_kernel_text : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 4.2: the shared kernel text channel and the clone defence. *)
 
-val e6_interrupts : ?seeds:int list -> unit -> Table.t
+val e6_interrupts : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 4.2: the interrupt channel and IRQ partitioning. *)
 
 val e7_proofs : ?seeds:int list -> ?secrets:int list -> unit -> Table.t
 (** Sect. 5.2: the proof stack (Cases 1/2a/2b, noninterference,
     invariants) under the full configuration vs. no protection. *)
 
-val e8_tlb : ?seeds:int list -> unit -> Table.t
+val e8_tlb : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 5.3: the ASID partitioning (consistency) theorem, checked over
     random operation sequences, and the TLB *timing* channel showing that
     tagging alone is no defence. *)
 
-val e9_interconnect : ?seeds:int list -> unit -> Table.t
+val e9_interconnect : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 2: the stateless-interconnect channel survives full time
     protection; strict TDMA bandwidth partitioning closes it. *)
 
@@ -54,13 +54,13 @@ val e11_padding_strategies : ?seeds:int list -> unit -> Table.t
     thread — both close the channel; the interim thread recovers the
     padding time as useful work. *)
 
-val e12_smt : ?seeds:int list -> unit -> Table.t
+val e12_smt : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 4.1: sibling hyperthreads share core-private state
     concurrently; no OS mechanism helps — only separate physical cores
     (i.e. never scheduling two domains onto one core's hardware
     threads). *)
 
-val e13_flush_reload : ?seeds:int list -> unit -> Table.t
+val e13_flush_reload : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 4.2: Flush+Reload through a shared user page — sharing defeats
     every OS defence; the fix is per-domain copies (the same reasoning
     that forces the kernel clone). *)
@@ -70,7 +70,7 @@ val e14_bandwidth : ?seeds:int list -> unit -> Table.t
     cycles per symbol and achieved bandwidth per channel (the methodology
     of the empirical seL4 channel studies). *)
 
-val e15_exhaustive : ?seeds:int list -> unit -> Table.t
+val e15_exhaustive : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 5: complete enumeration of every Hi program over a small
     alphabet — a universal, not sampled, noninterference statement. *)
 
@@ -78,7 +78,7 @@ val e16_mutual : ?seeds:int list -> unit -> Table.t
 (** Sect. 2: three mutually distrusting domains; each secret varied in
     turn, no other domain may observe anything. *)
 
-val e17_branch_predictor : ?seeds:int list -> unit -> Table.t
+val e17_branch_predictor : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 3.1: the branch-predictor training channel — core-local
     flushable state, closed exactly by the flush. *)
 
@@ -87,13 +87,31 @@ val e18_overhead : ?seeds:int list -> unit -> Table.t
     vs. none, as a function of slice length — padding amortises with
     longer slices (the overhead shape of the EuroSys'19 evaluation). *)
 
-val e19_side_channel : ?seeds:int list -> unit -> Table.t
+val e19_side_channel : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
 (** Sect. 3.1: a *side* channel proper — the victim's program is fixed
     and the secret is data indexing a table; the spy recovers the index
     bits without any cooperation. *)
 
 val all : ?seeds:int list -> unit -> Table.t list
+(** The whole suite, sequentially, in E-number order. *)
+
+val all_par :
+  ?seeds:int list ->
+  ?pool:Tpro_engine.Pool.t ->
+  ?domains:int ->
+  unit ->
+  Table.t list
+(** The whole suite fanned out over a domain pool, two levels deep: the
+    independent experiment tables run concurrently, and within each
+    capacity table the (secret x seed) trial grid (and E15's exhaustive
+    sweep) shares the same pool.  Every trial boots its own kernel, so
+    the tables are bit-identical to {!all} — parallelism never changes a
+    reported capacity.  Pass [?pool] to reuse a pool, else a transient
+    one of [?domains] (default {!Tpro_engine.Pool.recommended}) is used. *)
 
 val ids : string list
 
-val by_id : string -> (?seeds:int list -> unit -> Table.t) option
+val by_id :
+  string ->
+  (?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t) option
+(** Experiments that have no trial grid ignore [?pool]. *)

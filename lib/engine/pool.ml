@@ -1,0 +1,130 @@
+(* Fixed-size domain pool: a closure queue guarded by a mutex/condition
+   pair, drained by [size - 1] worker domains plus the calling domain.
+
+   [map] submits one job per element; each job records its result (or the
+   exception it raised) into a slot of a per-call array, so results come
+   back in input order no matter which domain ran what.  The caller helps
+   drain the queue and then blocks on the call's own condition until the
+   last job has settled. *)
+
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Workers drain the queue even after [stop] is set, so shutdown never
+   drops submitted work. *)
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    job ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let size =
+    match domains with None -> recommended () | Some d -> max 1 d
+  in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.size
+
+(* Pop-and-run until the shared queue is empty.  Used by the caller of
+   [map]; it may execute jobs submitted by concurrent maps, which is
+   harmless — every job carries its own completion state. *)
+let rec help_drain pool =
+  Mutex.lock pool.mutex;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    job ();
+    help_drain pool
+  end
+
+let map_seq f xs =
+  (* In-order sequential map with the same first-failure semantics as the
+     parallel path. *)
+  List.map f xs
+
+let map pool f xs =
+  if Array.length pool.workers = 0 then map_seq f xs
+  else
+    match xs with
+    | [] -> []
+    | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let call_mutex = Mutex.create () in
+      let call_done = Condition.create () in
+      let remaining = ref n in
+      let run i =
+        let r = try Ok (f arr.(i)) with e -> Error e in
+        Mutex.lock call_mutex;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast call_done;
+        Mutex.unlock call_mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (fun () -> run i) pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      help_drain pool;
+      Mutex.lock call_mutex;
+      while !remaining > 0 do
+        Condition.wait call_done call_mutex
+      done;
+      Mutex.unlock call_mutex;
+      (* Re-raise the lowest-indexed failure: exactly the exception a
+         sequential left-to-right map would have raised first. *)
+      Array.iter
+        (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+           results)
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stop then Mutex.unlock pool.mutex
+  else begin
+    pool.stop <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -18,6 +18,8 @@ type t = {
   mutable tick : int;
   repl : replacement;
   cache_name : string;
+  set_mask : int;          (* sets - 1, for the set-index extraction *)
+  tag_shift : int;         (* line_bits + log2 sets, precomputed *)
 }
 
 type evicted = { tag : int; dirty : bool; owner : int }
@@ -36,21 +38,25 @@ let geometry ?(sets = 64) ?(ways = 4) ?(line_bits = 6) () =
     invalid_arg "Cache.geometry: line_bits out of range";
   { sets; ways; line_bits }
 
+(* Takes (and ignores) the way index so it can be passed to [Array.init]
+   directly — no per-set closure allocation on the create path. *)
+let fresh_line _ =
+  {
+    tag = 0;
+    valid = false;
+    dirty = false;
+    owner = shared_owner;
+    stamp = 0;
+    fill_stamp = 0;
+  }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
 let create ?(name = "cache") ?(replacement = Lru) geometry =
-  let fresh_line () =
-    {
-      tag = 0;
-      valid = false;
-      dirty = false;
-      owner = shared_owner;
-      stamp = 0;
-      fill_stamp = 0;
-    }
-  in
-  let data =
-    Array.init geometry.sets (fun _ ->
-        Array.init geometry.ways (fun _ -> fresh_line ()))
-  in
+  let ways = geometry.ways in
+  let data = Array.init geometry.sets (fun _ -> Array.init ways fresh_line) in
   {
     geometry;
     data;
@@ -58,6 +64,8 @@ let create ?(name = "cache") ?(replacement = Lru) geometry =
     tick = 0;
     repl = replacement;
     cache_name = name;
+    set_mask = geometry.sets - 1;
+    tag_shift = geometry.line_bits + log2 geometry.sets;
   }
 
 let replacement t = t.repl
@@ -67,10 +75,6 @@ let geom t = t.geometry
 
 let line_size g = 1 lsl g.line_bits
 let size_bytes g = g.sets * g.ways * line_size g
-
-let log2 n =
-  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-  go 0 n
 
 let n_colours g ~page_bits =
   let span = g.sets * line_size g in
@@ -83,11 +87,9 @@ let colour_of_set g ~page_bits set =
   let sets_per_colour = max 1 (g.sets / n_colours g ~page_bits) in
   set / sets_per_colour
 
-let set_of_paddr t paddr =
-  (paddr lsr t.geometry.line_bits) land (t.geometry.sets - 1)
+let set_of_paddr t paddr = (paddr lsr t.geometry.line_bits) land t.set_mask
 
-let tag_of_paddr t paddr =
-  paddr lsr (t.geometry.line_bits + log2 t.geometry.sets)
+let tag_of_paddr t paddr = paddr lsr t.tag_shift
 
 let find_way set_lines tag =
   let n = Array.length set_lines in
@@ -223,14 +225,21 @@ let iter_lines t f =
         lines)
     t.data
 
-let digest_line acc l =
-  if not l.valid then Rng.combine acc 0L
-  else
-    let bits = (l.tag lsl 2) lor (if l.dirty then 2 else 0) lor 1 in
-    Rng.combine acc (Int64.of_int bits)
-
+(* These digests feed the latency functions, so their values must stay
+   bit-identical across refactors; only the traversal is optimised
+   (straight-line loops, no closures or intermediate lists). *)
 let digest_set t set =
-  Array.fold_left digest_line (Int64.of_int (set + 1)) t.data.(set)
+  let lines = t.data.(set) in
+  let acc = ref (Int64.of_int (set + 1)) in
+  for w = 0 to Array.length lines - 1 do
+    let l = lines.(w) in
+    acc :=
+      if not l.valid then Rng.combine !acc 0L
+      else
+        let bits = (l.tag lsl 2) lor (if l.dirty then 2 else 0) lor 1 in
+        Rng.combine !acc (Int64.of_int bits)
+  done;
+  !acc
 
 let digest t =
   let acc = ref 1L in

@@ -59,35 +59,60 @@ let observation_of run =
     (fun th -> (Observation.of_thread th, Thread.cost_trace th))
     run.Nonint.observers
 
-let check ~build u =
+(* Core of the sweep, parameterised over the map used for the
+   (seed x program) grid.  The baseline views are computed up front (one
+   per seed, cheap), then every execution of the grid is independent —
+   pure fan-out.  Results are folded in grid order, so the violation
+   count and the *first* violation are identical whichever map runs the
+   grid. *)
+let check_with ~map ~build u =
   let programs = enumerate u in
+  let grid =
+    List.concat_map
+      (fun seed ->
+        let base_run =
+          Nonint.execute (fun ~secret:_ -> build ~hi_prog:(baseline u) ~seed) 0
+        in
+        let base_view = observation_of base_run in
+        List.map (fun prog -> (seed, base_view, prog)) programs)
+      u.seeds
+  in
+  let divergent =
+    map
+      (fun (seed, base_view, prog) ->
+        let run =
+          Nonint.execute (fun ~secret:_ -> build ~hi_prog:prog ~seed) 0
+        in
+        if observation_of run <> base_view then Some (seed, prog) else None)
+      grid
+  in
   let violations = ref 0 in
-  let executions = ref 0 in
   let first = ref None in
   List.iter
-    (fun seed ->
-      let base_run = Nonint.execute (fun ~secret:_ -> build ~hi_prog:(baseline u) ~seed) 0 in
-      let base_view = observation_of base_run in
-      List.iter
-        (fun prog ->
-          incr executions;
-          let run = Nonint.execute (fun ~secret:_ -> build ~hi_prog:prog ~seed) 0 in
-          if observation_of run <> base_view then begin
-            incr violations;
-            if !first = None then
-              first :=
-                Some
-                  (Format.asprintf "seed %d, Hi program: @[%a@]" seed
-                     Program.pp prog)
-          end)
-        programs)
-    u.seeds;
+    (function
+      | None -> ()
+      | Some (seed, prog) ->
+        incr violations;
+        if !first = None then
+          first :=
+            Some
+              (Format.asprintf "seed %d, Hi program: @[%a@]" seed Program.pp
+                 prog))
+    divergent;
   {
     programs = List.length programs;
-    executions = !executions;
+    executions = List.length grid;
     violations = !violations;
     first_violation = !first;
   }
+
+let check ~build u = check_with ~map:List.map ~build u
+
+let check_par ?pool ?domains ~build u =
+  let run p = check_with ~map:(Tpro_engine.Pool.map p) ~build u in
+  match pool with
+  | Some p -> run p
+  | None -> Tpro_engine.Pool.with_pool ?domains run
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -43,4 +43,15 @@ val check :
     step costs against the all-[Compute] baseline program of the same
     length. *)
 
+val check_par :
+  ?pool:Tpro_engine.Pool.t ->
+  ?domains:int ->
+  build:(hi_prog:Program.t -> seed:int -> Nonint.run) ->
+  universe ->
+  result
+(** {!check} with the (seed x program) state-space sweep fanned out
+    across a domain pool.  Each execution boots its own kernel, so the
+    result — including which violation is reported [first] — is
+    identical to the sequential {!check} for any pool size. *)
+
 val pp_result : Format.formatter -> result -> unit

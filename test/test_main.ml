@@ -27,4 +27,5 @@ let () =
       ("side-channel", Test_side_channel.suite);
       ("more-properties", Test_more_properties.suite);
       ("engine-edges", Test_engine_edges.suite);
+      ("parallel-engine", Test_parallel.suite);
     ]

@@ -1,0 +1,218 @@
+(* The parallel trial engine: Pool semantics, and the determinism
+   guarantee that fanning trials out over domains never changes a
+   reported outcome. *)
+
+open Tpro_engine
+
+exception Boom of int
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+
+let test_map_ordering () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun x -> (x * x) + 1) xs)
+        (Pool.map pool (fun x -> (x * x) + 1) xs))
+
+let test_map_empty () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (list int)) "empty input" []
+        (Pool.map pool (fun x -> x) []))
+
+let test_pool_of_one_is_sequential () =
+  let pool = Pool.create ~domains:1 () in
+  let order = ref [] in
+  let xs = [ 5; 3; 9; 1 ] in
+  let ys =
+    Pool.map pool
+      (fun x ->
+        order := x :: !order;
+        x * 2)
+      xs
+  in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "same results as List.map" (List.map (( * ) 2) xs) ys;
+  Alcotest.(check (list int))
+    "executed left to right, in the calling domain" xs (List.rev !order)
+
+let test_exceptions_propagate () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "raises the submitted exception" (Boom 3)
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x = 3 then raise (Boom x) else x)
+               [ 1; 2; 3; 4; 5 ])))
+
+let test_lowest_index_exception_wins () =
+  (* several elements fail; the propagated exception is deterministically
+     the one a sequential left-to-right map would have hit first *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "lowest-indexed failure" (Boom 2) (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+               [ 1; 2; 3; 4; 5; 6 ])))
+
+let test_pool_reuse_and_shutdown () =
+  let pool = Pool.create ~domains:3 () in
+  let a = Pool.map pool succ [ 1; 2; 3 ] in
+  let b = Pool.map pool pred [ 1; 2; 3 ] in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (* a shut-down pool still maps, sequentially *)
+  let c = Pool.map pool succ [ 10; 20 ] in
+  Alcotest.(check (list int)) "first map" [ 2; 3; 4 ] a;
+  Alcotest.(check (list int)) "second map" [ 0; 1; 2 ] b;
+  Alcotest.(check (list int)) "after shutdown" [ 11; 21 ] c
+
+let test_parallel_sum () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 500 (fun i -> i) in
+      let squares = Pool.map pool (fun x -> x * x) xs in
+      Alcotest.(check int) "sum of squares"
+        (List.fold_left (fun a x -> a + (x * x)) 0 xs)
+        (List.fold_left ( + ) 0 squares))
+
+let test_nested_map () =
+  (* a job that itself maps on the same pool must not deadlock *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let rows =
+        Pool.map pool
+          (fun r -> Pool.map pool (fun c -> (r * 10) + c) [ 0; 1; 2 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results"
+        [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+        rows)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: measure_par == measure, bit for bit                    *)
+
+let check_outcome_equal name (a : Tpro_channel.Attack.outcome)
+    (b : Tpro_channel.Attack.outcome) =
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": samples") a.Tpro_channel.Attack.samples
+    b.Tpro_channel.Attack.samples;
+  Alcotest.(check bool)
+    (name ^ ": capacity bit-identical") true
+    (Int64.bits_of_float a.Tpro_channel.Attack.capacity_bits
+    = Int64.bits_of_float b.Tpro_channel.Attack.capacity_bits);
+  Alcotest.(check int)
+    (name ^ ": distinct outputs") a.Tpro_channel.Attack.distinct_outputs
+    b.Tpro_channel.Attack.distinct_outputs
+
+let presets =
+  Time_protection.Presets.standard @ Time_protection.Presets.ablations
+
+let test_measure_par_every_preset () =
+  let scenario = Tpro_channel.Cache_channel.l1_scenario () in
+  let seeds = [ 0; 1 ] in
+  List.iter
+    (fun (name, cfg) ->
+      let seq = Tpro_channel.Attack.measure ~seeds scenario ~cfg () in
+      let par =
+        Tpro_channel.Attack.measure_par ~seeds ~domains:4 scenario ~cfg ()
+      in
+      check_outcome_equal name seq par)
+    presets
+
+let test_measure_par_shared_pool () =
+  (* reusing one pool across scenarios and configs changes nothing *)
+  let seeds = [ 0 ] in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun scenario ->
+          List.iter
+            (fun (name, cfg) ->
+              let seq = Tpro_channel.Attack.measure ~seeds scenario ~cfg () in
+              let par =
+                Tpro_channel.Attack.measure_par ~seeds ~pool scenario ~cfg ()
+              in
+              check_outcome_equal name seq par)
+            Time_protection.Presets.standard)
+        [
+          Tpro_channel.Cache_channel.llc_scenario ();
+          Tpro_channel.Tlb_channel.scenario ();
+        ])
+
+let test_experiment_table_par () =
+  (* a full experiment table through by_id: pool vs. no pool *)
+  match Time_protection.Experiments.by_id "e2" with
+  | None -> Alcotest.fail "e2 missing"
+  | Some f ->
+    let seeds = [ 0; 1 ] in
+    let seq = f ~seeds () in
+    let par =
+      Pool.with_pool ~domains:4 (fun pool -> f ~seeds ~pool ())
+    in
+    Alcotest.(check bool) "table identical" true (seq = par)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive sweep: check_par == check                                *)
+
+let small_universe =
+  let open Tpro_secmodel.Exhaustive in
+  {
+    hi_len = 2;
+    hi_alphabet =
+      (match default_universe.hi_alphabet with
+      | a :: b :: c :: _ -> [ a; b; c ]
+      | l -> l);
+    seeds = [ 0 ];
+  }
+
+let exhaustive_result_testable =
+  Alcotest.testable
+    (fun ppf (r : Tpro_secmodel.Exhaustive.result) ->
+      Format.fprintf ppf "{programs=%d; executions=%d; violations=%d; first=%s}"
+        r.Tpro_secmodel.Exhaustive.programs r.Tpro_secmodel.Exhaustive.executions
+        r.Tpro_secmodel.Exhaustive.violations
+        (Option.value ~default:"-" r.Tpro_secmodel.Exhaustive.first_violation))
+    ( = )
+
+let exhaustive_build ~cfg ~hi_prog ~seed =
+  Time_protection.Ni_scenario.build_with_program ~cfg ~seed ~hi_prog
+
+let test_check_par_matches_check () =
+  List.iter
+    (fun (_, cfg) ->
+      let build = exhaustive_build ~cfg in
+      let seq = Tpro_secmodel.Exhaustive.check ~build small_universe in
+      let par =
+        Tpro_secmodel.Exhaustive.check_par ~domains:4 ~build small_universe
+      in
+      Alcotest.check exhaustive_result_testable "same sweep result" seq par)
+    [
+      ("none", Time_protection.Presets.none);
+      ("full", Time_protection.Presets.full);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "pool: map preserves order" `Quick test_map_ordering;
+    Alcotest.test_case "pool: empty input" `Quick test_map_empty;
+    Alcotest.test_case "pool of 1 == sequential" `Quick
+      test_pool_of_one_is_sequential;
+    Alcotest.test_case "pool: exceptions propagate" `Quick
+      test_exceptions_propagate;
+    Alcotest.test_case "pool: lowest-index exception wins" `Quick
+      test_lowest_index_exception_wins;
+    Alcotest.test_case "pool: reuse and idempotent shutdown" `Quick
+      test_pool_reuse_and_shutdown;
+    Alcotest.test_case "pool: 500-way fan-out sums" `Quick test_parallel_sum;
+    Alcotest.test_case "pool: nested map does not deadlock" `Quick
+      test_nested_map;
+    Alcotest.test_case "measure_par bit-identical for every preset" `Quick
+      test_measure_par_every_preset;
+    Alcotest.test_case "measure_par over a shared pool" `Quick
+      test_measure_par_shared_pool;
+    Alcotest.test_case "experiment table identical with pool" `Quick
+      test_experiment_table_par;
+    Alcotest.test_case "exhaustive check_par == check" `Quick
+      test_check_par_matches_check;
+  ]
