@@ -71,8 +71,11 @@ let scenario_of_id id =
   | "e1" | "downgrader" -> Tpro_channel.Downgrader.scenario ()
   | "e8" | "tlb" -> Tpro_channel.Tlb_channel.scenario ()
   | "e6" | "irq" -> Tpro_channel.Irq_channel.scenario ()
+  | "e17" | "bp" -> Tpro_channel.Bp_channel.scenario ()
+  | "e20" | "btb" -> Tpro_channel.Btb_channel.scenario ()
   | other ->
-    Printf.eprintf "no channel scenario for %s (try e1/e2/e3/e5/e6/e8)\n" other;
+    Printf.eprintf
+      "no channel scenario for %s (try e1/e2/e3/e5/e6/e8/e17/e20)\n" other;
     exit 1
 
 let show_matrix id cfg_name =

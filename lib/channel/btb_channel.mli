@@ -1,0 +1,22 @@
+(** The branch-target-buffer channel (experiment E20).
+
+    The BTB caches branch targets by pc — core-local, time-multiplexed
+    state just like the direction predictor, and the other half of the
+    substrate Spectre-style attacks poison.  A Trojan executes taken
+    branches at one of two agreed tag groups depending on its secret,
+    installing those targets; the spy then times one taken branch per
+    tag of each group, and the group that redirects without a second
+    misprediction penalty names the secret.
+
+    The resource exists in the machine only through the registry
+    ([btb_entries] in {!Tpro_hw.Machine.config}): digesting, the kernel's
+    switch flush, the Mstate taxonomy and the exhaustive checks all pick
+    it up with no per-layer wiring — which is exactly the extensibility
+    claim this channel exercises.  Flushable state: closed by
+    [flush_on_switch]. *)
+
+val scenario : unit -> Attack.scenario
+(** 2 symbols: the Trojan primes tag group 0 or group 1. *)
+
+val slice : int
+val pad : int

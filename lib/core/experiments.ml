@@ -788,6 +788,26 @@ let e18_overhead ?(seeds = [ 0; 1; 2 ]) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* E20: branch target buffer - a resource added through the registry    *)
+
+let e20_btb ?(seeds = default_seeds) ?pool () =
+  capacity_table ?pool ~seeds ~id:"E20"
+    ~title:"branch-target-buffer priming channel (registry-added resource)"
+    ~anchor:"Sect. 5.1 (the taxonomy is extensible: new flushable state)"
+    ~note:
+      "the BTB exists only through the machine's resource registry \
+       (btb_entries); the switch flush resets it because the kernel \
+       flushes whatever the registry lists as flushable - no per-layer \
+       wiring, and flush_on_switch closes the channel like any other \
+       core-local state"
+    (Btb_channel.scenario ())
+    [
+      ("none", Presets.none);
+      ("full\\flush", Presets.without_flush);
+      ("full", Presets.full);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 (* The suite as thunks, so [all] and [all_par] share one definition.
    [pool], when given, additionally fans each capacity table's trial grid
@@ -813,6 +833,7 @@ let suite ~seeds ?pool () =
     (fun () -> e17_branch_predictor ~seeds ?pool ());
     (fun () -> e18_overhead ());
     (fun () -> e19_side_channel ~seeds ?pool ());
+    (fun () -> e20_btb ~seeds ?pool ());
   ]
 
 let all ?(seeds = default_seeds) () =
@@ -828,7 +849,7 @@ let all_par ?(seeds = default_seeds) ?pool ?domains () =
 
 let ids =
   [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-    "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19" ]
+    "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]
 
 let by_id id =
   match String.lowercase_ascii id with
@@ -851,4 +872,5 @@ let by_id id =
   | "e17" -> Some (fun ?seeds ?pool () -> e17_branch_predictor ?seeds ?pool ())
   | "e18" -> Some (fun ?seeds ?pool:_ () -> e18_overhead ?seeds ())
   | "e19" -> Some (fun ?seeds ?pool () -> e19_side_channel ?seeds ?pool ())
+  | "e20" -> Some (fun ?seeds ?pool () -> e20_btb ?seeds ?pool ())
   | _ -> None

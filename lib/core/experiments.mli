@@ -92,6 +92,12 @@ val e19_side_channel : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Ta
     and the secret is data indexing a table; the spy recovers the index
     bits without any cooperation. *)
 
+val e20_btb : ?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t
+(** Sect. 5.1's extensibility claim, exercised: the branch target buffer
+    exists in the machine only through the resource registry
+    ([btb_entries]); its channel is closed by the switch flush because
+    the kernel flushes whatever the registry lists as flushable. *)
+
 val all : ?seeds:int list -> unit -> Table.t list
 (** The whole suite, sequentially, in E-number order. *)
 

@@ -21,13 +21,20 @@ let run ?(seeds = Ni_scenario.default_seeds)
               ~secrets ());
       ]
   in
+  (* The taxonomy is audited on the machine the checks actually ran on
+     (derived from its live resource registry), not on a hand-kept list. *)
+  let machine =
+    Tpro_hw.Machine.create
+      (Ni_scenario.machine_config
+         ~seed:(match seeds with s :: _ -> s | [] -> 0))
+  in
   {
     config_name = Presets.name cfg;
-    aisa_ok = Mstate.aisa_satisfied ();
+    aisa_ok = Mstate.aisa_satisfied ~machine ();
     taxonomy =
       List.map
         (fun c -> (c, Mstate.classify c, Mstate.defence c))
-        Mstate.all;
+        (Mstate.all ~machine ());
     checks;
     all_hold = List.for_all (fun c -> c.Proofs.holds) checks;
   }

@@ -1,0 +1,45 @@
+type slot = {
+  mutable pc : int;     (* tag: full pc; -1 = invalid *)
+  mutable target : int;
+}
+
+type t = { slots : slot array }
+
+let create ?(entries = 64) () =
+  if entries <= 0 then invalid_arg "Btb.create: entries must be positive";
+  { slots = Array.init entries (fun _ -> { pc = -1; target = 0 }) }
+
+let capacity t = Array.length t.slots
+
+let index t ~pc = (pc lsr 2) mod Array.length t.slots
+
+let predict t ~pc =
+  let s = t.slots.(index t ~pc) in
+  if s.pc = pc then Some s.target else None
+
+let update t ~pc ~target =
+  let s = t.slots.(index t ~pc) in
+  s.pc <- pc;
+  s.target <- target
+
+let entry_count t =
+  Array.fold_left (fun n s -> if s.pc >= 0 then n + 1 else n) 0 t.slots
+
+let flush t =
+  Array.iter
+    (fun s ->
+      s.pc <- -1;
+      s.target <- 0)
+    t.slots
+
+let digest t =
+  Array.fold_left
+    (fun acc s ->
+      if s.pc < 0 then Rng.combine acc 0L
+      else
+        let bits = (s.pc lsl 20) lxor (s.target lsl 1) lor 1 in
+        Rng.combine acc (Int64.of_int bits))
+    13L t.slots
+
+let pp ppf t =
+  Format.fprintf ppf "btb: %d/%d entries" (entry_count t) (capacity t)

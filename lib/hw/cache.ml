@@ -91,6 +91,12 @@ let set_of_paddr t paddr = (paddr lsr t.geometry.line_bits) land t.set_mask
 
 let tag_of_paddr t paddr = paddr lsr t.tag_shift
 
+(* Inverse of (set_of_paddr, tag_of_paddr), up to the line offset: rebuilds
+   the base physical address of a line from the shifts precomputed at
+   creation.  Used by the machine to write evicted dirty lines back into
+   the next level. *)
+let paddr_of_line t ~set ~tag = (tag lsl t.tag_shift) lor (set lsl t.geometry.line_bits)
+
 let find_way set_lines tag =
   let n = Array.length set_lines in
   let rec go i =

@@ -69,6 +69,12 @@ val colour_of_set : geometry -> page_bits:int -> int -> int
 val set_of_paddr : t -> int -> int
 val tag_of_paddr : t -> int -> int
 
+val paddr_of_line : t -> set:int -> tag:int -> int
+(** Base physical address of the line with the given set index and tag —
+    the inverse of ([set_of_paddr], [tag_of_paddr]) up to the line offset,
+    computed from the shifts precomputed at [create] time.  Used to write
+    evicted dirty lines back into the next level. *)
+
 val access : t -> owner:int -> write:bool -> int -> access_result
 (** [access t ~owner ~write paddr] performs an access, updating LRU state
     and allocating on miss (write-allocate, write-back). *)

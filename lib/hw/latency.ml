@@ -9,6 +9,7 @@ type t = {
   branch_miss : int;
   dirty_wb : int;
   flush_base : int;
+  clflush_base : int;
   jitter_mag : int;
   seed : int64;
 }
@@ -25,6 +26,7 @@ let default =
     branch_miss = 15;
     dirty_wb = 2;
     flush_base = 200;
+    clflush_base = 10;
     jitter_mag = 3;
     seed = 0x5EED_0F_71E_0CCL;
   }

@@ -20,6 +20,7 @@ type t = {
   branch_miss : int;   (** misprediction penalty *)
   dirty_wb : int;      (** per-dirty-line write-back cost during a flush *)
   flush_base : int;    (** fixed cost of the core-local flush sequence *)
+  clflush_base : int;  (** fixed cost of a single-line [clflush] *)
   jitter_mag : int;    (** jitter is uniform in [0, jitter_mag] *)
   seed : int64;        (** selects the unspecified latency function *)
 }

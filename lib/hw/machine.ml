@@ -5,7 +5,11 @@ type core = {
   tlb : Tlb.t;
   bp : Bpred.t;
   pf : Prefetch.t;
+  btb : Btb.t option;
   clk : Clock.t;
+  mutable registry : Resource.t list list;
+      (* every core-private resource, packed; digest_core and
+         flush_core_local are folds over this *)
 }
 
 type config = {
@@ -24,6 +28,9 @@ type config = {
       (* hardware multithreading: odd-numbered cores share the private
          state of the preceding even-numbered core *)
   replacement : Cache.replacement;
+  btb_entries : int option;
+      (* branch target buffer size; [None] (the default) omits the BTB
+         entirely, leaving digests identical to pre-BTB machines *)
 }
 
 type t = {
@@ -32,6 +39,8 @@ type t = {
   shared_llc : Cache.t;
   shared_bus : Interconnect.t;
   phys : Mem.t;
+  mutable shared_reg : Resource.t list list;
+      (* shared (cross-core) resources; digest_shared folds over this *)
 }
 
 let default_config =
@@ -49,31 +58,61 @@ let default_config =
     prefetch_enabled = true;
     smt = false;
     replacement = Cache.Lru;
+    btb_entries = None;
   }
+
+(* The core registry's group structure reproduces the pre-registry digest
+   tree exactly ([Rng.combine] is not associative, so the shape matters):
+   group 1 is the cache hierarchy — l1i, l1d and the (possibly absent) L2
+   slot — and group 2 the translation/speculation structures.  The BTB,
+   when configured, simply extends group 2; with the default
+   [btb_entries = None] every digest is bit-identical to older machines. *)
+let core_registry c =
+  let l2_slot =
+    match c.l2 with
+    | Some l2 -> Resource.of_cache ~name:(Cache.name l2) l2
+    | None -> Resource.absent ~name:"private L2" ~placeholder_digest:17L
+  in
+  [
+    [
+      Resource.of_cache ~name:(Cache.name c.l1i) c.l1i;
+      Resource.of_cache ~name:(Cache.name c.l1d) c.l1d;
+      l2_slot;
+    ];
+    [ Resource.of_tlb c.tlb; Resource.of_bpred c.bp; Resource.of_prefetch c.pf ]
+    @ (match c.btb with Some b -> [ Resource.of_btb b ] | None -> []);
+  ]
 
 let create cfg =
   if cfg.n_cores <= 0 then invalid_arg "Machine.create: n_cores";
   let mk_core i =
-    {
-      l1i = Cache.create ~name:(Printf.sprintf "l1i%d" i)
-          ~replacement:cfg.replacement cfg.l1_geom;
-      l1d = Cache.create ~name:(Printf.sprintf "l1d%d" i)
-          ~replacement:cfg.replacement cfg.l1_geom;
-      l2 =
-        Option.map
-          (fun g ->
-            Cache.create ~name:(Printf.sprintf "l2_%d" i)
-              ~replacement:cfg.replacement g)
-          cfg.l2_geom;
-      tlb = Tlb.create ~capacity:cfg.tlb_capacity;
-      bp = Bpred.create ();
-      pf = Prefetch.create ();
-      clk = Clock.create ();
-    }
+    let c =
+      {
+        l1i = Cache.create ~name:(Printf.sprintf "l1i%d" i)
+            ~replacement:cfg.replacement cfg.l1_geom;
+        l1d = Cache.create ~name:(Printf.sprintf "l1d%d" i)
+            ~replacement:cfg.replacement cfg.l1_geom;
+        l2 =
+          Option.map
+            (fun g ->
+              Cache.create ~name:(Printf.sprintf "l2_%d" i)
+                ~replacement:cfg.replacement g)
+            cfg.l2_geom;
+        tlb = Tlb.create ~capacity:cfg.tlb_capacity;
+        bp = Bpred.create ();
+        pf = Prefetch.create ();
+        btb = Option.map (fun entries -> Btb.create ~entries ()) cfg.btb_entries;
+        clk = Clock.create ();
+        registry = [];
+      }
+    in
+    c.registry <- core_registry c;
+    c
   in
   (* With SMT, hardware thread 2k+1 shares every private structure of
      hardware thread 2k except the cycle counter — the model of two
-     hyperthreads on one physical core. *)
+     hyperthreads on one physical core.  The registry is shared too: both
+     hardware threads see (and flush) the same resources. *)
   let cores = Array.make cfg.n_cores (mk_core 0) in
   for i = 1 to cfg.n_cores - 1 do
     cores.(i) <-
@@ -81,12 +120,28 @@ let create cfg =
          { (cores.(i - 1)) with clk = Clock.create () }
        else mk_core i)
   done;
+  let shared_llc =
+    Cache.create ~name:"llc" ~replacement:cfg.replacement cfg.llc_geom
+  in
+  let shared_bus =
+    Interconnect.create ~service:cfg.bus_service ~mode:cfg.bus_mode ()
+  in
   {
     cfg;
     cores;
-    shared_llc = Cache.create ~name:"llc" ~replacement:cfg.replacement cfg.llc_geom;
-    shared_bus = Interconnect.create ~service:cfg.bus_service ~mode:cfg.bus_mode ();
+    shared_llc;
+    shared_bus;
     phys = Mem.create ~page_bits:cfg.page_bits ~n_frames:cfg.n_frames ();
+    shared_reg =
+      [
+        [
+          Resource.of_cache ~name:(Cache.name shared_llc)
+            ~classification:Resource.Partitionable
+            ~colours:(Cache.n_colours cfg.llc_geom ~page_bits:cfg.page_bits)
+            shared_llc;
+          Resource.of_interconnect shared_bus;
+        ];
+      ];
   }
 
 let config t = t.cfg
@@ -106,21 +161,27 @@ let l2 t ~core:i = (core t i).l2
 let tlb t ~core:i = (core t i).tlb
 let bpred t ~core:i = (core t i).bp
 let prefetch t ~core:i = (core t i).pf
+let btb t ~core:i = (core t i).btb
 let bus t = t.shared_bus
 let mem t = t.phys
 let lat t = t.cfg.lat
 let page_bits t = t.cfg.page_bits
 let n_colours t = Cache.n_colours t.cfg.llc_geom ~page_bits:t.cfg.page_bits
 
-(* Reconstruct the base physical address of a line from its set and tag, to
-   write evicted dirty L1 lines back into the LLC. *)
-let paddr_of_line geom ~set ~tag =
-  let log2 n =
-    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-    go 0 n
-  in
-  (tag lsl (geom.Cache.line_bits + log2 geom.Cache.sets))
-  lor (set lsl geom.Cache.line_bits)
+(* ------------------------------------------------------------------ *)
+(* Resource registry                                                   *)
+
+let core_resources t ~core:i =
+  List.concat_map (List.filter Resource.present) (core t i).registry
+
+let shared_resources t =
+  List.concat_map (List.filter Resource.present) t.shared_reg
+
+let register_core_resource t ~core:i r =
+  let c = core t i in
+  c.registry <- c.registry @ [ [ r ] ]
+
+let register_shared_resource t r = t.shared_reg <- t.shared_reg @ [ [ r ] ]
 
 (* Access the LLC (and DRAM below it) for a physical line.  Used both as
    the second level of a core access and for L1 victim write-backs. *)
@@ -149,7 +210,7 @@ let l2_access t ~core:ci ~domain ~owner ~write ~now paddr =
     | Cache.Miss evicted ->
       (match evicted with
       | Some { Cache.tag; dirty = true; owner = victim_owner } ->
-        let victim_paddr = paddr_of_line (Cache.geom l2) ~set ~tag in
+        let victim_paddr = Cache.paddr_of_line l2 ~set ~tag in
         let (_ : int) =
           llc_access t ~domain ~owner:victim_owner ~write:true ~now
             victim_paddr
@@ -175,7 +236,7 @@ let l1_access t ~core:ci ~which ~domain ~owner ~write ~pc paddr =
          the write buffer hides its latency). *)
       (match evicted with
       | Some { Cache.tag; dirty = true; owner = victim_owner } ->
-        let victim_paddr = paddr_of_line (Cache.geom l1) ~set ~tag in
+        let victim_paddr = Cache.paddr_of_line l1 ~set ~tag in
         let (_ : int) =
           l2_access t ~core:ci ~domain ~owner:victim_owner ~write:true
             ~now:(Clock.now c.clk) victim_paddr
@@ -253,7 +314,24 @@ let branch t ~core:ci ~pc ~taken =
   let c = core t ci in
   let l = t.cfg.lat in
   let correct = Bpred.update c.bp ~pc ~taken in
-  let cost = if correct then l.Latency.branch_hit else l.Latency.branch_miss in
+  (* When a BTB is configured, a taken branch whose target is not cached
+     there pays a second misprediction penalty (the front end cannot
+     redirect until the target resolves), and the target is installed.
+     Not-taken branches never touch the BTB. *)
+  let btb_miss =
+    match c.btb with
+    | None -> false
+    | Some b ->
+      taken
+      &&
+      let hit = Btb.predict b ~pc <> None in
+      Btb.update b ~pc ~target:(pc + 4);
+      not hit
+  in
+  let cost =
+    (if correct then l.Latency.branch_hit else l.Latency.branch_miss)
+    + if btb_miss then l.Latency.branch_miss else 0
+  in
   Clock.advance c.clk cost;
   cost
 
@@ -298,43 +376,50 @@ let flush_line t ~core:ci ~asid ~translate vaddr =
         match core.l2 with Some l2 -> drop l2 | None -> ())
       t.cores;
     drop t.shared_llc;
-    let cost = tcost + 10 + (!wrote_back * t.cfg.lat.Latency.dirty_wb) in
+    let cost =
+      tcost + t.cfg.lat.Latency.clflush_base
+      + (!wrote_back * t.cfg.lat.Latency.dirty_wb)
+    in
     Clock.advance c.clk cost;
     Ok cost
 
-let digest_core t ~core:ci =
-  let c = core t ci in
-  let open Rng in
-  let l2_digest =
-    match c.l2 with Some l2 -> Cache.digest l2 | None -> 17L
-  in
-  combine
-    (combine (Cache.digest c.l1i) (combine (Cache.digest c.l1d) l2_digest))
-    (combine (Tlb.digest c.tlb) (combine (Bpred.digest c.bp) (Prefetch.digest c.pf)))
+let digest_core t ~core:ci = Resource.digest_registry (core t ci).registry
 
-let digest_shared t =
-  Rng.combine (Cache.digest t.shared_llc) (Interconnect.digest t.shared_bus)
+let digest_shared t = Resource.digest_registry t.shared_reg
 
-let flush_core_local t ~core:ci =
+(* Core-local flush: reset every *flushable* registered resource, in
+   registry order, and bill the history-dependent cost — base, plus one
+   write-back per dirty line any resource reported, plus any extra cycles
+   a resource's own reset contributes, plus jitter over the pre-flush
+   state.  Returns the per-resource reports so the kernel can audit that
+   padding covered everything registered as flushable. *)
+let flush_core_local_report t ~core:ci =
   let c = core t ci in
   let l = t.cfg.lat in
-  let pre_digest = digest_core t ~core:ci in
-  let dirty =
-    Cache.dirty_count c.l1d
-    + (match c.l2 with Some l2 -> Cache.dirty_count l2 | None -> 0)
+  let pre_digest = Resource.digest_registry c.registry in
+  let reports =
+    List.concat_map
+      (List.filter_map (fun r ->
+           if Resource.present r && Resource.flushable r then
+             Some (Resource.name r, Resource.flush r)
+           else None))
+      c.registry
   in
-  let (_ : int) = Cache.flush c.l1i in
-  let (_ : int) = Cache.flush c.l1d in
-  (match c.l2 with Some l2 -> ignore (Cache.flush l2) | None -> ());
-  let (_ : int) = Tlb.flush_all c.tlb in
-  Bpred.flush c.bp;
-  Prefetch.flush c.pf;
+  let dirty, extra =
+    List.fold_left
+      (fun (d, e) (_, rep) ->
+        ( d + rep.Resource.dirty_writebacks,
+          e + rep.Resource.extra_cycles ))
+      (0, 0) reports
+  in
   let cost =
-    l.Latency.flush_base + (dirty * l.Latency.dirty_wb)
+    l.Latency.flush_base + (dirty * l.Latency.dirty_wb) + extra
     + Latency.jitter l pre_digest
   in
   Clock.advance c.clk cost;
-  cost
+  (cost, reports)
+
+let flush_core_local t ~core:ci = fst (flush_core_local_report t ~core:ci)
 
 let wait_until t ~core:ci deadline =
   let c = core t ci in
@@ -342,4 +427,11 @@ let wait_until t ~core:ci deadline =
 
 let pp ppf t =
   Format.fprintf ppf "machine: %d cores, %a, %a" (n_cores t) Cache.pp
-    t.shared_llc Interconnect.pp t.shared_bus
+    t.shared_llc Interconnect.pp t.shared_bus;
+  (* Registry-derived resource listing: one entry per core-0 private
+     resource plus the shared ones, so the printed machine always agrees
+     with what digesting and flushing actually cover. *)
+  Format.fprintf ppf "@ resources:";
+  List.iter
+    (fun r -> Format.fprintf ppf "@ %a" Resource.pp r)
+    (core_resources t ~core:0 @ shared_resources t)

@@ -33,6 +33,9 @@ type config = {
           insecure" configuration when threads belong to different
           domains *)
   replacement : Cache.replacement;  (** replacement policy for all caches *)
+  btb_entries : int option;
+      (** branch target buffer size; [None] (the default) omits the BTB,
+          leaving digests and costs identical to pre-BTB machines *)
 }
 
 val default_config : config
@@ -54,12 +57,38 @@ val l2 : t -> core:int -> Cache.t option
 val tlb : t -> core:int -> Tlb.t
 val bpred : t -> core:int -> Bpred.t
 val prefetch : t -> core:int -> Prefetch.t
+val btb : t -> core:int -> Btb.t option
 val bus : t -> Interconnect.t
 val mem : t -> Mem.t
 val lat : t -> Latency.t
 val page_bits : t -> int
 val n_colours : t -> int
 (** Page colours exposed by the LLC. *)
+
+(** {1 Resource registry}
+
+    Every piece of micro-architectural state is also packed as a
+    {!Resource.t} and registered: per-core registries hold the private
+    (flushable) structures, the machine-wide registry holds the shared
+    ones.  [digest_core], [digest_shared], [flush_core_local] and [pp]
+    are folds over these registries, and the security model derives its
+    taxonomy from them — so a resource registered here is automatically
+    digested, flushed, audited and printed with no per-layer wiring. *)
+
+val core_resources : t -> core:int -> Resource.t list
+(** Present resources of one core, in registry (digest/flush) order. *)
+
+val shared_resources : t -> Resource.t list
+(** Present shared resources: the LLC (partitionable, with its colour
+    count) and the interconnect (out of scope). *)
+
+val register_core_resource : t -> core:int -> Resource.t -> unit
+(** Append an extra resource to one core's registry.  It is appended as
+    its own digest group, so digests of machines without it are
+    unaffected; from now on it participates in [digest_core], in
+    [flush_core_local] (if flushable) and in the derived taxonomy. *)
+
+val register_shared_resource : t -> Resource.t -> unit
 
 (** {1 Virtual accesses (user mode)} *)
 
@@ -128,10 +157,19 @@ val flush_line :
 (** {1 Time-protection primitives} *)
 
 val flush_core_local : t -> core:int -> int
-(** Flush all core-private state (L1 I/D, TLB, branch predictor,
-    prefetcher).  The returned cost is *history-dependent* — base plus a
-    per-dirty-line write-back term plus jitter over the pre-flush state —
-    which is precisely why the paper pads the domain switch. *)
+(** Flush all core-private state (every registered flushable resource:
+    L1 I/D, private L2, TLB, branch predictor, prefetcher, BTB when
+    configured, plus anything registered later).  The returned cost is
+    *history-dependent* — base plus a per-dirty-line write-back term plus
+    jitter over the pre-flush state — which is precisely why the paper
+    pads the domain switch. *)
+
+val flush_core_local_report :
+  t -> core:int -> int * (string * Resource.flush_report) list
+(** Like [flush_core_local], but also returns, per flushed resource and
+    in flush order, its name and {!Resource.flush_report} — the kernel's
+    evidence that the switch flush covered every registered flushable
+    resource. *)
 
 val wait_until : t -> core:int -> int -> int
 (** Padding: spin the core's clock to an absolute deadline.  Returns

@@ -1,0 +1,169 @@
+type classification = Flushable | Partitionable | Neither
+
+type flush_report = { dirty_writebacks : int; extra_cycles : int }
+
+let no_flush = { dirty_writebacks = 0; extra_cycles = 0 }
+
+module type S = sig
+  val name : string
+  val classification : classification
+  val in_scope : bool
+  val defence : string
+  val present : bool
+  val colours : int option
+  val digest : unit -> int64
+  val flush : unit -> flush_report
+end
+
+type t = (module S)
+
+let name (module R : S) = R.name
+let classification (module R : S) = R.classification
+let in_scope (module R : S) = R.in_scope
+let defence (module R : S) = R.defence
+let present (module R : S) = R.present
+let colours (module R : S) = R.colours
+let digest (module R : S) = R.digest ()
+let flush (module R : S) = R.flush ()
+
+let flushable r = classification r = Flushable
+
+(* Canonical defence text per class, matching the paper's Sect. 4
+   mechanisms; adapters may override. *)
+let default_defence = function
+  | Flushable ->
+    "flush_on_switch + pad_switch (latency of the flush is itself hidden)"
+  | Partitionable -> "page colouring (colouring) + kernel_clone for kernel text"
+  | Neither ->
+    "out of scope: needs hardware bandwidth partitioning (e.g. strict TDMA)"
+
+let make ~name:rname ~classification:cls ?in_scope:(scope = cls <> Neither)
+    ?defence:(def = default_defence cls) ?colours:cols ~digest:dig ~flush:fl ()
+    : t =
+  (module struct
+    let name = rname
+    let classification = cls
+    let in_scope = scope
+    let defence = def
+    let present = true
+    let colours = cols
+    let digest = dig
+    let flush = fl
+  end)
+
+(* A slot for a structure the configuration omits (e.g. the optional
+   private L2).  It keeps the digest tree's shape stable — digesting to
+   the fixed placeholder the pre-registry machine used — while staying
+   invisible to the taxonomy ([present = false]). *)
+let absent ~name:rname ~placeholder_digest : t =
+  (module struct
+    let name = rname
+    let classification = Flushable
+    let in_scope = true
+    let defence = "absent from this configuration"
+    let present = false
+    let colours = None
+    let digest () = placeholder_digest
+    let flush () = no_flush
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* Adapters                                                            *)
+
+let of_cache ~name:rname ?(classification = Flushable) ?defence ?colours cache
+    : t =
+  make ~name:rname ~classification ?defence ?colours
+    ~digest:(fun () -> Cache.digest cache)
+    ~flush:(fun () ->
+      { dirty_writebacks = Cache.flush cache; extra_cycles = 0 })
+    ()
+
+let of_tlb ?(name = "TLB") tlb : t =
+  make ~name ~classification:Flushable
+    ~digest:(fun () -> Tlb.digest tlb)
+    ~flush:(fun () ->
+      (* flush_all reports evicted entries; TLB entries are never dirty,
+         so none of them is a write-back *)
+      let (_ : int) = Tlb.flush_all tlb in
+      no_flush)
+    ()
+
+let of_bpred ?(name = "branch predictor") bp : t =
+  make ~name ~classification:Flushable
+    ~digest:(fun () -> Bpred.digest bp)
+    ~flush:(fun () ->
+      Bpred.flush bp;
+      no_flush)
+    ()
+
+let of_prefetch ?(name = "prefetcher") pf : t =
+  make ~name ~classification:Flushable
+    ~digest:(fun () -> Prefetch.digest pf)
+    ~flush:(fun () ->
+      Prefetch.flush pf;
+      no_flush)
+    ()
+
+let of_btb ?(name = "branch target buffer") btb : t =
+  make ~name ~classification:Flushable
+    ~digest:(fun () -> Btb.digest btb)
+    ~flush:(fun () ->
+      Btb.flush btb;
+      no_flush)
+    ()
+
+let of_interconnect ?(name = "memory interconnect") bus : t =
+  (* Stateless bandwidth-shared: the paper's explicit scope exclusion.
+     Its digest still participates in the shared-state digest (the
+     adversarial checker watches it), but no OS defence exists and the
+     kernel's flush must not pretend to reset it. *)
+  make ~name ~classification:Neither ~in_scope:false
+    ~digest:(fun () -> Interconnect.digest bus)
+    ~flush:(fun () -> no_flush)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry folds                                                      *)
+
+(* [Rng.combine] is not associative, so the fold shape *is* the digest.
+   A group digests as a right-assochain (combine r1 (combine r2 ...)),
+   and a registry as the same chain over its group digests.  The machine
+   arranges its registry so these folds are bit-identical to the
+   hand-written pre-registry digests. *)
+let rec rfold_right = function
+  | [] -> invalid_arg "Resource: empty digest fold"
+  | [ d ] -> d
+  | d :: rest -> Rng.combine d (rfold_right rest)
+
+let digest_group g = rfold_right (List.map digest g)
+
+let digest_registry groups = rfold_right (List.map digest_group groups)
+
+let flush_group g =
+  List.fold_left
+    (fun acc r ->
+      let rep = flush r in
+      {
+        dirty_writebacks = acc.dirty_writebacks + rep.dirty_writebacks;
+        extra_cycles = acc.extra_cycles + rep.extra_cycles;
+      })
+    no_flush g
+
+let flush_registry groups =
+  List.fold_left
+    (fun acc g ->
+      let rep = flush_group g in
+      {
+        dirty_writebacks = acc.dirty_writebacks + rep.dirty_writebacks;
+        extra_cycles = acc.extra_cycles + rep.extra_cycles;
+      })
+    no_flush groups
+
+let pp_classification ppf = function
+  | Flushable -> Format.pp_print_string ppf "flushable"
+  | Partitionable -> Format.pp_print_string ppf "partitionable"
+  | Neither -> Format.pp_print_string ppf "neither"
+
+let pp ppf r =
+  Format.fprintf ppf "%s [%a%s]" (name r) pp_classification (classification r)
+    (if in_scope r then "" else ", out of scope")

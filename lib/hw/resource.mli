@@ -1,0 +1,139 @@
+(** First-class microarchitectural resources: the paper's Sect. 5
+    taxonomy as an interface.
+
+    The paper's key modelling requirement is that every piece of
+    microarchitectural state that influences execution time is
+    delineated as *partitionable* (concurrently shared, spatially
+    divisible — colours, reservations) or *flushable* (time-multiplexed,
+    reset on domain switch); state that is neither must be explicitly out
+    of scope (the stateless interconnect).  Before this module the
+    taxonomy lived twice: implicitly in the hand-enumerated fields of
+    {!Machine} and explicitly as a disconnected enum in the security
+    model.  A resource packages one piece of state with its name,
+    classification, digest and flush behind one first-class-module
+    signature; {!Machine} carries a *registry* of them, and digesting,
+    kernel flushing and the taxonomy audit are all folds over that
+    registry — one source of truth the layers cannot drift from. *)
+
+type classification =
+  | Flushable
+      (** core-private, time-multiplexed: reset on domain switch *)
+  | Partitionable
+      (** concurrently shared, spatially divisible: partition by colour
+          or reservation *)
+  | Neither
+      (** stateless bandwidth-shared: no OS defence exists (Sect. 2) *)
+
+type flush_report = {
+  dirty_writebacks : int;
+      (** dirty lines written back — the history-dependent flush-latency
+          component that motivates padding (Sect. 4.2) *)
+  extra_cycles : int;
+      (** any fixed latency this resource's reset adds beyond the
+          machine-level [flush_base] and per-write-back cost *)
+}
+
+val no_flush : flush_report
+(** [{ dirty_writebacks = 0; extra_cycles = 0 }] *)
+
+(** The resource signature.  State is captured in the module's closure,
+    so a value of type [t] is one live structure of one machine. *)
+module type S = sig
+  val name : string
+
+  val classification : classification
+
+  val in_scope : bool
+  (** Whether time protection claims to defend this resource.  Must be
+      declared, not derived from [classification]: the aISA audit checks
+      that a [Neither] resource is never claimed in scope. *)
+
+  val defence : string
+  (** Which kernel mechanism handles it (documentation for the audit). *)
+
+  val present : bool
+  (** [false] for placeholder slots ({!absent}) that keep the digest
+      tree's shape but correspond to no hardware. *)
+
+  val colours : int option
+  (** Partition metadata: page colours exposed, for partitionable
+      resources. *)
+
+  val digest : unit -> int64
+
+  val flush : unit -> flush_report
+end
+
+type t = (module S)
+
+val name : t -> string
+val classification : t -> classification
+val in_scope : t -> bool
+val defence : t -> string
+val present : t -> bool
+val colours : t -> int option
+val digest : t -> int64
+val flush : t -> flush_report
+val flushable : t -> bool
+
+val default_defence : classification -> string
+
+val make :
+  name:string ->
+  classification:classification ->
+  ?in_scope:bool ->
+  ?defence:string ->
+  ?colours:int ->
+  digest:(unit -> int64) ->
+  flush:(unit -> flush_report) ->
+  unit ->
+  t
+(** General constructor (used by the adapters below, by {!Machine} for
+    built-in structures, and by tests/extensions for ad-hoc resources).
+    [in_scope] defaults to [classification <> Neither]; [defence]
+    defaults to {!default_defence}. *)
+
+val absent : name:string -> placeholder_digest:int64 -> t
+(** A slot for a structure this configuration omits: digests to the
+    fixed placeholder, flushes to nothing, [present = false]. *)
+
+(** {1 Adapters} *)
+
+val of_cache :
+  name:string ->
+  ?classification:classification ->
+  ?defence:string ->
+  ?colours:int ->
+  Cache.t ->
+  t
+(** Default classification [Flushable] (an L1); the machine passes
+    [~classification:Partitionable ~colours] for the LLC. *)
+
+val of_tlb : ?name:string -> Tlb.t -> t
+val of_bpred : ?name:string -> Bpred.t -> t
+val of_prefetch : ?name:string -> Prefetch.t -> t
+val of_btb : ?name:string -> Btb.t -> t
+
+val of_interconnect : ?name:string -> Interconnect.t -> t
+(** Classified [Neither] and declared out of scope — the paper's
+    explicit scope limit. *)
+
+(** {1 Registry folds}
+
+    [Rng.combine] is not associative, so the fold shape {e is} the
+    digest.  A group digests as the right-associated chain
+    [combine d1 (combine d2 (... dn))] and a registry as the same chain
+    over its group digests; {!Machine} arranges its registry groups so
+    these folds reproduce the pre-registry hand-written digests
+    bit-identically. *)
+
+val digest_group : t list -> int64
+val digest_registry : t list list -> int64
+
+val flush_group : t list -> flush_report
+(** Flush every resource in order; reports are summed. *)
+
+val flush_registry : t list list -> flush_report
+
+val pp_classification : Format.formatter -> classification -> unit
+val pp : Format.formatter -> t -> unit

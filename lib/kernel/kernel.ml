@@ -281,7 +281,20 @@ let do_switch t (cs : core_state) reason =
   let start = Machine.now t.m ~core in
   let (_ : int) = kernel_path t ~core from_dom "switch" in
   let flush_cycles =
-    if t.cfg.flush_on_switch then Machine.flush_core_local t.m ~core else 0
+    if t.cfg.flush_on_switch then begin
+      let cycles, reports = Machine.flush_core_local_report t.m ~core in
+      (* The registry is the kernel's flush obligation: every resource the
+         machine registers as flushable must appear in the report, so the
+         padded switch provably resets all of them — including any added
+         after this code was written. *)
+      List.iter
+        (fun r ->
+          if Resource.flushable r then
+            assert (List.mem_assoc (Resource.name r) reports))
+        (Machine.core_resources t.m ~core);
+      cycles
+    end
+    else 0
   in
   let sched =
     match cs.sched with Some s -> s | None -> assert false

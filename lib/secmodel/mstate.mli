@@ -4,19 +4,17 @@
     must delineate *partitionable* state from *flushable* state, and every
     piece of state that influences execution time must be one or the other
     (for in-scope channels).  The augmented ISA (aISA) contract holds when
-    this is true and the corresponding OS mechanism exists. *)
+    this is true and the corresponding OS mechanism exists.
 
-type component =
-  | L1I
-  | L1D
-  | TLB
-  | Branch_predictor
-  | Prefetcher
-  | LLC
-  | Kernel_global_data
-  | Interconnect
+    The taxonomy is *derived*, not hand-kept: components come from the
+    resource registry of a live {!Tpro_hw.Machine.t}, so the audit always
+    describes the machine that actually runs — a resource added to the
+    machine (the BTB, or anything registered at runtime) appears here with
+    no change to this module.  The only synthetic entry is kernel global
+    data, whose defence is a kernel policy rather than a hardware
+    mechanism. *)
 
-type classification =
+type classification = Tpro_hw.Resource.classification =
   | Flushable
       (** core-private, time-multiplexed: reset on domain switch *)
   | Partitionable
@@ -25,10 +23,24 @@ type classification =
   | Neither
       (** stateless bandwidth-shared: no OS defence exists (Sect. 2) *)
 
-val all : component list
+type component
+(** One taxonomy entry: a named piece of state with its classification,
+    scope and defence. *)
 
+val of_machine : Tpro_hw.Machine.t -> component list
+(** The taxonomy of this machine: core-0's registered private resources,
+    the in-scope shared resources, kernel global data, then the
+    out-of-scope shared resources. *)
+
+val all : ?machine:Tpro_hw.Machine.t -> unit -> component list
+(** [all ()] is [of_machine] of a default-configuration machine;
+    [all ~machine ()] of the given one. *)
+
+val find : component list -> string -> component option
+(** Look a component up by name. *)
+
+val name : component -> string
 val classify : component -> classification
-
 val in_scope : component -> bool
 (** The paper explicitly excludes stateless interconnects from time
     protection's scope. *)
@@ -36,13 +48,12 @@ val in_scope : component -> bool
 val defence : component -> string
 (** Which kernel mechanism handles this component. *)
 
-val aisa_satisfied : unit -> bool
+val aisa_satisfied : ?machine:Tpro_hw.Machine.t -> unit -> bool
 (** Every in-scope component is flushable or partitionable — the
     hardware-software contract time protection requires. *)
 
-val out_of_scope_components : unit -> component list
-
-val name : component -> string
+val out_of_scope_components :
+  ?machine:Tpro_hw.Machine.t -> unit -> component list
 
 val pp_component : Format.formatter -> component -> unit
 val pp_classification : Format.formatter -> classification -> unit

@@ -16,6 +16,7 @@ let () =
       ("hist/matrix/capacity", Test_hist_matrix_capacity.suite);
       ("prime_probe", Test_prime_probe.suite);
       ("secmodel", Test_secmodel.suite);
+      ("resource-registry", Test_resource.suite);
       ("nonint/proofs", Test_nonint_proofs.suite);
       ("channels", Test_channels.suite);
       ("core", Test_core_lib.suite);

@@ -11,15 +11,29 @@ let test_taxonomy_total () =
   Alcotest.(check int) "one out-of-scope component" 1
     (List.length (Mstate.out_of_scope_components ()))
 
+let classify_by_name cs n =
+  match Mstate.find cs n with
+  | Some c -> Mstate.classify c
+  | None -> Alcotest.failf "component %S missing from derived taxonomy" n
+
 let test_taxonomy_classes () =
+  (* the taxonomy is derived from the default machine's registry *)
+  let cs = Mstate.all () in
   Alcotest.(check bool) "L1D flushable" true
-    (Mstate.classify Mstate.L1D = Mstate.Flushable);
+    (classify_by_name cs "l1d0" = Mstate.Flushable);
   Alcotest.(check bool) "LLC partitionable" true
-    (Mstate.classify Mstate.LLC = Mstate.Partitionable);
+    (classify_by_name cs "llc" = Mstate.Partitionable);
   Alcotest.(check bool) "interconnect neither" true
-    (Mstate.classify Mstate.Interconnect = Mstate.Neither);
-  Alcotest.(check bool) "interconnect out of scope" false
-    (Mstate.in_scope Mstate.Interconnect)
+    (classify_by_name cs "memory interconnect" = Mstate.Neither);
+  (match Mstate.find cs "memory interconnect" with
+  | Some c ->
+    Alcotest.(check bool) "interconnect out of scope" false (Mstate.in_scope c)
+  | None -> Alcotest.fail "interconnect missing");
+  match Mstate.find cs "kernel global data" with
+  | Some c ->
+    Alcotest.(check bool) "kernel global data partitionable" true
+      (Mstate.classify c = Mstate.Partitionable)
+  | None -> Alcotest.fail "kernel global data missing"
 
 (* ------------------------- Observation ---------------------------- *)
 
