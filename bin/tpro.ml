@@ -104,6 +104,43 @@ let run_protocol id message_len =
       Format.printf "%-6s %a@." name Tpro_channel.Protocol.pp_transmission t)
     [ ("none", Time_protection.Presets.none); ("full", Time_protection.Presets.full) ]
 
+(* Scenario fuzzing: generated workloads checked by the differential
+   security oracles, with shrunk counterexamples persisted for replay. *)
+let run_fuzz seed trials jobs mutant replay out =
+  match replay with
+  | Some path -> (
+    match Tpro_fuzz.Scenario.load path with
+    | Error e ->
+      Printf.eprintf "cannot replay %s: %s\n" path e;
+      exit 1
+    | Ok s -> (
+      Format.printf "replaying %a@." Tpro_fuzz.Scenario.pp s;
+      match Tpro_fuzz.Oracle.check s with
+      | Tpro_fuzz.Oracle.Pass -> print_endline "replay: PASS"
+      | Tpro_fuzz.Oracle.Fail m ->
+        Printf.printf "replay: FAIL: %s\n" m;
+        exit 1))
+  | None ->
+    let failures =
+      if jobs <= 1 then Tpro_fuzz.Driver.run ~mutant ~seed ~trials ()
+      else
+        Tpro_engine.Pool.with_pool ~domains:jobs (fun pool ->
+            Tpro_fuzz.Driver.run ~pool ~mutant ~seed ~trials ())
+    in
+    (match failures with
+    | [] ->
+      Format.printf "fuzz: %d trials (seed %d): zero oracle violations@."
+        trials seed
+    | f :: _ ->
+      Format.printf "fuzz: %d violation(s) in %d trials (seed %d)@.%a@."
+        (List.length failures) trials seed Tpro_fuzz.Driver.pp_failure f;
+      Tpro_fuzz.Scenario.save out f.Tpro_fuzz.Driver.shrunk;
+      Format.printf
+        "shrunk counterexample written to %s (replay with: tpro fuzz \
+         --replay %s)@."
+        out out;
+      exit 1)
+
 open Cmdliner
 
 let seeds_arg =
@@ -170,6 +207,54 @@ let verify_cmd =
        ~doc:"Run the Sect. 5.2 proof stack against a configuration")
     Term.(const verify $ cfg)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~doc:"Root seed; every trial is derived from it.")
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Number of trials.")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Tpro_fuzz.Scenario.No_mutant);
+               ("skip-flush", Tpro_fuzz.Scenario.Skip_flush);
+               ("drop-padding", Tpro_fuzz.Scenario.Drop_padding);
+               ("miscolour", Tpro_fuzz.Scenario.Miscolour);
+             ])
+          Tpro_fuzz.Scenario.No_mutant
+      & info [ "mutant" ]
+          ~doc:
+            "Inject a defence bypass (skip-flush, drop-padding, miscolour) \
+             to validate that the oracles catch it.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run one saved scenario instead of fuzzing.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "fuzz-counterexample.txt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk counterexample on failure.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz generated scenarios against the differential security \
+          oracles (noninterference, capacity, legacy equivalence)")
+    Term.(
+      const run_fuzz $ seed $ trials $ jobs_arg $ mutant $ replay $ out)
+
 let () =
   let info =
     Cmd.info "tpro" ~version:"1.0.0"
@@ -180,5 +265,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; exp_cmd; all_cmd; verify_cmd; trace_cmd; protocol_cmd;
-            matrix_cmd;
+            matrix_cmd; fuzz_cmd;
           ]))

@@ -1,0 +1,23 @@
+type entry = {
+  cname : string;
+  scenario : unit -> Attack.scenario;
+  leaky : bool;
+}
+
+(* Ordered roughly by cycles per transmitted symbol (E16's cost table):
+   the fuzzer draws low indices more often, so cheap channels dominate
+   the capacity-oracle trial budget. *)
+let all =
+  [
+    { cname = "kernel_text"; scenario = Kernel_text.scenario; leaky = true };
+    { cname = "btb"; scenario = Btb_channel.scenario; leaky = true };
+    { cname = "tlb"; scenario = Tlb_channel.scenario; leaky = true };
+    { cname = "bp"; scenario = Bp_channel.scenario; leaky = true };
+    { cname = "irq"; scenario = Irq_channel.scenario; leaky = true };
+    { cname = "downgrader"; scenario = Downgrader.scenario; leaky = true };
+    { cname = "side"; scenario = Side_channel.scenario; leaky = true };
+    { cname = "l1"; scenario = Cache_channel.l1_scenario; leaky = true };
+    { cname = "llc"; scenario = Cache_channel.llc_scenario; leaky = true };
+  ]
+
+let find n = List.find_opt (fun e -> e.cname = n) all

@@ -1,0 +1,24 @@
+(** The catalogue of channels that full time protection claims to close.
+
+    The fuzz harness's capacity oracle needs a machine-readable list of
+    scenarios with their expected defence outcome: under [Presets.full]
+    every catalogued channel must measure 0 bits, and under
+    [Presets.none] the known-leaky ones must measure strictly more.
+    Channels the paper places out of scope for the OS (the interconnect),
+    or that full time protection deliberately leaves open (SMT siblings,
+    Flush+Reload over a still-shared page), are excluded — asserting
+    closure there would contradict the model. *)
+
+type entry = {
+  cname : string;  (** stable key, usable in replay files *)
+  scenario : unit -> Attack.scenario;
+  leaky : bool;
+      (** whether capacity under [none] is expected to be strictly
+          positive for any latency seed (known-leaky channel) *)
+}
+
+val all : entry list
+(** Every channel closed by full time protection, cheapest first. *)
+
+val find : string -> entry option
+(** Look an entry up by [cname]. *)

@@ -35,6 +35,8 @@ let known =
     ("full\\det-ipc", without_deterministic_delivery);
   ]
 
+let by_name n = Option.map snd (List.find_opt (fun (n', _) -> n' = n) known)
+
 let name cfg =
   match List.find_opt (fun (_, c) -> c = cfg) known with
   | Some (n, _) -> n

@@ -28,6 +28,13 @@ val without_deterministic_delivery : Kernel.config
 val name : Kernel.config -> string
 (** Preset name if recognised, else a flag summary. *)
 
+val known : (string * Kernel.config) list
+(** Every named preset, in declaration order: the standard four plus each
+    single-mechanism knockout. *)
+
+val by_name : string -> Kernel.config option
+(** Inverse of {!name} over {!known}. *)
+
 val standard : (string * Kernel.config) list
 (** [none; flush_pad; colour_only; full]. *)
 

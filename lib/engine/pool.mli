@@ -40,6 +40,12 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     after all submitted work has settled — deterministically, matching
     what sequential [List.map] would have raised first. *)
 
+val map_chunks : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunks pool ~chunk f xs] is [map pool f xs] submitting [chunk]
+    consecutive elements per queue job, for workloads where [f] is cheap
+    enough that per-job queue traffic would dominate.  Results keep input
+    order and the lowest-indexed failure is re-raised, like {!map}. *)
+
 val shutdown : t -> unit
 (** Graceful shutdown: signals the workers, lets them drain any jobs
     still queued, and joins them.  Idempotent.  A pool that has been shut

@@ -1,0 +1,59 @@
+module Pool = Tpro_engine.Pool
+
+type failure = {
+  scenario : Scenario.t;
+  message : string;
+  shrunk : Scenario.t;
+  shrunk_message : string;
+}
+
+let check_one s =
+  match Oracle.check s with
+  | Oracle.Pass -> None
+  | Oracle.Fail m -> Some (s, m)
+
+let shrink_failure (s, m) =
+  let shrunk = Shrink.minimise Oracle.check s in
+  let shrunk_message =
+    match Oracle.check shrunk with Oracle.Fail m' -> m' | Oracle.Pass -> m
+  in
+  { scenario = s; message = m; shrunk; shrunk_message }
+
+let map_trials ?pool f idxs =
+  match pool with
+  | Some p when Pool.size p > 1 -> Pool.map_chunks p ~chunk:8 f idxs
+  | Some _ | None -> List.map f idxs
+
+let run ?pool ?(mutant = Scenario.No_mutant) ~seed ~trials () =
+  let f i = check_one (Scenario.generate ~seed ~mutant i) in
+  map_trials ?pool f (List.init trials Fun.id)
+  |> List.filter_map Fun.id |> List.map shrink_failure
+
+(* First failing trial within [budget], scanning in blocks so a pool can
+   be used without losing the early exit.  Returns how many trials were
+   needed (the failing trial's 1-based position) with the shrunk
+   counterexample. *)
+let first_failure ?pool ?(mutant = Scenario.No_mutant) ~seed ~budget () =
+  let block = match pool with Some p -> max 16 (4 * Pool.size p) | None -> 16 in
+  let rec go start =
+    if start >= budget then None
+    else begin
+      let n = min block (budget - start) in
+      let f i = check_one (Scenario.generate ~seed ~mutant i) in
+      let results = map_trials ?pool f (List.init n (fun i -> start + i)) in
+      let rec first i = function
+        | [] -> None
+        | Some fail :: _ -> Some (start + i + 1, shrink_failure fail)
+        | None :: rest -> first (i + 1) rest
+      in
+      match first 0 results with
+      | Some r -> Some r
+      | None -> go (start + n)
+    end
+  in
+  go 0
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>violation: %s@ scenario: %a@ shrunk to: %a@ \
+                      shrunk violation: %s@]"
+    f.message Scenario.pp f.scenario Scenario.pp f.shrunk f.shrunk_message

@@ -1,0 +1,39 @@
+(** Trial fan-out, mutant-kill search and counterexample shrinking.
+
+    Trials are independent (each builds fresh kernels), so they fan out
+    over a {!Tpro_engine.Pool} with bit-identical results to the
+    sequential path.  Every failure is minimised with {!Shrink.minimise}
+    before being reported, ready to be persisted as a replay file. *)
+
+type failure = {
+  scenario : Scenario.t;  (** the originally failing scenario *)
+  message : string;
+  shrunk : Scenario.t;  (** minimised, still failing *)
+  shrunk_message : string;
+}
+
+val check_one : Scenario.t -> (Scenario.t * string) option
+(** [None] on pass, [Some (scenario, message)] on failure. *)
+
+val run :
+  ?pool:Tpro_engine.Pool.t ->
+  ?mutant:Scenario.mutant ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  failure list
+(** Run trials [0 .. trials-1] of [seed]; shrink and report every
+    failure.  Empty list = zero oracle violations. *)
+
+val first_failure :
+  ?pool:Tpro_engine.Pool.t ->
+  ?mutant:Scenario.mutant ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  (int * failure) option
+(** Scan trials in order until one fails; [Some (trials_used, failure)]
+    with [trials_used] the failing trial's 1-based position.  The
+    mutant-kill validation demands [Some] within its budget. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,206 @@
+open Tpro_hw
+open Tpro_kernel
+open Tpro_secmodel
+open Tpro_channel
+module Presets = Time_protection.Presets
+
+type verdict = Pass | Fail of string
+
+let failf fmt = Format.kasprintf (fun m -> Fail m) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Noninterference oracle.
+
+   Two runs differing only in the Hi secret, under the full defence
+   config.  Beyond the standard observation/cost comparison we check two
+   machine-level invariants the defences are supposed to establish:
+
+   - after a final core-local flush, every core's private digest is
+     secret-independent (flushing really erased Hi's footprint — raw
+     final digests are legitimately secret-dependent, Hi owns them);
+   - the digest of exactly the LLC sets belonging to Lo's page colours
+     is secret-independent (partitioning really confined Hi — the whole
+     LLC digest is legitimately secret-dependent in Hi's own colours). *)
+
+let lo_llc_digest m (lo : Domain.t) =
+  let llc = Machine.llc m in
+  let g = Cache.geom llc in
+  let pb = Machine.page_bits m in
+  let d = ref 1L in
+  for set = 0 to g.Cache.sets - 1 do
+    if List.mem (Cache.colour_of_set g ~page_bits:pb set) lo.Domain.colours
+    then d := Rng.combine !d (Cache.digest_set llc set)
+  done;
+  !d
+
+let check_nonint s =
+  let build ~secret = Scenario.build_ni s ~secret in
+  let ra = Nonint.execute ~max_steps:Scenario.max_steps build s.Scenario.secret_a in
+  let rb = Nonint.execute ~max_steps:Scenario.max_steps build s.Scenario.secret_b in
+  let rep = Nonint.compare_runs ra rb in
+  if not (Nonint.secure rep) then
+    failf "noninterference (secrets %d vs %d): %a" s.Scenario.secret_a
+      s.Scenario.secret_b Nonint.pp_report rep
+  else begin
+    let ka = ra.Nonint.kernel and kb = rb.Nonint.kernel in
+    let ma = Kernel.machine ka and mb = Kernel.machine kb in
+    let cfg = Kernel.config ka in
+    let fail = ref Pass in
+    (if cfg.Kernel.flush_on_switch then
+       for core = 0 to Machine.n_cores ma - 1 do
+         let (_ : int) = Machine.flush_core_local ma ~core in
+         let (_ : int) = Machine.flush_core_local mb ~core in
+         if
+           !fail = Pass
+           && Machine.digest_core ma ~core <> Machine.digest_core mb ~core
+         then
+           fail :=
+             failf
+               "core %d: private digest differs across secrets after a \
+                final flush (un-reset flushable state)"
+               core
+       done);
+    (if !fail = Pass && cfg.Kernel.colouring then begin
+       let lo_a = Kernel.domain ka 1 and lo_b = Kernel.domain kb 1 in
+       if lo_llc_digest ma lo_a <> lo_llc_digest mb lo_b then
+         fail :=
+           failf
+             "LLC digest over Lo's colours differs across secrets \
+              (partition breached)"
+     end);
+    !fail
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Legacy-equivalence oracle.
+
+   Straight-line reimplementations of the registry folds — the per-field
+   digest and flush code exactly as it stood before the resource
+   registry, extended with the BTB chain — checked against a machine
+   driven through a random trace.  Also audits flush-report coverage and
+   that the post-flush private state equals a fresh machine's. *)
+
+let legacy_digest_core m ~core =
+  let l2d =
+    match Machine.l2 m ~core with Some l2 -> Cache.digest l2 | None -> 17L
+  in
+  let pf = Prefetch.digest (Machine.prefetch m ~core) in
+  let spec_tail =
+    match Machine.btb m ~core with
+    | Some b -> Rng.combine pf (Btb.digest b)
+    | None -> pf
+  in
+  Rng.combine
+    (Rng.combine
+       (Cache.digest (Machine.l1i m ~core))
+       (Rng.combine (Cache.digest (Machine.l1d m ~core)) l2d))
+    (Rng.combine
+       (Tlb.digest (Machine.tlb m ~core))
+       (Rng.combine (Bpred.digest (Machine.bpred m ~core)) spec_tail))
+
+let legacy_digest_shared m =
+  Rng.combine
+    (Cache.digest (Machine.llc m))
+    (Interconnect.digest (Machine.bus m))
+
+let legacy_flush_cost m ~core =
+  let l = Machine.lat m in
+  let pre = legacy_digest_core m ~core in
+  let dirty =
+    Cache.dirty_count (Machine.l1d m ~core)
+    + (match Machine.l2 m ~core with Some c -> Cache.dirty_count c | None -> 0)
+  in
+  l.Latency.flush_base + (dirty * l.Latency.dirty_wb) + Latency.jitter l pre
+
+let run_trace m ~core ~seed ~steps =
+  let rng = Rng.create seed in
+  let span = 0x40000 in
+  for _ = 1 to steps do
+    match Rng.int rng 5 with
+    | 0 | 1 ->
+      ignore
+        (Machine.touch_paddr m ~core ~owner:(Rng.int rng 2) ~write:false
+           (Rng.int rng span))
+    | 2 ->
+      ignore
+        (Machine.touch_paddr m ~core ~owner:(Rng.int rng 2) ~write:true
+           (Rng.int rng span))
+    | 3 -> ignore (Machine.fetch_paddr m ~core ~owner:0 (Rng.int rng span))
+    | _ ->
+      ignore
+        (Machine.branch m ~core ~pc:(Rng.int rng 256 * 4) ~taken:(Rng.bool rng))
+  done
+
+let check_legacy s =
+  let mc = Scenario.machine_config s in
+  let m = Machine.create mc in
+  run_trace m ~core:0 ~seed:s.Scenario.hi_seed ~steps:s.Scenario.trace_steps;
+  if Machine.digest_core m ~core:0 <> legacy_digest_core m ~core:0 then
+    failf "digest_core diverges from the straight-line reimplementation"
+  else if Machine.digest_shared m <> legacy_digest_shared m then
+    failf "digest_shared diverges from the straight-line reimplementation"
+  else begin
+    let expect = legacy_flush_cost m ~core:0 in
+    let cost, reports = Machine.flush_core_local_report m ~core:0 in
+    let uncovered =
+      List.filter_map
+        (fun r ->
+          if
+            Resource.flushable r
+            && not (List.mem_assoc (Resource.name r) reports)
+          then Some (Resource.name r)
+          else None)
+        (Machine.core_resources m ~core:0)
+    in
+    if uncovered <> [] then
+      failf "flush report omits flushable resource(s): %s"
+        (String.concat ", " uncovered)
+    else if cost <> expect then
+      failf "flush cost %d differs from straight-line cost %d" cost expect
+    else begin
+      let fresh = Machine.create { mc with Machine.fault = None } in
+      if Machine.digest_core m ~core:0 <> Machine.digest_core fresh ~core:0
+      then failf "post-flush private state differs from a fresh machine"
+      else Pass
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Capacity oracle.
+
+   A catalogued channel (all of which full time protection claims to
+   close) must measure 0 bits under [full] for any latency seed; the
+   known-leaky ones must measure strictly more under [none].            *)
+
+let check_capacity s =
+  let n = List.length Catalog.all in
+  let e = List.nth Catalog.all (s.Scenario.channel mod n) in
+  let scen = e.Catalog.scenario () in
+  let seeds = [ s.Scenario.cap_seed ] in
+  let o_full = Attack.measure ~seeds scen ~cfg:Presets.full () in
+  if o_full.Attack.capacity_bits > 1e-9 then
+    failf "channel %s: %.3f bits under full time protection (seed %d)"
+      e.Catalog.cname o_full.Attack.capacity_bits s.Scenario.cap_seed
+  else if e.Catalog.leaky then begin
+    let o_none = Attack.measure ~seeds scen ~cfg:Presets.none () in
+    if o_none.Attack.capacity_bits <= 1e-9 then
+      failf
+        "channel %s: measured 0 bits under no protection (seed %d) — the \
+         oracle's known-leaky baseline is broken"
+        e.Catalog.cname s.Scenario.cap_seed
+    else Pass
+  end
+  else Pass
+
+(* ------------------------------------------------------------------ *)
+
+let check (s : Scenario.t) =
+  try
+    match s.Scenario.oracle with
+    | Scenario.Nonint -> check_nonint s
+    | Scenario.Legacy -> check_legacy s
+    | Scenario.Capacity -> check_capacity s
+  with
+  | Kernel.Uncovered_flushable name ->
+    failf "kernel flush-coverage audit: uncovered flushable resource %s" name
+  | e -> failf "exception during trial: %s" (Printexc.to_string e)

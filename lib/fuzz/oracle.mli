@@ -1,0 +1,29 @@
+(** The three differential oracles, one verdict per generated scenario.
+
+    Every check is pure with respect to the scenario: it builds fresh
+    machines/kernels from the scenario's fields, so verdicts are
+    reproducible and trials can fan out across domains. *)
+
+open Tpro_hw
+open Tpro_kernel
+
+type verdict = Pass | Fail of string
+
+val check : Scenario.t -> verdict
+(** Dispatch on the scenario's oracle kind.  Exceptions raised by a
+    trial (including {!Kernel.Uncovered_flushable}) are converted into
+    [Fail] — a crash on a generated scenario is a finding. *)
+
+val check_nonint : Scenario.t -> verdict
+val check_legacy : Scenario.t -> verdict
+val check_capacity : Scenario.t -> verdict
+
+val lo_llc_digest : Machine.t -> Domain.t -> int64
+(** Digest of exactly the LLC sets whose colour belongs to the given
+    domain — the partition-confinement projection the noninterference
+    oracle compares across secrets. *)
+
+val legacy_digest_core : Machine.t -> core:int -> int64
+val legacy_digest_shared : Machine.t -> int64
+val legacy_flush_cost : Machine.t -> core:int -> int
+(** Straight-line (pre-registry) reimplementations, BTB-aware. *)

@@ -1,0 +1,46 @@
+(* Greedy scenario shrinking: try a fixed list of field reductions, keep
+   any that still fails the oracle, loop to a fixpoint (or until the
+   evaluation budget runs out).  Scenarios are first-order data, so every
+   candidate is just a smaller record — regeneration of programs and
+   machines happens inside the oracle. *)
+
+let candidates (s : Scenario.t) =
+  let open Scenario in
+  List.filter
+    (fun c -> c <> s)
+    [
+      { s with hi_len = s.hi_len / 2 };
+      { s with hi_len = max 0 (s.hi_len - 1) };
+      { s with trace_steps = max 20 (s.trace_steps / 2) };
+      { s with lo_phases = max 1 (s.lo_phases - 1) };
+      { s with lo_lines = max 1 (s.lo_lines / 2) };
+      { s with lo_lines = max 1 (s.lo_lines - 1) };
+      { s with hi_sweep = max 1 (s.hi_sweep / 2) };
+      { s with slice = max 2_000 (s.slice / 2) };
+      { s with pad_extra = 0 };
+      { s with btb = false };
+      { s with preset = 0 };
+      { s with lat_seed = 0 };
+      { s with cap_seed = 0 };
+      { s with channel = 0 };
+      { s with secret_a = 0; secret_b = 1 };
+    ]
+
+let minimise ?(budget = 60) check (s0 : Scenario.t) =
+  let evals = ref 0 in
+  let still_fails c =
+    incr evals;
+    match check c with Oracle.Fail _ -> true | Oracle.Pass -> false
+  in
+  let rec loop s =
+    if !evals >= budget then s
+    else
+      match
+        List.find_opt
+          (fun c -> !evals < budget && still_fails c)
+          (candidates s)
+      with
+      | Some c -> loop c
+      | None -> s
+  in
+  loop s0

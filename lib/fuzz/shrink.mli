@@ -1,0 +1,13 @@
+(** Greedy counterexample minimisation.
+
+    [minimise check s] assumes [check s] fails and returns a scenario
+    that still fails but is no larger under {!Scenario.size}: each round
+    tries a fixed list of single-field reductions and keeps the first
+    one that still fails, until a fixpoint or the evaluation [budget]
+    (default 60 oracle runs) is exhausted. *)
+
+val candidates : Scenario.t -> Scenario.t list
+(** The reductions attempted at each step, strictly smaller first. *)
+
+val minimise :
+  ?budget:int -> (Scenario.t -> Oracle.verdict) -> Scenario.t -> Scenario.t

@@ -12,6 +12,14 @@ type core = {
          flush_core_local are folds over this *)
 }
 
+type fault =
+  | Skip_flush of string
+      (* the named resource is neither flushed nor reported — the kernel's
+         coverage audit can see the gap *)
+  | Silent_skip_flush of string
+      (* the named resource is not flushed but an empty report is filed
+         anyway — only behavioural oracles can see the gap *)
+
 type config = {
   n_cores : int;
   l1_geom : Cache.geometry;
@@ -31,6 +39,9 @@ type config = {
   btb_entries : int option;
       (* branch target buffer size; [None] (the default) omits the BTB
          entirely, leaving digests identical to pre-BTB machines *)
+  fault : fault option;
+      (* deliberate defence bypass for mutant-kill validation of the fuzz
+         oracles; [None] on every real configuration *)
 }
 
 type t = {
@@ -59,6 +70,7 @@ let default_config =
     smt = false;
     replacement = Cache.Lru;
     btb_entries = None;
+    fault = None;
   }
 
 (* The core registry's group structure reproduces the pre-registry digest
@@ -401,7 +413,11 @@ let flush_core_local_report t ~core:ci =
     List.concat_map
       (List.filter_map (fun r ->
            if Resource.present r && Resource.flushable r then
-             Some (Resource.name r, Resource.flush r)
+             match t.cfg.fault with
+             | Some (Skip_flush n) when Resource.name r = n -> None
+             | Some (Silent_skip_flush n) when Resource.name r = n ->
+               Some (Resource.name r, Resource.no_flush)
+             | _ -> Some (Resource.name r, Resource.flush r)
            else None))
       c.registry
   in

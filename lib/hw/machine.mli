@@ -12,6 +12,17 @@
 
 type t
 
+type fault =
+  | Skip_flush of string
+      (** [flush_core_local] neither flushes nor reports the named
+          resource — the kernel's flush-coverage audit can observe the
+          gap (it raises {!Kernel.Uncovered_flushable}) *)
+  | Silent_skip_flush of string
+      (** the named resource is left un-flushed but an empty
+          {!Resource.flush_report} is filed for it anyway, so the
+          kernel's audit passes and only behavioural oracles (digest or
+          timing divergence) can catch the bypass *)
+
 type config = {
   n_cores : int;
   l1_geom : Cache.geometry;
@@ -36,6 +47,9 @@ type config = {
   btb_entries : int option;
       (** branch target buffer size; [None] (the default) omits the BTB,
           leaving digests and costs identical to pre-BTB machines *)
+  fault : fault option;
+      (** deliberate defence bypass, used only to validate that the fuzz
+          oracles kill known-broken machines; [None] everywhere else *)
 }
 
 val default_config : config

@@ -1,5 +1,7 @@
 open Tpro_hw
 
+exception Uncovered_flushable of string
+
 type config = {
   colouring : bool;
   kernel_clone : bool;
@@ -289,8 +291,9 @@ let do_switch t (cs : core_state) reason =
          after this code was written. *)
       List.iter
         (fun r ->
-          if Resource.flushable r then
-            assert (List.mem_assoc (Resource.name r) reports))
+          if Resource.flushable r
+             && not (List.mem_assoc (Resource.name r) reports)
+          then raise (Uncovered_flushable (Resource.name r)))
         (Machine.core_resources t.m ~core);
       cycles
     end

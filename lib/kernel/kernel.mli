@@ -26,6 +26,13 @@
 
 open Tpro_hw
 
+exception Uncovered_flushable of string
+(** Raised by the switch path when [flush_on_switch] is on and the
+    machine's flush report omits a resource the registry lists as
+    flushable — the kernel's evidence obligation (every registered
+    flushable resource is reset inside the padded switch) was not met.
+    The payload is the uncovered resource's name. *)
+
 type config = {
   colouring : bool;
   kernel_clone : bool;

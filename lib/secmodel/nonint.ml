@@ -41,9 +41,7 @@ let first_cost_divergence kind obs1 obs2 =
   in
   per_thread 0 obs1 obs2
 
-let two_run ?max_steps ~build ~secret1 ~secret2 () =
-  let r1 = execute ?max_steps build secret1 in
-  let r2 = execute ?max_steps build secret2 in
+let compare_runs r1 r2 =
   {
     obs =
       Observation.compare_many
@@ -52,6 +50,11 @@ let two_run ?max_steps ~build ~secret1 ~secret2 () =
     user_costs = first_cost_divergence Thread.User r1.observers r2.observers;
     trap_costs = first_cost_divergence Thread.Trap r1.observers r2.observers;
   }
+
+let two_run ?max_steps ~build ~secret1 ~secret2 () =
+  let r1 = execute ?max_steps build secret1 in
+  let r2 = execute ?max_steps build secret2 in
+  compare_runs r1 r2
 
 let check_secrets ?max_steps ~build ~secrets () =
   match secrets with

@@ -34,6 +34,13 @@ val execute : ?max_steps:int -> (secret:int -> run) -> int -> run
 (** Build the scenario for one secret, enable cost tracing on the
     observers, and run to quiescence. *)
 
+val compare_runs : run -> run -> divergence_report
+(** Compare two already-executed runs: observation traces plus Case-1 and
+    Case-2a cost traces of the observers.  [two_run] is [execute] twice
+    followed by [compare_runs]; callers that need the final kernels as
+    well (e.g. to compare machine digests) can execute the runs
+    themselves and use this directly. *)
+
 val two_run :
   ?max_steps:int ->
   build:(secret:int -> run) ->

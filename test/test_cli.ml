@@ -1,0 +1,62 @@
+(* Exercise the installed `tpro` binary end-to-end: cmdliner parse
+   errors must exit 124, operational failures (oracle violation, bad
+   replay file) exit 1, and a clean seeded fuzz run exits 0 after
+   writing nothing.  The test runs from _build/default/test, so the
+   executable lives one directory up. *)
+
+let tpro = Filename.concat (Filename.concat ".." "bin") "tpro.exe"
+
+let run ?stdout args =
+  let stdout = match stdout with Some f -> f | None -> Filename.null in
+  Sys.command
+    (Filename.quote_command tpro ~stdout ~stderr:Filename.null args)
+
+let check_exit msg expected args =
+  Alcotest.(check int) msg expected (run args)
+
+let test_parse_errors () =
+  check_exit "unknown subcommand" 124 [ "frobnicate" ];
+  check_exit "bad -j" 124 [ "fuzz"; "-j"; "nope" ];
+  check_exit "bad --mutant" 124 [ "fuzz"; "--mutant"; "wat" ];
+  check_exit "bad --trials" 124 [ "fuzz"; "--trials"; "xyz" ]
+
+let test_clean_fuzz_run () =
+  check_exit "small clean run exits 0" 0
+    [ "fuzz"; "--trials"; "8"; "--seed"; "5"; "-j"; "1" ];
+  check_exit "explicit fan-out exits 0" 0
+    [ "fuzz"; "--trials"; "8"; "--seed"; "5"; "-j"; "2" ]
+
+let test_mutant_run_and_replay () =
+  let out = Filename.temp_file "tpro-cli-cex" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      check_exit "mutant run exits 1" 1
+        [
+          "fuzz"; "--trials"; "3"; "--seed"; "42"; "--mutant"; "drop-padding";
+          "-j"; "1"; "--out"; out;
+        ];
+      Alcotest.(check bool) "counterexample file written" true
+        (Sys.file_exists out);
+      (match Tpro_fuzz.Scenario.load out with
+      | Ok s ->
+        Alcotest.(check bool) "saved scenario carries the mutant" true
+          (s.Tpro_fuzz.Scenario.mutant = Tpro_fuzz.Scenario.Drop_padding)
+      | Error e -> Alcotest.failf "counterexample unreadable: %s" e);
+      check_exit "replaying the counterexample exits 1" 1
+        [ "fuzz"; "--replay"; out ])
+
+let test_replay_missing_file () =
+  check_exit "missing replay file exits 1" 1
+    [ "fuzz"; "--replay"; "/nonexistent/replay-file" ]
+
+let suite =
+  [
+    Alcotest.test_case "cmdliner parse errors exit 124" `Quick
+      test_parse_errors;
+    Alcotest.test_case "clean fuzz run exits 0" `Quick test_clean_fuzz_run;
+    Alcotest.test_case "mutant run writes a replayable counterexample" `Quick
+      test_mutant_run_and_replay;
+    Alcotest.test_case "missing replay file exits 1" `Quick
+      test_replay_missing_file;
+  ]

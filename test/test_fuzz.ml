@@ -1,0 +1,149 @@
+(* The fuzz harness's own guarantees: deterministic generation, replay
+   round-trips, oracle soundness at scale (10,000 trials, zero
+   violations) and mutant-kill validation — each injected defence bypass
+   must be caught within a bounded trial budget, and the shrinker must
+   hand back a smaller scenario that still fails. *)
+
+open Tpro_fuzz
+
+let scenario = Alcotest.testable Scenario.pp ( = )
+
+let test_generate_deterministic () =
+  for idx = 0 to 49 do
+    Alcotest.check scenario
+      (Printf.sprintf "generate ~seed:7 %d is stable" idx)
+      (Scenario.generate ~seed:7 idx)
+      (Scenario.generate ~seed:7 idx)
+  done;
+  Alcotest.(check bool) "different indices differ" true
+    (Scenario.generate ~seed:7 0 <> Scenario.generate ~seed:7 1);
+  Alcotest.(check bool) "different seeds differ" true
+    (Scenario.generate ~seed:7 0 <> Scenario.generate ~seed:8 0)
+
+let test_serialisation_roundtrip () =
+  List.iter
+    (fun mutant ->
+      for idx = 0 to 19 do
+        let s = Scenario.generate ~seed:3 ~mutant idx in
+        match Scenario.of_string (Scenario.to_string s) with
+        | Ok s' -> Alcotest.check scenario "to_string/of_string" s s'
+        | Error e -> Alcotest.failf "of_string failed: %s" e
+      done)
+    [ Scenario.No_mutant; Scenario.Skip_flush; Scenario.Drop_padding;
+      Scenario.Miscolour ]
+
+let test_file_roundtrip () =
+  let s = Scenario.generate ~seed:11 4 in
+  let path = Filename.temp_file "tpro-fuzz" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scenario.save path s;
+      match Scenario.load path with
+      | Ok s' -> Alcotest.check scenario "save/load" s s'
+      | Error e -> Alcotest.failf "load failed: %s" e);
+  match Scenario.load "/nonexistent/fuzz-scenario" with
+  | Ok _ -> Alcotest.fail "loading a missing file must not succeed"
+  | Error _ -> ()
+
+(* The generator must actually exercise the whole space: every machine
+   preset, both BTB settings and all three oracles show up early. *)
+let test_generator_coverage () =
+  let scenarios = List.init 500 (Scenario.generate ~seed:42) in
+  let n_presets = List.length Scenario.machine_presets in
+  for p = 0 to n_presets - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "preset %d drawn" p)
+      true
+      (List.exists (fun s -> s.Scenario.preset = p) scenarios)
+  done;
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Scenario.oracle_to_string o ^ " oracle drawn")
+        true
+        (List.exists (fun s -> s.Scenario.oracle = o) scenarios))
+    [ Scenario.Nonint; Scenario.Capacity; Scenario.Legacy ];
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "btb=%b drawn" b)
+        true
+        (List.exists (fun s -> s.Scenario.btb = b) scenarios))
+    [ true; false ]
+
+(* Acceptance criterion: 10,000 seeded trials across all presets with
+   zero oracle violations. *)
+let test_10k_trials_no_violation () =
+  Tpro_engine.Pool.with_pool (fun pool ->
+      match Driver.run ~pool ~seed:42 ~trials:10_000 () with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "oracle violation without a mutant:@.%a"
+          Driver.pp_failure f)
+
+(* Acceptance criterion: each injected defence bypass is killed within
+   1,000 trials, and the shrunk counterexample still fails without
+   having grown. *)
+let check_mutant_killed mutant =
+  match Driver.first_failure ~mutant ~seed:42 ~budget:1_000 () with
+  | None ->
+    Alcotest.failf "%s mutant survived 1000 trials"
+      (Scenario.mutant_to_string mutant)
+  | Some (used, f) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s killed within budget (used %d)"
+         (Scenario.mutant_to_string mutant)
+         used)
+      true (used <= 1_000);
+    Alcotest.(check bool) "shrunk scenario did not grow" true
+      (Scenario.size f.Driver.shrunk <= Scenario.size f.Driver.scenario);
+    (match Oracle.check f.Driver.shrunk with
+    | Oracle.Fail _ -> ()
+    | Oracle.Pass -> Alcotest.fail "shrunk counterexample no longer fails");
+    (* the replay file reproduces the violation *)
+    let path = Filename.temp_file "tpro-fuzz-kill" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Scenario.save path f.Driver.shrunk;
+        match Scenario.load path with
+        | Ok s -> (
+          match Oracle.check s with
+          | Oracle.Fail _ -> ()
+          | Oracle.Pass -> Alcotest.fail "replayed scenario no longer fails")
+        | Error e -> Alcotest.failf "replay load failed: %s" e)
+
+let test_kill_skip_flush () = check_mutant_killed Scenario.Skip_flush
+let test_kill_drop_padding () = check_mutant_killed Scenario.Drop_padding
+let test_kill_miscolour () = check_mutant_killed Scenario.Miscolour
+
+(* Fan-out must not change results: the pool path and the sequential
+   path agree failure-for-failure (here: both empty on a clean run). *)
+let test_pool_matches_sequential () =
+  let seq = Driver.run ~seed:9 ~trials:64 () in
+  let par =
+    Tpro_engine.Pool.with_pool (fun pool ->
+        Driver.run ~pool ~seed:9 ~trials:64 ())
+  in
+  Alcotest.(check int) "same failure count" (List.length seq)
+    (List.length par)
+
+let suite =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick
+      test_generate_deterministic;
+    Alcotest.test_case "to_string/of_string round-trip" `Quick
+      test_serialisation_roundtrip;
+    Alcotest.test_case "save/load round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "generator covers the space" `Quick
+      test_generator_coverage;
+    Alcotest.test_case "10k trials, zero oracle violations" `Slow
+      test_10k_trials_no_violation;
+    Alcotest.test_case "skip-flush mutant killed" `Quick test_kill_skip_flush;
+    Alcotest.test_case "drop-padding mutant killed" `Quick
+      test_kill_drop_padding;
+    Alcotest.test_case "miscolour mutant killed" `Quick test_kill_miscolour;
+    Alcotest.test_case "pool fan-out matches sequential" `Quick
+      test_pool_matches_sequential;
+  ]

@@ -330,6 +330,33 @@ let test_kernel_determinism () =
   Alcotest.(check bool) "two identical boots give identical traces" true
     (run () = run ())
 
+(* A registered Flushable resource the machine silently fails to flush
+   must be caught by the switch-time coverage audit in Kernel.do_switch. *)
+let test_uncovered_flushable () =
+  let cfg =
+    {
+      small_machine with
+      Machine.fault = Some (Machine.Skip_flush "victim write buffer");
+    }
+  in
+  let k =
+    Kernel.create ~machine_config:cfg
+      { Kernel.config_full with Kernel.kernel_clone = false }
+  in
+  Machine.register_core_resource (Kernel.machine k) ~core:0
+    (Resource.make ~name:"victim write buffer"
+       ~classification:Resource.Flushable
+       ~digest:(fun () -> 42L)
+       ~flush:(fun () -> Resource.no_flush)
+       ());
+  let d0 = Kernel.create_domain k ~slice:1000 ~pad_cycles:100_000 () in
+  let d1 = Kernel.create_domain k ~slice:1000 ~pad_cycles:100_000 () in
+  ignore (Kernel.spawn k d0 [| Program.Compute 5000; Program.Halt |]);
+  ignore (Kernel.spawn k d1 [| Program.Compute 5000; Program.Halt |]);
+  Alcotest.check_raises "kernel audits flush coverage"
+    (Kernel.Uncovered_flushable "victim write buffer") (fun () ->
+      Kernel.run k ~max_steps:50_000)
+
 let suite =
   [
     Alcotest.test_case "boot" `Quick test_boot;
@@ -357,4 +384,6 @@ let suite =
     Alcotest.test_case "deterministic delivery holds core" `Quick
       test_deterministic_delivery_holds_core;
     Alcotest.test_case "kernel determinism" `Quick test_kernel_determinism;
+    Alcotest.test_case "uncovered flushable raises" `Quick
+      test_uncovered_flushable;
   ]

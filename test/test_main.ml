@@ -29,4 +29,6 @@ let () =
       ("more-properties", Test_more_properties.suite);
       ("engine-edges", Test_engine_edges.suite);
       ("parallel-engine", Test_parallel.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -272,9 +272,37 @@ let test_btb_default_absent () =
     (Mstate.find (Mstate.of_machine m) "branch target buffer" = None)
 
 (* ----------------------------------------------------------------- *)
-(* Golden fixture: every pre-refactor experiment table (E1-E19), as
-   captured from `tpro all --csv` before the registry existed, must be
-   reproduced bit-for-bit.  E20 is new and excluded by construction.    *)
+(* Flush coverage: on every structural preset, with and without a BTB,
+   a core-local flush must report every Flushable resource by name —
+   this is the invariant Kernel.do_switch audits with
+   Uncovered_flushable, checked here at the machine layer directly.    *)
+
+let flush_presets =
+  presets
+  @ List.map
+      (fun (n, c) -> (n ^ "+btb", { c with Machine.btb_entries = Some 64 }))
+      presets
+
+let prop_flush_covers_flushables =
+  QCheck.Test.make
+    ~name:"flush report covers every flushable (presets incl. BTB)" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      List.for_all
+        (fun (_, cfg) ->
+          let m = Machine.create cfg in
+          run_trace m ~core:0 ~seed ~steps:150;
+          let _cost, reports = Machine.flush_core_local_report m ~core:0 in
+          List.for_all
+            (fun r ->
+              (not (Resource.present r && Resource.flushable r))
+              || List.mem_assoc (Resource.name r) reports)
+            (Machine.core_resources m ~core:0))
+        flush_presets)
+
+(* ----------------------------------------------------------------- *)
+(* Golden fixture: every experiment table (E1-E20), as captured from
+   `tpro all --csv`, must be reproduced bit-for-bit.                    *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -286,15 +314,9 @@ let test_experiment_tables_bit_identical () =
   let golden = read_file "golden_experiments.csv" in
   let tables = Time_protection.Experiments.all_par () in
   let csv =
-    String.concat ""
-      (List.filter_map
-         (fun t ->
-           if t.Time_protection.Table.id = "E20" then None
-           else Some (Time_protection.Table.to_csv t))
-         tables)
+    String.concat "" (List.map Time_protection.Table.to_csv tables)
   in
-  Alcotest.(check string) "E1-E19 tables bit-identical to pre-refactor" golden
-    csv
+  Alcotest.(check string) "E1-E20 tables bit-identical" golden csv
 
 let suite =
   [
@@ -303,6 +325,7 @@ let suite =
     Alcotest.test_case "registry flush matches legacy (presets)" `Quick
       test_flush_matches_legacy;
     QCheck_alcotest.to_alcotest prop_digest_matches_legacy;
+    QCheck_alcotest.to_alcotest prop_flush_covers_flushables;
     Alcotest.test_case "dummy resource registration" `Quick
       test_dummy_resource_registration;
     Alcotest.test_case "Neither-state scope audit" `Quick
