@@ -15,9 +15,17 @@
    built from.  Results are printed as OLS time-per-run estimates and
    folded into the JSON.
 
+   Part 4 benchmarks the supervision layer: the same E-table sweep
+   through [Experiments.run_supervised] vs. the raw [all_par] fan-out
+   (the price of settling every task as a result), plus the retry path
+   (a [Raise_once] fault on one table's task, so the cost of one
+   recovery is measured directly).  Written to BENCH_supervisor.json;
+   runs in [--smoke] too.
+
    Flags: [-j N] pool size, [--seeds 0,1,...] trial seeds,
-   [--json PATH] output path, [--smoke] reduced CI run (tables +
-   bechamel skipped, seq-vs-par comparison kept). *)
+   [--json PATH] output path, [--supervisor-json PATH] supervision
+   bench output, [--smoke] reduced CI run (tables + bechamel skipped,
+   seq-vs-par and supervision comparisons kept). *)
 
 open Bechamel
 open Toolkit
@@ -28,6 +36,7 @@ open Toolkit
 let jobs = ref (Tpro_engine.Pool.recommended ())
 let seeds = ref [ 0; 1 ]
 let json_path = ref "BENCH_parallel.json"
+let sup_json_path = ref "BENCH_supervisor.json"
 let smoke = ref false
 
 let parse_seeds s =
@@ -42,6 +51,9 @@ let () =
       ("-j", Arg.Set_int jobs, "N  domains for the parallel engine");
       ("--seeds", Arg.String parse_seeds, "S  comma-separated trial seeds");
       ("--json", Arg.Set_string json_path, "PATH  where to write the JSON");
+      ( "--supervisor-json",
+        Arg.Set_string sup_json_path,
+        "PATH  where to write the supervision-overhead JSON" );
       ("--smoke", Arg.Set smoke, "  reduced run for CI (skips part 1 and 3)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -94,16 +106,17 @@ let bench_parallel () =
     time_wall (fun () ->
         Time_protection.Experiments.all_par ~seeds ~domains ())
   in
-  {
-    cores = Tpro_engine.Pool.recommended ();
-    domains;
-    bench_seeds = seeds;
-    seq_seconds;
-    par_seconds;
-    speedup = seq_seconds /. par_seconds;
-    identical = tables_seq = tables_par;
-    per_table_seq;
-  }
+  ( {
+      cores = Tpro_engine.Pool.recommended ();
+      domains;
+      bench_seeds = seeds;
+      seq_seconds;
+      par_seconds;
+      speedup = seq_seconds /. par_seconds;
+      identical = tables_seq = tables_par;
+      per_table_seq;
+    },
+    tables_par )
 
 let print_par_bench b =
   Format.printf
@@ -162,6 +175,89 @@ let write_json path b micro =
         (if i = n - 1 then "" else ","))
     micro;
   p "  }\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: supervision overhead                                        *)
+
+module Supervisor = Tpro_engine.Supervisor
+
+type sup_bench = {
+  sup_domains : int;
+  raw_seconds : float;  (** all_par from part 2, same seeds *)
+  supervised_seconds : float;  (** run_supervised, full sweep *)
+  overhead_ratio : float;  (** supervised / raw *)
+  sup_identical : bool;  (** supervised tables == raw tables *)
+  clean_e2_seconds : float;
+  retry_e2_seconds : float;  (** e2 with a Raise_once fault on its task *)
+  retry_cost_seconds : float;
+}
+
+let bench_supervisor ~raw_seconds ~raw_tables =
+  let seeds = !seeds and domains = max 1 !jobs in
+  let supervised_run ?fault only =
+    Supervisor.with_supervisor ~domains ?fault (fun sup ->
+        Time_protection.Experiments.run_supervised ~seeds ~sup ?only ())
+  in
+  let sweep, supervised_seconds = time_wall (fun () -> supervised_run None) in
+  let sup_tables =
+    List.filter_map
+      (fun (_, r) -> match r with Ok t -> Some t | Error _ -> None)
+      sweep.Time_protection.Experiments.tables
+  in
+  let _, clean_e2_seconds =
+    time_wall (fun () -> supervised_run (Some [ "e2" ]))
+  in
+  (* run_supervised keys tasks by position in the selected list, so the
+     single e2 task has key 0: Raise_once hits it and forces exactly one
+     retry — the measured delta is the price of one recovery. *)
+  let retry_sweep, retry_e2_seconds =
+    time_wall (fun () ->
+        supervised_run ~fault:(Supervisor.Raise_once { key = 0 })
+          (Some [ "e2" ]))
+  in
+  let retried =
+    List.for_all
+      (fun (_, r) -> Result.is_ok r)
+      retry_sweep.Time_protection.Experiments.tables
+  in
+  {
+    sup_domains = domains;
+    raw_seconds;
+    supervised_seconds;
+    overhead_ratio = supervised_seconds /. raw_seconds;
+    sup_identical = (sup_tables = raw_tables) && retried;
+    clean_e2_seconds;
+    retry_e2_seconds;
+    retry_cost_seconds = retry_e2_seconds -. clean_e2_seconds;
+  }
+
+let print_sup_bench b =
+  Format.printf "=== Supervision layer: settled results vs. raw fan-out ===@.@.";
+  Format.printf "  pool size (-j):              %d@." b.sup_domains;
+  Format.printf "  raw all_par:                 %.3f s@." b.raw_seconds;
+  Format.printf "  supervised sweep:            %.3f s@." b.supervised_seconds;
+  Format.printf "  overhead:                    %.2fx@." b.overhead_ratio;
+  Format.printf "  e2 clean:                    %.3f s@." b.clean_e2_seconds;
+  Format.printf "  e2 with one retry:           %.3f s@." b.retry_e2_seconds;
+  Format.printf "  retry-path cost:             %.3f s@." b.retry_cost_seconds;
+  Format.printf "  outputs bit-identical:       %b@.@." b.sup_identical
+
+let write_sup_json path b =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tpro-bench-supervisor/1\",\n";
+  p "  \"domains\": %d,\n" b.sup_domains;
+  p "  \"raw_all_par_seconds\": %.6f,\n" b.raw_seconds;
+  p "  \"supervised_sweep_seconds\": %.6f,\n" b.supervised_seconds;
+  p "  \"overhead_ratio\": %.4f,\n" b.overhead_ratio;
+  p "  \"e2_clean_seconds\": %.6f,\n" b.clean_e2_seconds;
+  p "  \"e2_one_retry_seconds\": %.6f,\n" b.retry_e2_seconds;
+  p "  \"retry_cost_seconds\": %.6f,\n" b.retry_cost_seconds;
+  p "  \"outputs_bit_identical\": %b\n" b.sup_identical;
   p "}\n";
   close_out oc;
   Format.printf "wrote %s@." path
@@ -313,14 +409,24 @@ let run_bechamel tests =
 
 let () =
   if not !smoke then regenerate_tables ();
-  let par = bench_parallel () in
+  let par, raw_tables = bench_parallel () in
   print_par_bench par;
+  let sup =
+    bench_supervisor ~raw_seconds:par.par_seconds ~raw_tables
+  in
+  print_sup_bench sup;
   let micro =
     if !smoke then [] else run_bechamel (experiment_tests @ micro_tests)
   in
   write_json !json_path par micro;
+  write_sup_json !sup_json_path sup;
   if not par.identical then begin
     Format.printf
       "ERROR: parallel suite diverged from sequential suite output@.";
+    exit 1
+  end;
+  if not sup.sup_identical then begin
+    Format.printf
+      "ERROR: supervised sweep diverged from raw fan-out output@.";
     exit 1
   end

@@ -1,5 +1,23 @@
 (* Command-line driver: run experiments, verify configurations, inspect
-   the model. *)
+   the model.
+
+   Long-running entry points (fuzz campaigns, the experiment sweep) go
+   through the engine's supervision layer: deterministic output — the
+   report a resumed run prints is bit-identical to an uninterrupted one
+   — stays on stdout; operational chatter (run summaries, resume notes,
+   per-task failures) goes to stderr. *)
+
+module Supervisor = Tpro_engine.Supervisor
+
+(* Exit codes: 0 clean, 1 operational failure (oracle violation, bad
+   replay), 2 campaign incomplete (supervised tasks failed), 124
+   usage/parse errors (cmdliner's convention, shared by the replay
+   parser). *)
+let exit_incomplete = 2
+
+let print_supervision_stderr sup notes =
+  List.iter (fun n -> Format.eprintf "note: %s@." n) notes;
+  Format.eprintf "%a@." Supervisor.pp_summary (Supervisor.summary sup)
 
 let list_experiments () =
   print_endline "experiments (see DESIGN.md for the paper mapping):";
@@ -9,25 +27,63 @@ let print_table csv table =
   if csv then print_string (Time_protection.Table.to_csv table)
   else Format.printf "%a@." Time_protection.Table.render table
 
-let run_experiment id seeds csv jobs =
+(* Resolve the --checkpoint / --resume pair: --resume FILE implies
+   checkpointing to the same FILE unless --checkpoint overrides it. *)
+let checkpoint_path checkpoint resume =
+  match (checkpoint, resume) with
+  | Some c, _ -> Some c
+  | None, r -> r
+
+(* Supervised sweep shared by `tpro all` and `tpro exp` when a
+   checkpoint is in play: print the tables that settled, report the ones
+   that did not, exit 2 if the sweep is incomplete. *)
+let run_sweep_supervised ?seeds ?only ~csv ~jobs ~path ~resume () =
+  Supervisor.with_supervisor ~domains:jobs (fun sup ->
+      let sw =
+        Time_protection.Experiments.run_supervised ?seeds ~sup
+          ~checkpoint:path ~resume ?only ()
+      in
+      print_supervision_stderr sup sw.Time_protection.Experiments.sweep_notes;
+      let incomplete = ref false in
+      List.iter
+        (fun (id, r) ->
+          match r with
+          | Ok t -> print_table csv t
+          | Error e ->
+            incomplete := true;
+            Format.eprintf "experiment %s lost: %s@." id
+              (Supervisor.task_error_to_string e))
+        sw.Time_protection.Experiments.tables;
+      if !incomplete then exit exit_incomplete)
+
+let run_experiment id seeds csv jobs checkpoint resume =
   match Time_protection.Experiments.by_id id with
   | None ->
     Printf.eprintf "unknown experiment %s; try `tpro list`\n" id;
     exit 1
-  | Some f ->
+  | Some f -> (
     let seeds = match seeds with [] -> None | l -> Some l in
-    if jobs <= 1 then print_table csv (f ?seeds ())
-    else
-      Tpro_engine.Pool.with_pool ~domains:jobs (fun pool ->
-          print_table csv (f ?seeds ~pool ()))
+    match checkpoint_path checkpoint resume with
+    | Some path ->
+      run_sweep_supervised ?seeds ~only:[ String.lowercase_ascii id ] ~csv
+        ~jobs ~path ~resume:(resume <> None) ()
+    | None ->
+      if jobs <= 1 then print_table csv (f ?seeds ())
+      else
+        Tpro_engine.Pool.with_pool ~domains:jobs (fun pool ->
+            print_table csv (f ?seeds ~pool ())))
 
-let run_all seeds csv jobs =
+let run_all seeds csv jobs checkpoint resume =
   let seeds = match seeds with [] -> None | l -> Some l in
-  let tables =
-    if jobs <= 1 then Time_protection.Experiments.all ?seeds ()
-    else Time_protection.Experiments.all_par ?seeds ~domains:jobs ()
-  in
-  List.iter (print_table csv) tables
+  match checkpoint_path checkpoint resume with
+  | Some path ->
+    run_sweep_supervised ?seeds ~csv ~jobs ~path ~resume:(resume <> None) ()
+  | None ->
+    let tables =
+      if jobs <= 1 then Time_protection.Experiments.all ?seeds ()
+      else Time_protection.Experiments.all_par ?seeds ~domains:jobs ()
+    in
+    List.iter (print_table csv) tables
 
 let configs =
   Time_protection.Presets.standard @ Time_protection.Presets.ablations
@@ -105,14 +161,21 @@ let run_protocol id message_len =
     [ ("none", Time_protection.Presets.none); ("full", Time_protection.Presets.full) ]
 
 (* Scenario fuzzing: generated workloads checked by the differential
-   security oracles, with shrunk counterexamples persisted for replay. *)
-let run_fuzz seed trials jobs mutant replay out =
+   security oracles, with shrunk counterexamples persisted for replay.
+   The campaign runs under supervision: one bad task costs one result,
+   the run completes, and the missing trials are reported (exit 2). *)
+let run_fuzz seed trials jobs mutant replay out checkpoint checkpoint_every
+    resume =
   match replay with
   | Some path -> (
     match Tpro_fuzz.Scenario.load path with
-    | Error e ->
-      Printf.eprintf "cannot replay %s: %s\n" path e;
+    | Error (Tpro_fuzz.Scenario.Io msg) ->
+      Printf.eprintf "cannot replay %s: %s\n" path msg;
       exit 1
+    | Error (Tpro_fuzz.Scenario.Parse pe) ->
+      Format.eprintf "cannot replay %s: %a@." path
+        Tpro_fuzz.Scenario.pp_parse_error pe;
+      exit 124
     | Ok s -> (
       Format.printf "replaying %a@." Tpro_fuzz.Scenario.pp s;
       match Tpro_fuzz.Oracle.check s with
@@ -121,25 +184,34 @@ let run_fuzz seed trials jobs mutant replay out =
         Printf.printf "replay: FAIL: %s\n" m;
         exit 1))
   | None ->
-    let failures =
-      if jobs <= 1 then Tpro_fuzz.Driver.run ~mutant ~seed ~trials ()
-      else
-        Tpro_engine.Pool.with_pool ~domains:jobs (fun pool ->
-            Tpro_fuzz.Driver.run ~pool ~mutant ~seed ~trials ())
-    in
-    (match failures with
-    | [] ->
-      Format.printf "fuzz: %d trials (seed %d): zero oracle violations@."
-        trials seed
-    | f :: _ ->
-      Format.printf "fuzz: %d violation(s) in %d trials (seed %d)@.%a@."
-        (List.length failures) trials seed Tpro_fuzz.Driver.pp_failure f;
-      Tpro_fuzz.Scenario.save out f.Tpro_fuzz.Driver.shrunk;
-      Format.printf
-        "shrunk counterexample written to %s (replay with: tpro fuzz \
-         --replay %s)@."
-        out out;
-      exit 1)
+    Supervisor.with_supervisor ~domains:jobs (fun sup ->
+        let c =
+          Tpro_fuzz.Driver.campaign ~sup ~mutant
+            ?checkpoint:(checkpoint_path checkpoint resume)
+            ~checkpoint_every ~resume:(resume <> None) ~seed ~trials ()
+        in
+        print_supervision_stderr sup c.Tpro_fuzz.Driver.notes;
+        List.iter
+          (fun { Tpro_fuzz.Driver.trial; error } ->
+            Format.eprintf "trial %d lost: %s@." trial
+              (Supervisor.task_error_to_string error))
+          c.Tpro_fuzz.Driver.task_failures;
+        let incomplete = c.Tpro_fuzz.Driver.task_failures <> [] in
+        match c.Tpro_fuzz.Driver.failures with
+        | [] ->
+          Format.printf "fuzz: %d trials (seed %d): zero oracle violations@."
+            trials seed;
+          if incomplete then exit exit_incomplete
+        | f :: _ ->
+          Format.printf "fuzz: %d violation(s) in %d trials (seed %d)@.%a@."
+            (List.length c.Tpro_fuzz.Driver.failures)
+            trials seed Tpro_fuzz.Driver.pp_failure f;
+          Tpro_fuzz.Scenario.save out f.Tpro_fuzz.Driver.shrunk;
+          Format.printf
+            "shrunk counterexample written to %s (replay with: tpro fuzz \
+             --replay %s)@."
+            out out;
+          exit 1)
 
 open Cmdliner
 
@@ -159,6 +231,33 @@ let jobs_arg =
            runtime's recommended domain count).  Results are bit-identical \
            for any value.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot progress into $(docv) (crash-safe: written to a \
+           temporary file, fsynced and atomically renamed) so an \
+           interrupted run can be resumed with $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Trials between checkpoint snapshots (default 200).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from the checkpoint in $(docv) — and keep checkpointing \
+           there — producing output bit-identical to an uninterrupted run.  \
+           A missing, corrupt or mismatched checkpoint restarts from \
+           scratch with a note on stderr.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids")
     Term.(const list_experiments $ const ())
@@ -166,11 +265,15 @@ let list_cmd =
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "exp" ~doc:"Run one experiment (e.g. e2)")
-    Term.(const run_experiment $ id $ seeds_arg $ csv_arg $ jobs_arg)
+    Term.(
+      const run_experiment $ id $ seeds_arg $ csv_arg $ jobs_arg
+      $ checkpoint_arg $ resume_arg)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ seeds_arg $ csv_arg $ jobs_arg)
+    Term.(
+      const run_all $ seeds_arg $ csv_arg $ jobs_arg $ checkpoint_arg
+      $ resume_arg)
 
 let trace_cmd =
   let cfg = Arg.(value & pos 0 string "full" & info [] ~docv:"CONFIG") in
@@ -253,11 +356,12 @@ let fuzz_cmd =
          "Fuzz generated scenarios against the differential security \
           oracles (noninterference, capacity, legacy equivalence)")
     Term.(
-      const run_fuzz $ seed $ trials $ jobs_arg $ mutant $ replay $ out)
+      const run_fuzz $ seed $ trials $ jobs_arg $ mutant $ replay $ out
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 let () =
   let info =
-    Cmd.info "tpro" ~version:"1.0.0"
+    Cmd.info "tpro" ~version:"1.3.0"
       ~doc:"Time protection: executable model, attacks and proofs"
   in
   exit

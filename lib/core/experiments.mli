@@ -117,6 +117,33 @@ val all_par :
 
 val ids : string list
 
+type sweep = {
+  tables :
+    (string * (Table.t, Tpro_engine.Supervisor.task_error) result) list;
+      (** one entry per selected experiment, in E-number order; a table
+          whose task failed (after retries) settles as [Error] instead
+          of aborting the sweep *)
+  sweep_resumed : int;  (** tables reused from the checkpoint *)
+  sweep_notes : string list;  (** resume/restart decisions *)
+}
+
+val run_supervised :
+  ?seeds:int list ->
+  sup:Tpro_engine.Supervisor.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?only:string list ->
+  unit ->
+  sweep
+(** The suite under supervision: each table is one supervised task
+    (typed failure, bounded retry), and each capacity table's trial
+    grid fans out over the supervisor's pool.  With [?checkpoint],
+    every completed table is serialised into a crash-safe snapshot;
+    with [~resume:true] those tables are reloaded and re-rendered
+    byte-identically instead of recomputed.  A corrupt or mismatched
+    checkpoint restarts the sweep from scratch with a note.  [?only]
+    restricts the sweep to the given lowercase ids (for [tpro exp]). *)
+
 val by_id :
   string ->
   (?seeds:int list -> ?pool:Tpro_engine.Pool.t -> unit -> Table.t) option

@@ -47,3 +47,65 @@ let csv_cell s =
 let to_csv t =
   let line row = String.concat "," (List.map csv_cell row) in
   String.concat "\n" (List.map line (t.headers :: t.rows)) ^ "\n"
+
+(* Checkpoint serialisation: one escaped field per line, so a resumed
+   campaign re-renders a completed table byte-identically to the run
+   that computed it.  Cells are tab-joined, which the escaping makes
+   unambiguous. *)
+
+let esc = Tpro_engine.Checkpoint.escape
+
+let serialise t =
+  String.concat "\n"
+    ([ "id " ^ esc t.id; "title " ^ esc t.title; "anchor " ^ esc t.anchor ]
+    @ List.map (fun h -> "header " ^ esc h) t.headers
+    (* cells are escaped individually, so the joining tabs are the only
+       real tabs on the line *)
+    @ List.map (fun r -> "row " ^ String.concat "\t" (List.map esc r)) t.rows
+    @ [ "note " ^ esc t.note ])
+  ^ "\n"
+
+let deserialise str =
+  let unesc line what =
+    match Tpro_engine.Checkpoint.unescape line with
+    | Some s -> Ok s
+    | None -> Error ("malformed escape in " ^ what)
+  in
+  let rec go acc lines =
+    match lines with
+    | [] -> Ok acc
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+      let k, v =
+        match String.index_opt line ' ' with
+        | Some i ->
+          ( String.sub line 0 i,
+            String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> (line, "")
+      in
+      if k = "row" then
+        let cells = String.split_on_char '\t' v in
+        let rec unesc_all acc = function
+          | [] -> Ok (List.rev acc)
+          | c :: rest -> (
+            match unesc c "row cell" with
+            | Ok c -> unesc_all (c :: acc) rest
+            | Error _ as e -> e)
+        in
+        match unesc_all [] cells with
+        | Error _ as e -> e
+        | Ok cells -> go { acc with rows = acc.rows @ [ cells ] } rest
+      else
+        match unesc v k with
+        | Error _ as e -> e
+        | Ok v -> (
+          match k with
+          | "id" -> go { acc with id = v } rest
+          | "title" -> go { acc with title = v } rest
+          | "anchor" -> go { acc with anchor = v } rest
+          | "header" -> go { acc with headers = acc.headers @ [ v ] } rest
+          | "note" -> go { acc with note = v } rest
+          | _ -> Error ("unknown table field: " ^ k)))
+  in
+  go { id = ""; title = ""; anchor = ""; headers = []; rows = []; note = "" }
+    (String.split_on_char '\n' str)

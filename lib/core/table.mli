@@ -20,3 +20,10 @@ val to_csv : t -> string
 
 val cell_float : float -> string
 (** 3-decimal rendering used for capacities. *)
+
+val serialise : t -> string
+(** Checkpoint form: one escaped field per line.  Exact round-trip —
+    [deserialise (serialise t) = Ok t] — so a campaign resumed from a
+    checkpoint re-renders completed tables byte-identically. *)
+
+val deserialise : string -> (t, string) result

@@ -1,0 +1,58 @@
+(** Crash-safe campaign checkpoints: versioned, CRC-checked snapshots.
+
+    Long campaigns (10k-trial fuzz runs, full experiment sweeps)
+    periodically persist their progress through this module so a killed
+    process resumes from the last completed chunk instead of starting
+    over.  The write protocol is the classic crash-safe sequence: write
+    a sibling [.tmp] file, [fsync] it, then atomically rename it over
+    the destination.  A reader therefore sees either the previous
+    snapshot or the new one, never a torn mixture.
+
+    The on-disk format is deliberately inspectable text:
+    {v
+    tpro-checkpoint 1
+    crc <decimal CRC-32 of the payload>
+    len <payload length in bytes>
+    <payload>
+    v}
+
+    Loads validate magic, version, length and CRC and return a typed
+    {!error} on any mismatch — a resuming campaign treats every such
+    error as "no usable checkpoint" and restarts cleanly from scratch
+    rather than silently resuming wrong state. *)
+
+val version : int
+(** Current format version; {!load} rejects files written by any
+    other. *)
+
+type error =
+  | Io of string  (** the file cannot be read at all *)
+  | Bad_magic  (** not a checkpoint file, or an unparseable header *)
+  | Bad_version of int  (** a checkpoint from another format version *)
+  | Truncated of { expected : int; got : int }
+      (** the payload is shorter (or longer) than the header promises *)
+  | Bad_crc of { expected : int32; got : int32 }
+      (** right length, corrupted bytes *)
+
+val error_to_string : error -> string
+
+val save : ?fault:[ `Torn ] -> path:string -> string -> unit
+(** [save ~path payload] writes the checkpoint crash-safely
+    (tmp + fsync + rename).  [~fault:`Torn] simulates storage that
+    acknowledged a write it never completed: the renamed file carries
+    only half the payload, which a subsequent {!load} must reject with
+    {!Truncated} or {!Bad_crc} — the engine-level fault matrix uses
+    this to prove resume never trusts a damaged snapshot. *)
+
+val load : path:string -> (string, error) result
+(** Read and validate a checkpoint, returning its payload. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of a string, exposed for tests. *)
+
+val escape : string -> string
+(** Escape backslash, newline and tab so an arbitrary string fits on
+    one payload line. *)
+
+val unescape : string -> string option
+(** Inverse of {!escape}; [None] on a malformed escape sequence. *)

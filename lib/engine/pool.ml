@@ -33,24 +33,58 @@ let rec worker_loop pool =
     worker_loop pool
   end
 
+(* Spawn [n] workers, or clean up whatever was spawned before the
+   failure: a half-built pool must not leak running domains. *)
+let spawn_workers pool n =
+  let spawned = ref [] in
+  match
+    for _ = 1 to n do
+      spawned := Domain.spawn (fun () -> worker_loop pool) :: !spawned
+    done
+  with
+  | () -> Ok (Array.of_list !spawned)
+  | exception e ->
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join !spawned;
+    Error (Printexc.to_string e)
+
+let fresh size =
+  {
+    size;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    stop = false;
+    workers = [||];
+  }
+
 let create ?domains () =
   let size =
     match domains with None -> recommended () | Some d -> max 1 d
   in
-  let pool =
-    {
-      size;
-      queue = Queue.create ();
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      stop = false;
-      workers = [||];
-    }
-  in
-  if size > 1 then
-    pool.workers <-
-      Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  let pool = fresh size in
+  if size > 1 then begin
+    match spawn_workers pool (size - 1) with
+    | Ok ws -> pool.workers <- ws
+    | Error msg -> failwith ("Pool.create: cannot spawn workers: " ^ msg)
+  end;
   pool
+
+let create_opt ?domains () =
+  let size =
+    match domains with None -> recommended () | Some d -> max 1 d
+  in
+  let pool = fresh size in
+  if size <= 1 then Ok pool
+  else
+    match spawn_workers pool (size - 1) with
+    | Ok ws ->
+      pool.workers <- ws;
+      Ok pool
+    | Error msg -> Error msg
 
 let size t = t.size
 

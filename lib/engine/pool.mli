@@ -28,6 +28,13 @@ val create : ?domains:int -> unit -> t
     is the remaining one).  [domains] defaults to {!recommended}; values
     [< 1] are clamped to 1. *)
 
+val create_opt : ?domains:int -> unit -> (t, string) result
+(** Like {!create}, but a worker-spawn failure (the runtime refusing
+    more domains, resource exhaustion) returns [Error message] instead
+    of raising, after joining any domains already spawned — nothing
+    leaks.  The supervision layer uses this to degrade to sequential
+    execution rather than abort a campaign. *)
+
 val size : t -> int
 (** Total parallelism of the pool, including the calling domain. *)
 

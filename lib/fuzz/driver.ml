@@ -1,4 +1,6 @@
 module Pool = Tpro_engine.Pool
+module Supervisor = Tpro_engine.Supervisor
+module Checkpoint = Tpro_engine.Checkpoint
 
 type failure = {
   scenario : Scenario.t;
@@ -52,6 +54,176 @@ let first_failure ?pool ?(mutant = Scenario.No_mutant) ~seed ~budget () =
     end
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Supervised campaign: fault-tolerant fan-out with crash-safe
+   checkpoint/resume.
+
+   The checkpoint records only (seed, mutant, trials completed, failing
+   trial indices): every scenario and every verdict regenerates
+   deterministically from those integers, so a resumed campaign's final
+   report — including the shrunk counterexamples — is bit-identical to
+   an uninterrupted run.  Shrinking is deferred to the end of the
+   campaign for the same reason: it re-derives from the recorded
+   indices no matter how many times the process died in between. *)
+
+type task_failure = { trial : int; error : Supervisor.task_error }
+
+type campaign = {
+  failures : failure list;
+  trials : int;
+  resumed_from : int;
+  task_failures : task_failure list;
+  notes : string list;
+}
+
+let state_payload ~seed ~mutant ~completed ~failing =
+  String.concat "\n"
+    ([
+       "kind fuzz";
+       "seed " ^ string_of_int seed;
+       "mutant " ^ Scenario.mutant_to_string mutant;
+       "done " ^ string_of_int completed;
+     ]
+    @ List.map (fun i -> "fail " ^ string_of_int i) failing)
+  ^ "\n"
+
+let parse_state ~seed ~mutant payload =
+  let kind = ref None
+  and pseed = ref None
+  and pmutant = ref None
+  and completed = ref None
+  and fails = ref [] in
+  let bad = ref None in
+  List.iter
+    (fun line ->
+      if !bad = None && String.trim line <> "" then
+        match String.index_opt line ' ' with
+        | None -> bad := Some ("malformed state line: " ^ line)
+        | Some i -> (
+          let k = String.sub line 0 i
+          and v = String.sub line (i + 1) (String.length line - i - 1) in
+          let int_or k' =
+            match int_of_string_opt v with
+            | Some n -> Some n
+            | None ->
+              bad := Some (Printf.sprintf "state key `%s` wants an integer" k');
+              None
+          in
+          match k with
+          | "kind" -> kind := Some v
+          | "seed" -> pseed := int_or k
+          | "mutant" -> pmutant := Some v
+          | "done" -> completed := int_or k
+          | "fail" -> (
+            match int_or k with
+            | Some n -> fails := n :: !fails
+            | None -> ())
+          | _ -> bad := Some ("unknown state key `" ^ k ^ "`")))
+    (String.split_on_char '\n' payload);
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    if !kind <> Some "fuzz" then Error "checkpoint is not a fuzz campaign"
+    else if !pseed <> Some seed then
+      Error "checkpoint was written for a different seed"
+    else if !pmutant <> Some (Scenario.mutant_to_string mutant) then
+      Error "checkpoint was written for a different mutant"
+    else
+      match !completed with
+      | None -> Error "checkpoint has no `done` count"
+      | Some d -> Ok (d, List.rev !fails)
+
+let campaign ~sup ?(mutant = Scenario.No_mutant) ?checkpoint
+    ?(checkpoint_every = 200) ?(resume = false) ~seed ~trials () =
+  let notes = ref [] in
+  let note msg = notes := msg :: !notes in
+  let start, failing0 =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+      match Checkpoint.load ~path with
+      | Error (Checkpoint.Io msg) ->
+        note
+          (Printf.sprintf "no checkpoint to resume (%s); starting from scratch"
+             msg);
+        (0, [])
+      | Error e ->
+        note
+          (Printf.sprintf
+             "checkpoint rejected (%s); restarting campaign from scratch"
+             (Checkpoint.error_to_string e));
+        (0, [])
+      | Ok payload -> (
+        match parse_state ~seed ~mutant payload with
+        | Error msg ->
+          note
+            (Printf.sprintf
+               "checkpoint rejected (%s); restarting campaign from scratch"
+               msg);
+          (0, [])
+        | Ok (d, _) when d > trials ->
+          note
+            (Printf.sprintf
+               "checkpoint covers %d trials but only %d were requested; \
+                restarting campaign from scratch"
+               d trials);
+          (0, [])
+        | Ok (d, fails) ->
+          note
+            (Printf.sprintf
+               "resumed at trial %d (%d violation%s already recorded)" d
+               (List.length fails)
+               (if List.length fails = 1 then "" else "s"));
+          (d, fails)))
+    | _ -> (0, [])
+  in
+  let failing = ref (List.rev failing0) (* newest first *) in
+  let task_failures = ref [] in
+  let pos = ref start in
+  let save_state () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      Supervisor.checkpoint_save sup ~path
+        (state_payload ~seed ~mutant ~completed:!pos
+           ~failing:(List.rev !failing))
+  in
+  let every = max 1 checkpoint_every in
+  while !pos < trials do
+    let n = min every (trials - !pos) in
+    let idxs = List.init n (fun i -> !pos + i) in
+    let results =
+      Supervisor.run sup ~chunk:8 ~key:Fun.id
+        (fun ~fuel i ->
+          let s = Scenario.generate ~seed ~mutant i in
+          Supervisor.Fuel.burn ~amount:(Scenario.size s) fuel;
+          check_one s)
+        idxs
+    in
+    List.iter2
+      (fun i -> function
+        | Ok None -> ()
+        | Ok (Some _) -> failing := i :: !failing
+        | Error error ->
+          task_failures := { trial = i; error } :: !task_failures)
+      idxs results;
+    pos := !pos + n;
+    save_state ()
+  done;
+  let failures =
+    List.filter_map
+      (fun i ->
+        Option.map shrink_failure
+          (check_one (Scenario.generate ~seed ~mutant i)))
+      (List.rev !failing)
+  in
+  {
+    failures;
+    trials;
+    resumed_from = start;
+    task_failures = List.rev !task_failures;
+    notes = List.rev !notes;
+  }
 
 let pp_failure ppf f =
   Format.fprintf ppf "@[<v>violation: %s@ scenario: %a@ shrunk to: %a@ \

@@ -36,4 +36,42 @@ val first_failure :
     with [trials_used] the failing trial's 1-based position.  The
     mutant-kill validation demands [Some] within its budget. *)
 
+type task_failure = {
+  trial : int;
+  error : Tpro_engine.Supervisor.task_error;
+}
+(** A trial whose task the supervisor had to settle as an error (after
+    retries): its verdict is unknown, which the campaign reports
+    rather than hides. *)
+
+type campaign = {
+  failures : failure list;  (** shrunk oracle violations, trial order *)
+  trials : int;
+  resumed_from : int;  (** trials skipped thanks to a checkpoint; 0 = fresh *)
+  task_failures : task_failure list;
+  notes : string list;  (** resume/restart decisions, for the operator *)
+}
+
+val campaign :
+  sup:Tpro_engine.Supervisor.t ->
+  ?mutant:Scenario.mutant ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  campaign
+(** Supervised, crash-safe campaign.  With [?checkpoint:path], progress
+    is snapshotted every [checkpoint_every] (default 200) trials via
+    {!Tpro_engine.Checkpoint} (write-tmp + fsync + rename).  With
+    [~resume:true], the checkpoint at [path] is loaded first: the
+    campaign continues from its last completed chunk, and the final
+    {!campaign} value — violations, shrunk counterexamples, ordering —
+    is bit-identical to an uninterrupted run, because the checkpoint
+    records only trial indices and everything regenerates
+    deterministically from them.  A corrupt, truncated, stale-version
+    or mismatched (different seed/mutant) checkpoint is rejected with a
+    note and the campaign restarts cleanly from scratch. *)
+
 val pp_failure : Format.formatter -> failure -> unit

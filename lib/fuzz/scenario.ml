@@ -282,53 +282,116 @@ let to_string s =
     @ List.map (fun (k, v) -> k ^ " " ^ string_of_int v) (int_fields s))
   ^ "\n"
 
+(* Hardened replay-file parser.  Every malformed line is rejected with
+   a typed error carrying its 1-based line number: missing value,
+   non-integer value, unknown key, duplicate key.  Missing required
+   keys are reported at line 0 (they are a property of the whole file).
+   A fuzz harness replays untrusted files — its parser must not throw
+   [Failure]/[Not_found] at them. *)
+
+type parse_error = { line : int; reason : string }
+
+let pp_parse_error ppf e =
+  if e.line = 0 then Format.fprintf ppf "%s" e.reason
+  else Format.fprintf ppf "line %d: %s" e.line e.reason
+
+let int_keys =
+  [
+    "seed"; "idx"; "preset"; "lat_seed"; "secret_a"; "secret_b"; "slice";
+    "pad_extra"; "hi_seed"; "hi_sweep"; "hi_len"; "lo_phases"; "lo_lines";
+    "channel"; "cap_seed"; "trace_steps";
+  ]
+
+let known_keys = [ "oracle"; "mutant"; "btb" ] @ int_keys
+
+exception Bad of parse_error
+
 let of_string str =
   let tbl = Hashtbl.create 32 in
-  List.iter
-    (fun line ->
-      match String.index_opt line ' ' with
-      | None -> ()
-      | Some i ->
-        Hashtbl.replace tbl (String.sub line 0 i)
-          (String.sub line (i + 1) (String.length line - i - 1)))
-    (String.split_on_char '\n' str);
   match
-    let geti k = int_of_string (Hashtbl.find tbl k) in
-    let oracle =
-      match oracle_of_string (Hashtbl.find tbl "oracle") with
-      | Some o -> o
-      | None -> failwith "oracle"
-    in
-    let mutant =
-      match mutant_of_string (Hashtbl.find tbl "mutant") with
-      | Some m -> m
-      | None -> failwith "mutant"
-    in
-    {
-      seed = geti "seed";
-      idx = geti "idx";
-      oracle;
-      mutant;
-      preset = geti "preset";
-      btb = bool_of_string (Hashtbl.find tbl "btb");
-      lat_seed = geti "lat_seed";
-      secret_a = geti "secret_a";
-      secret_b = geti "secret_b";
-      slice = geti "slice";
-      pad_extra = geti "pad_extra";
-      hi_seed = geti "hi_seed";
-      hi_sweep = geti "hi_sweep";
-      hi_len = geti "hi_len";
-      lo_phases = geti "lo_phases";
-      lo_lines = geti "lo_lines";
-      channel = geti "channel";
-      cap_seed = geti "cap_seed";
-      trace_steps = geti "trace_steps";
-    }
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let fail reason = raise (Bad { line = lineno; reason }) in
+        if String.trim line <> "" then begin
+          let key, value =
+            match String.index_opt line ' ' with
+            | None ->
+              raise
+                (Bad
+                   {
+                     line = lineno;
+                     reason =
+                       Printf.sprintf "missing value (expected `key value`, \
+                                       got %S)" line;
+                   })
+            | Some i ->
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+          in
+          if not (List.mem key known_keys) then
+            fail (Printf.sprintf "unknown key `%s`" key);
+          if Hashtbl.mem tbl key then
+            fail (Printf.sprintf "duplicate key `%s`" key);
+          if String.trim value = "" then
+            fail (Printf.sprintf "missing value for key `%s`" key);
+          (match key with
+          | "oracle" ->
+            if oracle_of_string value = None then
+              fail (Printf.sprintf "unknown oracle %S" value)
+          | "mutant" ->
+            if mutant_of_string value = None then
+              fail (Printf.sprintf "unknown mutant %S" value)
+          | "btb" ->
+            if bool_of_string_opt value = None then
+              fail (Printf.sprintf "`btb` wants true/false, got %S" value)
+          | k ->
+            if int_of_string_opt value = None then
+              fail
+                (Printf.sprintf "key `%s` wants an integer, got %S" k value));
+          Hashtbl.add tbl key value
+        end)
+      (String.split_on_char '\n' str)
   with
-  | s -> Ok s
-  | exception (Not_found | Failure _ | Invalid_argument _) ->
-    Error "malformed scenario file (expected `key value` lines)"
+  | exception Bad e -> Error e
+  | () -> (
+    let require k =
+      match Hashtbl.find_opt tbl k with
+      | Some v -> v
+      | None -> raise (Bad { line = 0; reason = "missing key `" ^ k ^ "`" })
+    in
+    let geti k = int_of_string (require k) in
+    match
+      {
+        seed = geti "seed";
+        idx = geti "idx";
+        oracle = Option.get (oracle_of_string (require "oracle"));
+        mutant = Option.get (mutant_of_string (require "mutant"));
+        preset = geti "preset";
+        btb = bool_of_string (require "btb");
+        lat_seed = geti "lat_seed";
+        secret_a = geti "secret_a";
+        secret_b = geti "secret_b";
+        slice = geti "slice";
+        pad_extra = geti "pad_extra";
+        hi_seed = geti "hi_seed";
+        hi_sweep = geti "hi_sweep";
+        hi_len = geti "hi_len";
+        lo_phases = geti "lo_phases";
+        lo_lines = geti "lo_lines";
+        channel = geti "channel";
+        cap_seed = geti "cap_seed";
+        trace_steps = geti "trace_steps";
+      }
+    with
+    | s -> Ok s
+    | exception Bad e -> Error e)
+
+type load_error = Io of string | Parse of parse_error
+
+let load_error_to_string = function
+  | Io e -> e
+  | Parse e -> Format.asprintf "%a" pp_parse_error e
 
 let save path s =
   let oc = open_out path in
@@ -338,11 +401,15 @@ let save path s =
 
 let load path =
   match open_in_bin path with
-  | exception Sys_error e -> Error e
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error e -> Error (Io e)
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    with
+    | Ok s -> Ok s
+    | Error e -> Error (Parse e))
 
 let pp ppf s =
   Format.fprintf ppf

@@ -96,11 +96,28 @@ val oracle_to_string : oracle -> string
 val mutant_to_string : mutant -> string
 val mutant_of_string : string -> mutant option
 
+type parse_error = { line : int; reason : string }
+(** A malformed replay file: the offending 1-based line (0 when the
+    problem is a missing key, a property of the whole file) and why it
+    was rejected — missing value, non-integer, unknown key, duplicate
+    key, unknown oracle/mutant name. *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+type load_error = Io of string | Parse of parse_error
+(** Loading separates "the file cannot be read" from "the file does not
+    parse" so the CLI can map the latter to its usage-error exit
+    code. *)
+
+val load_error_to_string : load_error -> string
+
 val to_string : t -> string
-val of_string : string -> (t, string) result
-(** Replay-file round-trip: [of_string (to_string s) = Ok s]. *)
+val of_string : string -> (t, parse_error) result
+(** Replay-file round-trip: [of_string (to_string s) = Ok s].  Never
+    raises on malformed input — every defect is a typed
+    {!parse_error}. *)
 
 val save : string -> t -> unit
-val load : string -> (t, string) result
+val load : string -> (t, load_error) result
 
 val pp : Format.formatter -> t -> unit

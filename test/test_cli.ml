@@ -42,13 +42,68 @@ let test_mutant_run_and_replay () =
       | Ok s ->
         Alcotest.(check bool) "saved scenario carries the mutant" true
           (s.Tpro_fuzz.Scenario.mutant = Tpro_fuzz.Scenario.Drop_padding)
-      | Error e -> Alcotest.failf "counterexample unreadable: %s" e);
+      | Error e ->
+        Alcotest.failf "counterexample unreadable: %s"
+          (Tpro_fuzz.Scenario.load_error_to_string e));
       check_exit "replaying the counterexample exits 1" 1
         [ "fuzz"; "--replay"; out ])
 
 let test_replay_missing_file () =
   check_exit "missing replay file exits 1" 1
     [ "fuzz"; "--replay"; "/nonexistent/replay-file" ]
+
+(* A replay file that exists but does not parse is a usage error: the
+   CLI must exit 124 (cmdliner's convention) naming the offending
+   line, not 1 and not an uncaught exception. *)
+let test_replay_malformed_file () =
+  let path = Filename.temp_file "tpro-cli-bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "seed 1\ntrials nope\n";
+      close_out oc;
+      check_exit "malformed replay file exits 124" 124
+        [ "fuzz"; "--replay"; path ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Kill-free version of CI's kill-and-resume job: a run resumed from a
+   half-way checkpoint prints stdout byte-identical to an uninterrupted
+   run. *)
+let test_checkpoint_resume_identical () =
+  let ckpt = Filename.temp_file "tpro-cli-ckpt" ".txt" in
+  let ref_out = Filename.temp_file "tpro-cli-ref" ".txt" in
+  let res_out = Filename.temp_file "tpro-cli-res" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ ckpt; ref_out; res_out ])
+    (fun () ->
+      Sys.remove ckpt;
+      Alcotest.(check int) "reference run exits 0" 0
+        (run ~stdout:ref_out
+           [ "fuzz"; "--trials"; "24"; "--seed"; "5"; "-j"; "2" ]);
+      Alcotest.(check int) "partial run exits 0" 0
+        (run
+           [
+             "fuzz"; "--trials"; "12"; "--seed"; "5"; "-j"; "2";
+             "--checkpoint"; ckpt; "--checkpoint-every"; "6";
+           ]);
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists ckpt);
+      Alcotest.(check int) "resumed run exits 0" 0
+        (run ~stdout:res_out
+           [
+             "fuzz"; "--trials"; "24"; "--seed"; "5"; "-j"; "2"; "--resume";
+             ckpt; "--checkpoint-every"; "6";
+           ]);
+      Alcotest.(check string) "resumed stdout is byte-identical"
+        (read_file ref_out) (read_file res_out))
 
 let suite =
   [
@@ -59,4 +114,8 @@ let suite =
       test_mutant_run_and_replay;
     Alcotest.test_case "missing replay file exits 1" `Quick
       test_replay_missing_file;
+    Alcotest.test_case "malformed replay file exits 124" `Quick
+      test_replay_malformed_file;
+    Alcotest.test_case "checkpoint/resume stdout is byte-identical" `Quick
+      test_checkpoint_resume_identical;
   ]

@@ -27,7 +27,8 @@ let test_serialisation_roundtrip () =
         let s = Scenario.generate ~seed:3 ~mutant idx in
         match Scenario.of_string (Scenario.to_string s) with
         | Ok s' -> Alcotest.check scenario "to_string/of_string" s s'
-        | Error e -> Alcotest.failf "of_string failed: %s" e
+        | Error e ->
+          Alcotest.failf "of_string failed: %a" Scenario.pp_parse_error e
       done)
     [ Scenario.No_mutant; Scenario.Skip_flush; Scenario.Drop_padding;
       Scenario.Miscolour ]
@@ -41,10 +42,43 @@ let test_file_roundtrip () =
       Scenario.save path s;
       match Scenario.load path with
       | Ok s' -> Alcotest.check scenario "save/load" s s'
-      | Error e -> Alcotest.failf "load failed: %s" e);
+      | Error e -> Alcotest.failf "load failed: %s" (Scenario.load_error_to_string e));
   match Scenario.load "/nonexistent/fuzz-scenario" with
   | Ok _ -> Alcotest.fail "loading a missing file must not succeed"
-  | Error _ -> ()
+  | Error (Scenario.Io _) -> ()
+  | Error (Scenario.Parse _) ->
+    Alcotest.fail "a missing file is an Io error, not a Parse error"
+
+(* Satellite: malformed replay files yield a typed parse error naming
+   the offending line — never an exception, never a silent default. *)
+let check_parse_error name text ~line ~grep =
+  match Scenario.of_string text with
+  | Ok _ -> Alcotest.failf "%s: malformed input parsed successfully" name
+  | Error e ->
+    Alcotest.(check int) (name ^ ": line number") line e.Scenario.line;
+    let mentions needle hay =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: reason %S mentions %S" name e.Scenario.reason grep)
+      true (mentions grep e.Scenario.reason)
+
+let test_parse_errors_typed () =
+  let base = Scenario.to_string (Scenario.generate ~seed:3 0) in
+  check_parse_error "missing value" (base ^ "orphan\n") ~line:20
+    ~grep:"missing value";
+  check_parse_error "non-integer" "seed x\n" ~line:1 ~grep:"integer";
+  check_parse_error "unknown key" (base ^ "wat 3\n") ~line:20
+    ~grep:"unknown key";
+  check_parse_error "duplicate key" (base ^ "seed 3\n") ~line:20
+    ~grep:"duplicate key";
+  check_parse_error "bad mutant" "mutant frobnicate\n" ~line:1 ~grep:"mutant";
+  check_parse_error "missing key" "seed 1\n" ~line:0 ~grep:"missing key";
+  (* the reported line is the offending one, not the first *)
+  check_parse_error "line counting" "seed 1\nidx 2\noracle nonint\nidx 9\n"
+    ~line:4 ~grep:"duplicate key"
 
 (* The generator must actually exercise the whole space: every machine
    preset, both BTB settings and all three oracles show up early. *)
@@ -112,7 +146,9 @@ let check_mutant_killed mutant =
           match Oracle.check s with
           | Oracle.Fail _ -> ()
           | Oracle.Pass -> Alcotest.fail "replayed scenario no longer fails")
-        | Error e -> Alcotest.failf "replay load failed: %s" e)
+        | Error e ->
+          Alcotest.failf "replay load failed: %s"
+            (Scenario.load_error_to_string e))
 
 let test_kill_skip_flush () = check_mutant_killed Scenario.Skip_flush
 let test_kill_drop_padding () = check_mutant_killed Scenario.Drop_padding

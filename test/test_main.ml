@@ -29,6 +29,7 @@ let () =
       ("more-properties", Test_more_properties.suite);
       ("engine-edges", Test_engine_edges.suite);
       ("parallel-engine", Test_parallel.suite);
+      ("supervisor", Test_supervisor.suite);
       ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
     ]

@@ -69,6 +69,36 @@ let test_pool_reuse_and_shutdown () =
   Alcotest.(check (list int)) "second map" [ 0; 1; 2 ] b;
   Alcotest.(check (list int)) "after shutdown" [ 11; 21 ] c
 
+(* Regression (supervision work): map_chunks on a shut-down pool must
+   keep both halves of the contract — run sequentially in the calling
+   domain honouring ~chunk boundaries, and re-raise the lowest-indexed
+   failure even when a failure in a later chunk executes first within
+   its batch. *)
+let test_map_chunks_after_shutdown () =
+  let pool = Pool.create ~domains:3 () in
+  Pool.shutdown pool;
+  let order = ref [] in
+  let ys =
+    Pool.map_chunks pool ~chunk:4
+      (fun x ->
+        order := x :: !order;
+        x * 3)
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check (list int))
+    "sequential fallback maps in order"
+    (List.init 10 (fun i -> i * 3))
+    ys;
+  Alcotest.(check (list int))
+    "executed left to right in the calling domain"
+    (List.init 10 Fun.id) (List.rev !order);
+  Alcotest.check_raises "lowest-indexed failure re-raised" (Boom 3)
+    (fun () ->
+      ignore
+        (Pool.map_chunks pool ~chunk:2
+           (fun x -> if x >= 3 then raise (Boom x) else x)
+           [ 0; 1; 2; 3; 4; 5; 6; 7 ]))
+
 let test_parallel_sum () =
   Pool.with_pool ~domains:4 (fun pool ->
       let xs = List.init 500 (fun i -> i) in
@@ -204,6 +234,8 @@ let suite =
       test_lowest_index_exception_wins;
     Alcotest.test_case "pool: reuse and idempotent shutdown" `Quick
       test_pool_reuse_and_shutdown;
+    Alcotest.test_case "pool: map_chunks after shutdown" `Quick
+      test_map_chunks_after_shutdown;
     Alcotest.test_case "pool: 500-way fan-out sums" `Quick test_parallel_sum;
     Alcotest.test_case "pool: nested map does not deadlock" `Quick
       test_nested_map;
