@@ -22,10 +22,22 @@
    recovery is measured directly).  Written to BENCH_supervisor.json;
    runs in [--smoke] too.
 
+   Part 5 benchmarks the flat-state digest layer: for every resource
+   kind an incremental-vs-fold Bechamel pair (the memoised digest the
+   hot path now reads vs. the historical from-scratch fold), plus the
+   O(1) clean-flush path and the dirty store+flush pair, written to
+   BENCH_flatstate.json together with the E-table seconds and the
+   committed pre-flat-state baselines.  This part runs in [--smoke] too:
+   it is the CI perf-regression guard's input, and
+   [--budget-cache-digest-ns N] makes the run itself fail when the
+   incremental cache digest exceeds the budget (0 disables).
+
    Flags: [-j N] pool size, [--seeds 0,1,...] trial seeds,
    [--json PATH] output path, [--supervisor-json PATH] supervision
-   bench output, [--smoke] reduced CI run (tables + bechamel skipped,
-   seq-vs-par and supervision comparisons kept). *)
+   bench output, [--flatstate-json PATH] flat-state bench output,
+   [--budget-cache-digest-ns N] perf budget, [--smoke] reduced CI run
+   (tables + full bechamel skipped; seq-vs-par, supervision and
+   flat-state parts kept). *)
 
 open Bechamel
 open Toolkit
@@ -37,6 +49,8 @@ let jobs = ref (Tpro_engine.Pool.recommended ())
 let seeds = ref [ 0; 1 ]
 let json_path = ref "BENCH_parallel.json"
 let sup_json_path = ref "BENCH_supervisor.json"
+let flat_json_path = ref "BENCH_flatstate.json"
+let budget_cache_digest_ns = ref 0.0
 let smoke = ref false
 
 let parse_seeds s =
@@ -54,6 +68,13 @@ let () =
       ( "--supervisor-json",
         Arg.Set_string sup_json_path,
         "PATH  where to write the supervision-overhead JSON" );
+      ( "--flatstate-json",
+        Arg.Set_string flat_json_path,
+        "PATH  where to write the flat-state digest bench JSON" );
+      ( "--budget-cache-digest-ns",
+        Arg.Set_float budget_cache_digest_ns,
+        "N  fail the run if the incremental cache digest exceeds N ns/run \
+         (0 disables; the CI perf-regression guard)" );
       ("--smoke", Arg.Set smoke, "  reduced run for CI (skips part 1 and 3)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -370,7 +391,7 @@ let micro_tests =
   ]
 
 (* Runs the suite and returns (name, ns-per-run) rows for the JSON. *)
-let run_bechamel tests =
+let run_bechamel ?(header = "Bechamel micro/table benchmarks") tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -385,7 +406,7 @@ let run_bechamel tests =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
   let rows = List.sort compare rows in
-  Format.printf "=== Bechamel micro/table benchmarks (time per run) ===@.@.";
+  Format.printf "=== %s (time per run) ===@.@." header;
   Format.printf "  %-32s %14s %8s@." "benchmark" "time/run" "r^2";
   List.filter_map
     (fun (name, o) ->
@@ -407,6 +428,184 @@ let run_bechamel tests =
       if Float.is_nan time_ns then None else Some (name, time_ns))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: flat-state digest layer (incremental vs. from-scratch fold) *)
+
+(* Committed pre-flat-state numbers (BENCH_parallel.json at the parent
+   commit, same container class): the "before" this PR is measured
+   against. *)
+let baseline_cache_digest_ns = 11393.63
+let baseline_flush_dirty_ns = 55977.07
+let baseline_e7_seconds = 5.896419
+
+(* One warmed structure per resource kind, each benched twice: the
+   memoised [digest] the hot path now reads, and the historical
+   from-scratch [digest_fold].  Shapes match the part-3 baselines where
+   one exists (the 64x4 warmed cache is exactly the old hw:cache-digest
+   subject; the dirty store+flush pair is the old hw:flush-core-local). *)
+let flatstate_tests () =
+  let open Tpro_hw in
+  let pair name incr fold =
+    [
+      Test.make ~name:("hw:digest-incremental:" ^ name) (Staged.stage incr);
+      Test.make ~name:("hw:digest-fold:" ^ name) (Staged.stage fold);
+    ]
+  in
+  let l1 = Cache.create (Cache.geometry ~sets:64 ~ways:4 ~line_bits:6 ()) in
+  for i = 0 to 255 do
+    ignore (Cache.access l1 ~owner:0 ~write:(i land 1 = 0) (i * 64))
+  done;
+  let llc = Cache.create (Cache.geometry ~sets:1024 ~ways:8 ~line_bits:6 ()) in
+  for i = 0 to 8191 do
+    ignore (Cache.access llc ~owner:0 ~write:(i land 3 = 0) (i * 64))
+  done;
+  let tlb = Tlb.create ~capacity:32 in
+  for i = 0 to 63 do
+    Tlb.insert tlb ~asid:(i land 3) ~vpn:i ~pfn:(i * 7 land 0xFF)
+  done;
+  let bp = Bpred.create () in
+  for i = 0 to 4095 do
+    ignore (Bpred.update bp ~pc:(i * 4) ~taken:(i land 3 <> 0))
+  done;
+  let btb = Btb.create ~entries:64 () in
+  for i = 0 to 255 do
+    Btb.update btb ~pc:(i * 4) ~target:(i * 16)
+  done;
+  let pf = Prefetch.create () in
+  for i = 0 to 255 do
+    ignore (Prefetch.observe pf ~pc:(i land 7 * 4) ~addr:(i * 64))
+  done;
+  let m = Machine.create Machine.default_config in
+  for i = 0 to 1023 do
+    ignore
+      (Machine.touch_paddr m ~core:0 ~owner:0 ~write:(i land 3 = 0)
+         (i * 4099 land 0xFFFFF));
+    ignore (Machine.branch m ~core:0 ~pc:(i land 63 * 4) ~taken:(i land 1 = 0))
+  done;
+  let clean = Machine.create Machine.default_config in
+  ignore (Machine.flush_core_local clean ~core:0);
+  let dirty = Machine.create Machine.default_config in
+  pair "cache" (fun () -> ignore (Cache.digest l1)) (fun () -> ignore (Cache.digest_fold l1))
+  @ pair "llc" (fun () -> ignore (Cache.digest llc)) (fun () -> ignore (Cache.digest_fold llc))
+  @ pair "tlb" (fun () -> ignore (Tlb.digest tlb)) (fun () -> ignore (Tlb.digest_fold tlb))
+  @ pair "bpred" (fun () -> ignore (Bpred.digest bp)) (fun () -> ignore (Bpred.digest_fold bp))
+  @ pair "btb" (fun () -> ignore (Btb.digest btb)) (fun () -> ignore (Btb.digest_fold btb))
+  @ pair "prefetch" (fun () -> ignore (Prefetch.digest pf)) (fun () -> ignore (Prefetch.digest_fold pf))
+  @ pair "machine-core"
+      (fun () -> ignore (Machine.digest_core m ~core:0))
+      (fun () -> ignore (Machine.digest_core_fold m ~core:0))
+  @ [
+      Test.make ~name:"hw:flush-clean"
+        (Staged.stage (fun () ->
+             ignore (Machine.flush_core_local clean ~core:0)));
+      Test.make ~name:"hw:flush-dirty"
+        (Staged.stage (fun () ->
+             ignore
+               (Machine.store dirty ~core:0 ~asid:1 ~domain:0
+                  ~translate:(fun vpn -> Some (vpn land 0x3FF))
+                  ~pc:0 0x1000);
+             ignore (Machine.flush_core_local dirty ~core:0)));
+    ]
+
+type flat_bench = {
+  kinds : (string * float * float) list;  (** kind, fold ns, incremental ns *)
+  flush_clean_ns : float;
+  flush_dirty_ns : float;
+  flat_e7_seconds : float;
+  flat_e_table : (string * float) list;
+  flat_identical : bool;
+}
+
+let bench_flatstate (par : par_bench) =
+  let rows = run_bechamel ~header:"Flat-state digests: incremental vs. fold" (flatstate_tests ()) in
+  let ns name = match List.assoc_opt ("tpro/hw:" ^ name) rows with
+    | Some v -> v
+    | None -> nan
+  in
+  let kinds =
+    List.map
+      (fun k -> (k, ns ("digest-fold:" ^ k), ns ("digest-incremental:" ^ k)))
+      [ "cache"; "llc"; "tlb"; "bpred"; "btb"; "prefetch"; "machine-core" ]
+  in
+  {
+    kinds;
+    flush_clean_ns = ns "flush-clean";
+    flush_dirty_ns = ns "flush-dirty";
+    flat_e7_seconds =
+      Option.value (List.assoc_opt "e7" par.per_table_seq) ~default:nan;
+    flat_e_table = par.per_table_seq;
+    flat_identical = par.identical;
+  }
+
+let incr_cache_digest_ns b =
+  match List.find_opt (fun (k, _, _) -> k = "cache") b.kinds with
+  | Some (_, _, incr) -> incr
+  | None -> nan
+
+let print_flat_bench b =
+  Format.printf "=== Flat-state digest layer vs. committed baselines ===@.@.";
+  Format.printf "  %-14s %12s %12s %9s@." "resource" "fold ns" "incr ns"
+    "speedup";
+  List.iter
+    (fun (k, fold, incr) ->
+      Format.printf "  %-14s %12.1f %12.1f %8.1fx@." k fold incr (fold /. incr))
+    b.kinds;
+  Format.printf "  clean flush:                 %.1f ns@." b.flush_clean_ns;
+  Format.printf "  dirty store+flush:           %.1f ns (baseline %.1f)@."
+    b.flush_dirty_ns baseline_flush_dirty_ns;
+  Format.printf "  cache digest vs baseline:    %.1fx (%.1f -> %.1f ns)@."
+    (baseline_cache_digest_ns /. incr_cache_digest_ns b)
+    baseline_cache_digest_ns (incr_cache_digest_ns b);
+  Format.printf "  e7 sequential:               %.3f s (baseline %.3f, %.1fx)@."
+    b.flat_e7_seconds baseline_e7_seconds
+    (baseline_e7_seconds /. b.flat_e7_seconds);
+  Format.printf "  outputs bit-identical:       %b@.@." b.flat_identical
+
+let write_flat_json path b =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tpro-bench-flatstate/1\",\n";
+  p "  \"baseline\": {\n";
+  p "    \"cache_digest_ns\": %.2f,\n" baseline_cache_digest_ns;
+  p "    \"flush_core_local_ns\": %.2f,\n" baseline_flush_dirty_ns;
+  p "    \"e7_sequential_seconds\": %.6f\n" baseline_e7_seconds;
+  p "  },\n";
+  p "  \"digest_ns_per_run\": {\n";
+  let n = List.length b.kinds in
+  List.iteri
+    (fun i (k, fold, incr) ->
+      p
+        "    \"%s\": { \"fold\": %.2f, \"incremental\": %.2f, \"speedup\": \
+         %.2f }%s\n"
+        (json_escape k) fold incr (fold /. incr)
+        (if i = n - 1 then "" else ","))
+    b.kinds;
+  p "  },\n";
+  p "  \"flush_clean_ns\": %.2f,\n" b.flush_clean_ns;
+  p "  \"flush_dirty_ns\": %.2f,\n" b.flush_dirty_ns;
+  p "  \"e7_sequential_seconds\": %.6f,\n" b.flat_e7_seconds;
+  p "  \"e_table_seconds\": {\n";
+  let n = List.length b.flat_e_table in
+  List.iteri
+    (fun i (id, dt) ->
+      p "    \"%s\": %.6f%s\n" (json_escape id) dt
+        (if i = n - 1 then "" else ","))
+    b.flat_e_table;
+  p "  },\n";
+  p "  \"headline\": {\n";
+  p "    \"cache_digest_speedup_vs_baseline\": %.2f,\n"
+    (baseline_cache_digest_ns /. incr_cache_digest_ns b);
+  p "    \"flush_speedup_vs_baseline\": %.2f,\n"
+    (baseline_flush_dirty_ns /. b.flush_dirty_ns);
+  p "    \"e7_speedup_vs_baseline\": %.2f\n"
+    (baseline_e7_seconds /. b.flat_e7_seconds);
+  p "  },\n";
+  p "  \"outputs_bit_identical\": %b\n" b.flat_identical;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let () =
   if not !smoke then regenerate_tables ();
   let par, raw_tables = bench_parallel () in
@@ -418,8 +617,11 @@ let () =
   let micro =
     if !smoke then [] else run_bechamel (experiment_tests @ micro_tests)
   in
+  let flat = bench_flatstate par in
+  print_flat_bench flat;
   write_json !json_path par micro;
   write_sup_json !sup_json_path sup;
+  write_flat_json !flat_json_path flat;
   if not par.identical then begin
     Format.printf
       "ERROR: parallel suite diverged from sequential suite output@.";
@@ -429,4 +631,20 @@ let () =
     Format.printf
       "ERROR: supervised sweep diverged from raw fan-out output@.";
     exit 1
+  end;
+  let budget = !budget_cache_digest_ns in
+  if budget > 0.0 then begin
+    let got = incr_cache_digest_ns flat in
+    if Float.is_nan got || got > budget then begin
+      Format.printf
+        "ERROR: perf budget exceeded: incremental cache digest %.2f ns/run > \
+         budget %.2f ns/run@."
+        got budget;
+      exit 1
+    end
+    else
+      Format.printf
+        "perf budget ok: incremental cache digest %.2f ns/run <= %.2f \
+         ns/run@."
+        got budget
   end

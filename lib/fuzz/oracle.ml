@@ -26,10 +26,18 @@ let lo_llc_digest m (lo : Domain.t) =
   let llc = Machine.llc m in
   let g = Cache.geom llc in
   let pb = Machine.page_bits m in
+  (* Hoist the colour-membership test out of the per-set loop: one bool
+     per colour instead of a List.mem per set.  Fold order over the
+     selected sets is unchanged, so the digest is bit-identical. *)
+  let n_colours = Machine.n_colours m in
+  let owned = Array.make (max n_colours 1) false in
+  List.iter
+    (fun c -> if c < Array.length owned then owned.(c) <- true)
+    lo.Domain.colours;
   let d = ref 1L in
   for set = 0 to g.Cache.sets - 1 do
-    if List.mem (Cache.colour_of_set g ~page_bits:pb set) lo.Domain.colours
-    then d := Rng.combine !d (Cache.digest_set llc set)
+    if owned.(Cache.colour_of_set g ~page_bits:pb set) then
+      d := Rng.chain !d (Cache.digest_set llc set)
   done;
   !d
 
@@ -77,31 +85,35 @@ let check_nonint s =
    Straight-line reimplementations of the registry folds — the per-field
    digest and flush code exactly as it stood before the resource
    registry, extended with the BTB chain — checked against a machine
-   driven through a random trace.  Also audits flush-report coverage and
-   that the post-flush private state equals a fresh machine's. *)
+   driven through a random trace.  The straight-line side uses the
+   from-scratch [digest_fold] entry points, so this oracle is also the
+   incremental-vs-fold differential check: the registry serves memoised
+   digests while the legacy code re-folds the raw state.  Also audits
+   flush-report coverage and that the post-flush private state equals a
+   fresh machine's. *)
 
 let legacy_digest_core m ~core =
   let l2d =
-    match Machine.l2 m ~core with Some l2 -> Cache.digest l2 | None -> 17L
+    match Machine.l2 m ~core with Some l2 -> Cache.digest_fold l2 | None -> 17L
   in
-  let pf = Prefetch.digest (Machine.prefetch m ~core) in
+  let pf = Prefetch.digest_fold (Machine.prefetch m ~core) in
   let spec_tail =
     match Machine.btb m ~core with
-    | Some b -> Rng.combine pf (Btb.digest b)
+    | Some b -> Rng.combine pf (Btb.digest_fold b)
     | None -> pf
   in
   Rng.combine
     (Rng.combine
-       (Cache.digest (Machine.l1i m ~core))
-       (Rng.combine (Cache.digest (Machine.l1d m ~core)) l2d))
+       (Cache.digest_fold (Machine.l1i m ~core))
+       (Rng.combine (Cache.digest_fold (Machine.l1d m ~core)) l2d))
     (Rng.combine
-       (Tlb.digest (Machine.tlb m ~core))
-       (Rng.combine (Bpred.digest (Machine.bpred m ~core)) spec_tail))
+       (Tlb.digest_fold (Machine.tlb m ~core))
+       (Rng.combine (Bpred.digest_fold (Machine.bpred m ~core)) spec_tail))
 
 let legacy_digest_shared m =
   Rng.combine
-    (Cache.digest (Machine.llc m))
-    (Interconnect.digest (Machine.bus m))
+    (Cache.digest_fold (Machine.llc m))
+    (Interconnect.digest_fold (Machine.bus m))
 
 let legacy_flush_cost m ~core =
   let l = Machine.lat m in
@@ -132,6 +144,11 @@ let run_trace m ~core ~seed ~steps =
   done
 
 let check_legacy s =
+  (* The whole trial runs with the debug re-fold assertion armed: every
+     registry digest read below also recomputes its from-scratch fold
+     and raises {!Resource.Digest_divergence} on a missed cache
+     invalidation. *)
+  Resource.with_digest_debug @@ fun () ->
   let mc = Scenario.machine_config s in
   let m = Machine.create mc in
   run_trace m ~core:0 ~seed:s.Scenario.hi_seed ~steps:s.Scenario.trace_steps;
@@ -203,4 +220,9 @@ let check (s : Scenario.t) =
   with
   | Kernel.Uncovered_flushable name ->
     failf "kernel flush-coverage audit: uncovered flushable resource %s" name
+  | Resource.Digest_divergence { resource; cached; fold } ->
+    failf
+      "incremental digest of %s diverged from its from-scratch fold \
+       (cached %Ld, fold %Ld)"
+      resource cached fold
   | e -> failf "exception during trial: %s" (Printexc.to_string e)

@@ -18,8 +18,15 @@ val update : t -> pc:int -> taken:bool -> bool
     correct (i.e. no misprediction penalty). *)
 
 val flush : t -> unit
-(** Reset counters, history and BTB to the power-on state. *)
+(** Reset counters, history and BTB to the power-on state.  O(1) if the
+    predictor is already at power-on. *)
 
 val digest : t -> int64
+(** Memoised: O(1) unless an {!update} moved a counter or the history
+    register since the last call. *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch, bypassing the memo — ground truth
+    for the debug re-fold assertion. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,45 +1,85 @@
-type slot = {
-  mutable pc : int;     (* tag: full pc; -1 = invalid *)
-  mutable target : int;
+(* Flat unboxed storage: parallel int arrays (pc tag -1 = invalid), with
+   a memoised digest.  Installing an entry that is already present with
+   the same target — the steady state of a hot loop — changes nothing
+   and leaves the cached digest valid. *)
+type t = {
+  pcs : int array;
+  targets : int array;
+  mutable n_entries : int;
+  mutable digest_cache : int64;
+  mutable digest_clean : bool;
+  empty_digest : int64;
 }
 
-type t = { slots : slot array }
+(* One slot's contribution — shared by the memoised recompute and the
+   from-scratch re-fold. *)
+let slot_bits ~pcs ~targets i =
+  let pc = Array.unsafe_get pcs i in
+  if pc < 0 then 0
+  else (pc lsl 20) lxor (Array.unsafe_get targets i lsl 1) lor 1
+
+let compute_digest ~pcs ~targets =
+  let acc = ref 13L in
+  for i = 0 to Array.length pcs - 1 do
+    acc := Rng.chain_int !acc (slot_bits ~pcs ~targets i)
+  done;
+  !acc
 
 let create ?(entries = 64) () =
   if entries <= 0 then invalid_arg "Btb.create: entries must be positive";
-  { slots = Array.init entries (fun _ -> { pc = -1; target = 0 }) }
+  let empty_digest =
+    let acc = ref 13L in
+    for _ = 1 to entries do
+      acc := Rng.chain_int !acc 0
+    done;
+    !acc
+  in
+  {
+    pcs = Array.make entries (-1);
+    targets = Array.make entries 0;
+    n_entries = 0;
+    digest_cache = empty_digest;
+    digest_clean = true;
+    empty_digest;
+  }
 
-let capacity t = Array.length t.slots
+let capacity t = Array.length t.pcs
 
-let index t ~pc = (pc lsr 2) mod Array.length t.slots
+let index t ~pc = (pc lsr 2) mod Array.length t.pcs
 
 let predict t ~pc =
-  let s = t.slots.(index t ~pc) in
-  if s.pc = pc then Some s.target else None
+  let i = index t ~pc in
+  if t.pcs.(i) = pc then Some t.targets.(i) else None
 
 let update t ~pc ~target =
-  let s = t.slots.(index t ~pc) in
-  s.pc <- pc;
-  s.target <- target
+  let i = index t ~pc in
+  if t.pcs.(i) <> pc || t.targets.(i) <> target then begin
+    if t.pcs.(i) < 0 then t.n_entries <- t.n_entries + 1;
+    t.pcs.(i) <- pc;
+    t.targets.(i) <- target;
+    t.digest_clean <- false
+  end
 
-let entry_count t =
-  Array.fold_left (fun n s -> if s.pc >= 0 then n + 1 else n) 0 t.slots
+let entry_count t = t.n_entries
 
+(* Flushing an already-empty BTB is O(1). *)
 let flush t =
-  Array.iter
-    (fun s ->
-      s.pc <- -1;
-      s.target <- 0)
-    t.slots
+  if t.n_entries > 0 then begin
+    Array.fill t.pcs 0 (Array.length t.pcs) (-1);
+    Array.fill t.targets 0 (Array.length t.targets) 0;
+    t.n_entries <- 0;
+    t.digest_cache <- t.empty_digest;
+    t.digest_clean <- true
+  end
 
 let digest t =
-  Array.fold_left
-    (fun acc s ->
-      if s.pc < 0 then Rng.combine acc 0L
-      else
-        let bits = (s.pc lsl 20) lxor (s.target lsl 1) lor 1 in
-        Rng.combine acc (Int64.of_int bits))
-    13L t.slots
+  if not t.digest_clean then begin
+    t.digest_cache <- compute_digest ~pcs:t.pcs ~targets:t.targets;
+    t.digest_clean <- true
+  end;
+  t.digest_cache
+
+let digest_fold t = compute_digest ~pcs:t.pcs ~targets:t.targets
 
 let pp ppf t =
   Format.fprintf ppf "btb: %d/%d entries" (entry_count t) (capacity t)

@@ -31,6 +31,11 @@ val flush : t -> unit
 
 val digest : t -> int64
 (** Deterministic digest of the full BTB contents, in the same style as
-    {!Cache.digest} / {!Bpred.digest}. *)
+    {!Cache.digest} / {!Bpred.digest}.  Memoised: O(1) unless an
+    {!update} actually changed an entry since the last call. *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch, bypassing the memo — ground truth
+    for the debug re-fold assertion. *)
 
 val pp : Format.formatter -> t -> unit

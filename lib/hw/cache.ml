@@ -2,24 +2,56 @@ type geometry = { sets : int; ways : int; line_bits : int }
 
 type replacement = Lru | Fifo | Pseudo_random of int
 
-type line = {
-  mutable tag : int;
-  mutable valid : bool;
-  mutable dirty : bool;
-  mutable owner : int;
-  mutable stamp : int;      (* last-touch time (LRU) *)
-  mutable fill_stamp : int; (* fill time (FIFO) *)
+(* Per-line state lives in flat unboxed storage, one slot per (set, way)
+   at index [set * ways + way]: immediate-int arrays for tags, owners and
+   stamps, and a packed byte per line for the valid/dirty bits.  No
+   per-line records, no per-set boxes — a flush is a handful of
+   [Array.fill]/[Bytes.fill] calls (memset) and the digest machinery
+   below can cache per-set digests in an unboxed Bigarray. *)
+
+let meta_valid = 0x1
+let meta_dirty = 0x2
+
+type int64_flat =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Digests must stay bit-identical to the historical fold (they feed the
+   latency jitter), and [Rng.chain] is order-sensitive and
+   non-invertible, so "incremental" means *memoised*, not algebraically
+   updated: we keep every per-set digest plus the prefix chain
+   [prefix.(s) = chain over sets 0..s] and a watermark [first_stale]
+   below which every prefix entry is still valid.  A line write stales
+   exactly its set; [digest] then re-chains only from the watermark using
+   cached per-set digests, and returns the cached tail in O(1) when
+   nothing changed.  The empty-state tables are interned per geometry so
+   creating and flushing a cache never re-folds the empty state. *)
+type empty_tables = {
+  e_sets : int64_flat;       (* per-set digest of an empty set *)
+  e_prefix : int64_flat;     (* prefix chain over the empty sets *)
 }
 
 type t = {
   geometry : geometry;
-  data : line array array; (* sets x ways *)
-  set_ticks : int array;   (* per-set access counts (replacement state) *)
+  tags : int array;          (* sets * ways *)
+  meta : Bytes.t;            (* sets * ways: valid / dirty bits *)
+  owner : int array;         (* sets * ways *)
+  stamp : int array;         (* sets * ways: last touch (LRU) *)
+  fill_stamp : int array;    (* sets * ways: fill time (FIFO) *)
+  set_ticks : int array;     (* per-set access counts (replacement state) *)
   mutable tick : int;
   repl : replacement;
   cache_name : string;
-  set_mask : int;          (* sets - 1, for the set-index extraction *)
-  tag_shift : int;         (* line_bits + log2 sets, precomputed *)
+  set_mask : int;            (* sets - 1, for the set-index extraction *)
+  tag_shift : int;           (* line_bits + log2 sets, precomputed *)
+  (* O(1) occupancy counters (flush reports, diagnostics) *)
+  mutable n_valid : int;
+  mutable n_dirty : int;
+  (* incremental digest state *)
+  set_digest : int64_flat;   (* cached per-set digests *)
+  set_clean : Bytes.t;       (* 1 iff set_digest.(s) is current *)
+  prefix : int64_flat;       (* cached digest prefix chain *)
+  mutable first_stale : int; (* prefix valid strictly below this set *)
+  empty : empty_tables;      (* power-on state, for flush resets *)
 }
 
 type evicted = { tag : int; dirty : bool; owner : int }
@@ -38,34 +70,88 @@ let geometry ?(sets = 64) ?(ways = 4) ?(line_bits = 6) () =
     invalid_arg "Cache.geometry: line_bits out of range";
   { sets; ways; line_bits }
 
-(* Takes (and ignores) the way index so it can be passed to [Array.init]
-   directly — no per-set closure allocation on the create path. *)
-let fresh_line _ =
-  {
-    tag = 0;
-    valid = false;
-    dirty = false;
-    owner = shared_owner;
-    stamp = 0;
-    fill_stamp = 0;
-  }
-
 let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
+(* ------------------------------------------------------------------ *)
+(* Digest arithmetic — the single definition both the memoised path and
+   the from-scratch re-fold go through (via Rng.chain/chain_int).       *)
+
+(* One line's contribution to its set digest. *)
+let line_bits_of ~m ~tag =
+  if m land meta_valid = 0 then 0
+  else (tag lsl 2) lor (if m land meta_dirty <> 0 then 2 else 0) lor 1
+
+(* Set digest recomputed from the flat line state. *)
+let compute_set_digest ~ways ~tags ~meta set =
+  let base = set * ways in
+  let acc = ref (Int64.of_int (set + 1)) in
+  for w = 0 to ways - 1 do
+    let m = Char.code (Bytes.unsafe_get meta (base + w)) in
+    acc := Rng.chain_int !acc (line_bits_of ~m ~tag:(Array.unsafe_get tags (base + w)))
+  done;
+  !acc
+
+(* Empty-state digest tables, interned per (sets, ways): computing them
+   is the one remaining O(state) fold, paid once per geometry per
+   process instead of once per create/flush. *)
+let empty_memo : (int * int, empty_tables) Hashtbl.t = Hashtbl.create 8
+let empty_memo_lock = Mutex.create ()
+
+let empty_tables_for ~sets ~ways =
+  Mutex.lock empty_memo_lock;
+  let tables =
+    match Hashtbl.find_opt empty_memo (sets, ways) with
+    | Some e -> e
+    | None ->
+      let e_sets = Bigarray.(Array1.create int64 c_layout sets) in
+      let e_prefix = Bigarray.(Array1.create int64 c_layout sets) in
+      let acc = ref 1L in
+      for set = 0 to sets - 1 do
+        let d = ref (Int64.of_int (set + 1)) in
+        for _ = 1 to ways do
+          d := Rng.chain_int !d 0
+        done;
+        Bigarray.Array1.unsafe_set e_sets set !d;
+        acc := Rng.chain !acc !d;
+        Bigarray.Array1.unsafe_set e_prefix set !acc
+      done;
+      let e = { e_sets; e_prefix } in
+      Hashtbl.replace empty_memo (sets, ways) e;
+      e
+  in
+  Mutex.unlock empty_memo_lock;
+  tables
+
 let create ?(name = "cache") ?(replacement = Lru) geometry =
-  let ways = geometry.ways in
-  let data = Array.init geometry.sets (fun _ -> Array.init ways fresh_line) in
+  let sets = geometry.sets and ways = geometry.ways in
+  let n = sets * ways in
+  let empty = empty_tables_for ~sets ~ways in
+  let set_digest = Bigarray.(Array1.create int64 c_layout sets) in
+  let prefix = Bigarray.(Array1.create int64 c_layout sets) in
+  Bigarray.Array1.blit empty.e_sets set_digest;
+  Bigarray.Array1.blit empty.e_prefix prefix;
   {
     geometry;
-    data;
-    set_ticks = Array.make geometry.sets 0;
+    tags = Array.make n 0;
+    meta = Bytes.make n '\000';
+    owner = Array.make n shared_owner;
+    stamp = Array.make n 0;
+    fill_stamp = Array.make n 0;
+    set_ticks = Array.make sets 0;
     tick = 0;
     repl = replacement;
     cache_name = name;
-    set_mask = geometry.sets - 1;
-    tag_shift = geometry.line_bits + log2 geometry.sets;
+    set_mask = sets - 1;
+    tag_shift = geometry.line_bits + log2 sets;
+    n_valid = 0;
+    n_dirty = 0;
+    set_digest;
+    set_clean = Bytes.make sets '\001';
+    prefix;
+    first_stale = sets;
+    empty;
   }
 
 let replacement t = t.repl
@@ -97,37 +183,53 @@ let tag_of_paddr t paddr = paddr lsr t.tag_shift
    the next level. *)
 let paddr_of_line t ~set ~tag = (tag lsl t.tag_shift) lor (set lsl t.geometry.line_bits)
 
-let find_way set_lines tag =
-  let n = Array.length set_lines in
-  let rec go i =
-    if i >= n then None
+(* A (valid, dirty, tag) change in [set] stales that set's cached digest
+   and every prefix entry from it upward.  Recency/owner updates do not
+   touch the digest and must not come through here. *)
+let mark_set_changed t set =
+  Bytes.unsafe_set t.set_clean set '\000';
+  if set < t.first_stale then t.first_stale <- set
+
+let find_way t ~base tag =
+  let ways = t.geometry.ways in
+  let rec go w =
+    if w >= ways then -1
     else
-      let l = set_lines.(i) in
-      if l.valid && l.tag = tag then Some i else go (i + 1)
+      let i = base + w in
+      if
+        Char.code (Bytes.unsafe_get t.meta i) land meta_valid <> 0
+        && Array.unsafe_get t.tags i = tag
+      then w
+      else go (w + 1)
   in
   go 0
 
 (* Victim selection: first invalid way, else per the replacement policy.
    Every policy depends only on the set's own history, which is what the
    paper's Case-1 argument needs. *)
-let victim_way t ~set set_lines =
-  let n = Array.length set_lines in
-  let rec invalid i = if i >= n then None else if not set_lines.(i).valid then Some i else invalid (i + 1) in
+let victim_way t ~set ~base =
+  let ways = t.geometry.ways in
+  let rec invalid w =
+    if w >= ways then -1
+    else if Char.code (Bytes.unsafe_get t.meta (base + w)) land meta_valid = 0
+    then w
+    else invalid (w + 1)
+  in
   match invalid 0 with
-  | Some i -> i
-  | None -> (
+  | w when w >= 0 -> w
+  | _ -> (
     match t.repl with
     | Lru ->
       let best = ref 0 in
-      for i = 1 to n - 1 do
-        if set_lines.(i).stamp < set_lines.(!best).stamp then best := i
+      for w = 1 to ways - 1 do
+        if t.stamp.(base + w) < t.stamp.(base + !best) then best := w
       done;
       !best
     | Fifo ->
       let best = ref 0 in
-      for i = 1 to n - 1 do
-        if set_lines.(i).fill_stamp < set_lines.(!best).fill_stamp then
-          best := i
+      for w = 1 to ways - 1 do
+        if t.fill_stamp.(base + w) < t.fill_stamp.(base + !best) then
+          best := w
       done;
       !best
     | Pseudo_random seed ->
@@ -135,122 +237,167 @@ let victim_way t ~set set_lines =
         Rng.hash_int (Int64.of_int seed)
           (Int64.of_int ((set lsl 24) lxor t.set_ticks.(set)))
       in
-      h mod n)
+      h mod ways)
 
 let access t ~owner ~write paddr =
   t.tick <- t.tick + 1;
   let set = set_of_paddr t paddr in
   t.set_ticks.(set) <- t.set_ticks.(set) + 1;
   let tag = tag_of_paddr t paddr in
-  let lines = t.data.(set) in
-  match find_way lines tag with
-  | Some w ->
-    let l = lines.(w) in
-    l.stamp <- t.tick;
-    if write then l.dirty <- true;
+  let base = set * t.geometry.ways in
+  match find_way t ~base tag with
+  | w when w >= 0 ->
+    let i = base + w in
+    t.stamp.(i) <- t.tick;
+    (if write then
+       let m = Char.code (Bytes.unsafe_get t.meta i) in
+       if m land meta_dirty = 0 then begin
+         Bytes.unsafe_set t.meta i (Char.chr (m lor meta_dirty));
+         t.n_dirty <- t.n_dirty + 1;
+         mark_set_changed t set
+       end);
     Hit
-  | None ->
-    let w = victim_way t ~set lines in
-    let l = lines.(w) in
+  | _ ->
+    let w = victim_way t ~set ~base in
+    let i = base + w in
+    let m = Char.code (Bytes.unsafe_get t.meta i) in
     let evicted =
-      if l.valid then Some { tag = l.tag; dirty = l.dirty; owner = l.owner }
-      else None
+      if m land meta_valid <> 0 then begin
+        if m land meta_dirty <> 0 then t.n_dirty <- t.n_dirty - 1;
+        Some
+          {
+            tag = t.tags.(i);
+            dirty = m land meta_dirty <> 0;
+            owner = t.owner.(i);
+          }
+      end
+      else begin
+        t.n_valid <- t.n_valid + 1;
+        None
+      end
     in
-    l.tag <- tag;
-    l.valid <- true;
-    l.dirty <- write;
-    l.owner <- owner;
-    l.stamp <- t.tick;
-    l.fill_stamp <- t.tick;
+    t.tags.(i) <- tag;
+    Bytes.unsafe_set t.meta i
+      (Char.chr (meta_valid lor (if write then meta_dirty else 0)));
+    if write then t.n_dirty <- t.n_dirty + 1;
+    t.owner.(i) <- owner;
+    t.stamp.(i) <- t.tick;
+    t.fill_stamp.(i) <- t.tick;
+    mark_set_changed t set;
     Miss evicted
 
 let probe t paddr =
   let set = set_of_paddr t paddr in
-  find_way t.data.(set) (tag_of_paddr t paddr) <> None
+  find_way t ~base:(set * t.geometry.ways) (tag_of_paddr t paddr) >= 0
 
 let owner_of t paddr =
   let set = set_of_paddr t paddr in
-  match find_way t.data.(set) (tag_of_paddr t paddr) with
-  | Some w -> Some t.data.(set).(w).owner
-  | None -> None
+  let base = set * t.geometry.ways in
+  match find_way t ~base (tag_of_paddr t paddr) with
+  | w when w >= 0 -> Some t.owner.(base + w)
+  | _ -> None
 
+(* Full invalidation.  [tick = 0] means no access has happened since the
+   last flush (lines only become valid through accesses), so the cache is
+   already in the power-on state and the flush is O(1) with an unchanged
+   (zero write-back) report — the clean-flush fast path. *)
 let flush t =
-  let dirty = ref 0 in
-  Array.iter
-    (fun lines ->
-      Array.iter
-        (fun l ->
-          if l.valid && l.dirty then incr dirty;
-          l.valid <- false;
-          l.dirty <- false;
-          l.owner <- shared_owner;
-          l.tag <- 0;
-          l.stamp <- 0;
-          l.fill_stamp <- 0)
-        lines)
-    t.data;
-  Array.fill t.set_ticks 0 (Array.length t.set_ticks) 0;
-  t.tick <- 0;
-  !dirty
+  let dirty = t.n_dirty in
+  if t.tick <> 0 then begin
+    let n = Array.length t.tags in
+    Array.fill t.tags 0 n 0;
+    Bytes.fill t.meta 0 n '\000';
+    Array.fill t.owner 0 n shared_owner;
+    Array.fill t.stamp 0 n 0;
+    Array.fill t.fill_stamp 0 n 0;
+    Array.fill t.set_ticks 0 t.geometry.sets 0;
+    t.tick <- 0;
+    t.n_valid <- 0;
+    t.n_dirty <- 0;
+    (* restore the interned empty-state digest tables wholesale *)
+    Bigarray.Array1.blit t.empty.e_sets t.set_digest;
+    Bigarray.Array1.blit t.empty.e_prefix t.prefix;
+    Bytes.fill t.set_clean 0 t.geometry.sets '\001';
+    t.first_stale <- t.geometry.sets
+  end;
+  dirty
 
 let invalidate_line t paddr =
   let set = set_of_paddr t paddr in
-  match find_way t.data.(set) (tag_of_paddr t paddr) with
-  | None -> false
-  | Some w ->
-    let l = t.data.(set).(w) in
-    let was_dirty = l.dirty in
-    l.valid <- false;
-    l.dirty <- false;
-    l.owner <- shared_owner;
-    l.tag <- 0;
-    l.stamp <- 0;
-    l.fill_stamp <- 0;
+  let base = set * t.geometry.ways in
+  match find_way t ~base (tag_of_paddr t paddr) with
+  | w when w >= 0 ->
+    let i = base + w in
+    let m = Char.code (Bytes.unsafe_get t.meta i) in
+    let was_dirty = m land meta_dirty <> 0 in
+    Bytes.unsafe_set t.meta i '\000';
+    t.tags.(i) <- 0;
+    t.owner.(i) <- shared_owner;
+    t.stamp.(i) <- 0;
+    t.fill_stamp.(i) <- 0;
+    t.n_valid <- t.n_valid - 1;
+    if was_dirty then t.n_dirty <- t.n_dirty - 1;
+    mark_set_changed t set;
     was_dirty
+  | _ -> false
 
-let dirty_count t =
-  let n = ref 0 in
-  Array.iter
-    (fun lines -> Array.iter (fun l -> if l.valid && l.dirty then incr n) lines)
-    t.data;
-  !n
+let dirty_count t = t.n_dirty
 
-let valid_count t =
-  let n = ref 0 in
-  Array.iter
-    (fun lines -> Array.iter (fun l -> if l.valid then incr n) lines)
-    t.data;
-  !n
+let valid_count t = t.n_valid
 
 let iter_lines t f =
-  Array.iteri
-    (fun set lines ->
-      Array.iteri
-        (fun way l ->
-          if l.valid then f ~set ~way ~tag:l.tag ~dirty:l.dirty ~owner:l.owner)
-        lines)
-    t.data
+  let ways = t.geometry.ways in
+  for set = 0 to t.geometry.sets - 1 do
+    for way = 0 to ways - 1 do
+      let i = (set * ways) + way in
+      let m = Char.code (Bytes.unsafe_get t.meta i) in
+      if m land meta_valid <> 0 then
+        f ~set ~way ~tag:t.tags.(i) ~dirty:(m land meta_dirty <> 0)
+          ~owner:t.owner.(i)
+    done
+  done
 
 (* These digests feed the latency functions, so their values must stay
-   bit-identical across refactors; only the traversal is optimised
-   (straight-line loops, no closures or intermediate lists). *)
+   bit-identical across refactors; the flat-state rewrite only changes
+   *when* they are computed (memoised per set, re-chained above the
+   stale watermark) — never what they compute. *)
 let digest_set t set =
-  let lines = t.data.(set) in
-  let acc = ref (Int64.of_int (set + 1)) in
-  for w = 0 to Array.length lines - 1 do
-    let l = lines.(w) in
-    acc :=
-      if not l.valid then Rng.combine !acc 0L
-      else
-        let bits = (l.tag lsl 2) lor (if l.dirty then 2 else 0) lor 1 in
-        Rng.combine !acc (Int64.of_int bits)
-  done;
-  !acc
+  if Bytes.unsafe_get t.set_clean set = '\001' then
+    Bigarray.Array1.unsafe_get t.set_digest set
+  else begin
+    let d = compute_set_digest ~ways:t.geometry.ways ~tags:t.tags ~meta:t.meta set in
+    Bigarray.Array1.unsafe_set t.set_digest set d;
+    Bytes.unsafe_set t.set_clean set '\001';
+    d
+  end
 
 let digest t =
+  let sets = t.geometry.sets in
+  if t.first_stale < sets then begin
+    let acc =
+      ref
+        (if t.first_stale = 0 then 1L
+         else Bigarray.Array1.unsafe_get t.prefix (t.first_stale - 1))
+    in
+    for set = t.first_stale to sets - 1 do
+      acc := Rng.chain !acc (digest_set t set);
+      Bigarray.Array1.unsafe_set t.prefix set !acc
+    done;
+    t.first_stale <- sets
+  end;
+  Bigarray.Array1.unsafe_get t.prefix (sets - 1)
+
+(* From-scratch re-folds, bypassing every cache: the ground truth the
+   debug mode (Resource.set_digest_debug) asserts the memoised digests
+   against.  Same arithmetic by construction — both paths go through
+   [compute_set_digest] / Rng.chain. *)
+let digest_set_fold t set =
+  compute_set_digest ~ways:t.geometry.ways ~tags:t.tags ~meta:t.meta set
+
+let digest_fold t =
   let acc = ref 1L in
   for set = 0 to t.geometry.sets - 1 do
-    acc := Rng.combine !acc (digest_set t set)
+    acc := Rng.chain !acc (digest_set_fold t set)
   done;
   !acc
 

@@ -89,7 +89,10 @@ val owner_of : t -> int -> int option
 val flush : t -> int
 (** Invalidate everything; returns the number of dirty lines that had to be
     written back — the history-dependent component of flush latency that
-    motivates padding (Sect. 4.2 of the paper). *)
+    motivates padding (Sect. 4.2 of the paper).  The count comes from an
+    O(1) per-resource dirty counter, and flushing a cache that has seen no
+    access since the last flush is O(1) (the flat state is already the
+    power-on image). *)
 
 val invalidate_line : t -> int -> bool
 (** [invalidate_line t paddr] drops the line holding [paddr] if present
@@ -97,7 +100,10 @@ val invalidate_line : t -> int -> bool
     dropped line was dirty (and thus written back). *)
 
 val dirty_count : t -> int
+(** O(1): maintained incrementally in the flat store. *)
+
 val valid_count : t -> int
+(** O(1): maintained incrementally in the flat store. *)
 
 val iter_lines : t -> (set:int -> way:int -> tag:int -> dirty:bool -> owner:int -> unit) -> unit
 (** Iterate over all valid lines (for invariant checks). *)
@@ -105,10 +111,27 @@ val iter_lines : t -> (set:int -> way:int -> tag:int -> dirty:bool -> owner:int 
 val digest_set : t -> int -> int64
 (** Deterministic digest of one set's contents (tags, validity, dirtiness,
     recency).  This is the state a single access's latency may legitimately
-    depend on, per Sect. 5.2 Case 1 of the paper. *)
+    depend on, per Sect. 5.2 Case 1 of the paper.  Memoised: O(1) unless
+    the set changed since it was last digested. *)
 
 val digest : t -> int64
 (** Digest of the whole cache (used for flush latency and for the
-    adversarial checker that detects illegitimate dependencies). *)
+    adversarial checker that detects illegitimate dependencies).
+
+    Maintained incrementally: per-set digests are cached on write-through
+    a stale watermark, so this is O(1) when the cache is unchanged since
+    the last call and O(sets above the lowest changed set) otherwise —
+    never the historical O(sets x ways) fold.  The value is bit-identical
+    to {!digest_fold} by construction (both go through [Rng.chain]). *)
+
+val digest_set_fold : t -> int -> int64
+(** [digest_set] recomputed from scratch, bypassing the memo — ground
+    truth for the debug re-fold assertion (see
+    {!Resource.set_digest_debug}). *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch as the historical O(sets x ways)
+    fold, bypassing every cache.  Used by the debug re-fold assertion and
+    by benchmarks as the "before" arm of incremental-vs-fold pairs. *)
 
 val pp : Format.formatter -> t -> unit

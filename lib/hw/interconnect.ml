@@ -10,6 +10,8 @@ type t = {
   mutable per_domain : int array; (* Partitioned: per-domain horizon *)
   win_idx : int array; (* Throttled: current window per domain *)
   win_count : int array; (* Throttled: transfers in the window *)
+  mutable digest_cache : int64; (* Partitioned: memoised horizon chain *)
+  mutable digest_clean : bool;
 }
 
 let create ?(service = 8) ?(mode = Shared) () =
@@ -26,6 +28,8 @@ let create ?(service = 8) ?(mode = Shared) () =
     per_domain = Array.make (max n 1) 0;
     win_idx = Array.make (max n 1) (-1);
     win_count = Array.make (max n 1) 0;
+    digest_cache = 0L;
+    digest_clean = false;
   }
 
 let mode t = t.ic_mode
@@ -54,6 +58,7 @@ let request t ~domain ~now =
     let earliest = max now own in
     let start = next_slot_start ~slot ~n_domains ~domain:d ~now:earliest in
     t.per_domain.(d) <- start + t.service;
+    t.digest_clean <- false;
     start - now + t.service
   | Throttled { window; max_per_window; n_domains } ->
     (* per-domain rate cap, but a single shared queue behind it *)
@@ -73,19 +78,31 @@ let request t ~domain ~now =
     t.busy_until <- start + t.service;
     start - now + t.service
 
+(* From-scratch digest — the Shared/Throttled digest is a single O(1)
+   hash of the occupancy horizon; only Partitioned folds per-domain
+   horizons (and memoises the chain below). *)
+let digest_fold t =
+  match t.ic_mode with
+  | Shared | Throttled _ -> Rng.hash64 (Int64.of_int t.busy_until)
+  | Partitioned _ ->
+    Array.fold_left (fun acc h -> Rng.chain_int acc h) 11L t.per_domain
+
 let digest t =
   match t.ic_mode with
   | Shared | Throttled _ -> Rng.hash64 (Int64.of_int t.busy_until)
   | Partitioned _ ->
-    Array.fold_left
-      (fun acc h -> Rng.combine acc (Int64.of_int h))
-      11L t.per_domain
+    if not t.digest_clean then begin
+      t.digest_cache <- digest_fold t;
+      t.digest_clean <- true
+    end;
+    t.digest_cache
 
 let reset t =
   t.busy_until <- 0;
   Array.fill t.per_domain 0 (Array.length t.per_domain) 0;
   Array.fill t.win_idx 0 (Array.length t.win_idx) (-1);
-  Array.fill t.win_count 0 (Array.length t.win_count) 0
+  Array.fill t.win_count 0 (Array.length t.win_count) 0;
+  t.digest_clean <- false
 
 let pp ppf t =
   match t.ic_mode with

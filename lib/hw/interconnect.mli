@@ -36,6 +36,11 @@ val request : t -> domain:int -> now:int -> int
     advances the occupancy state. *)
 
 val digest : t -> int64
+(** O(1) for [Shared]/[Throttled] (a hash of the occupancy horizon);
+    memoised for [Partitioned] (re-folded only after a request). *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch, bypassing the memo. *)
 
 val reset : t -> unit
 

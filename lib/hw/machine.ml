@@ -399,6 +399,13 @@ let digest_core t ~core:ci = Resource.digest_registry (core t ci).registry
 
 let digest_shared t = Resource.digest_registry t.shared_reg
 
+(* From-scratch mirrors (no digest memo): ground truth for differential
+   tests and the incremental-vs-fold benchmarks. *)
+let digest_core_fold t ~core:ci =
+  Resource.digest_registry_fold (core t ci).registry
+
+let digest_shared_fold t = Resource.digest_registry_fold t.shared_reg
+
 (* Core-local flush: reset every *flushable* registered resource, in
    registry order, and bill the history-dependent cost — base, plus one
    write-back per dirty line any resource reported, plus any extra cycles

@@ -190,9 +190,19 @@ val wait_until : t -> core:int -> int -> int
     cycles waited (0 if the deadline already passed). *)
 
 val digest_shared : t -> int64
-(** Digest of all shared (cross-core) state: LLC + interconnect. *)
+(** Digest of all shared (cross-core) state: LLC + interconnect.
+    Resources maintain their digests incrementally, so this is an
+    O(#resources) fold over cached values when nothing changed. *)
 
 val digest_core : t -> core:int -> int64
-(** Digest of one core's private micro-architectural state. *)
+(** Digest of one core's private micro-architectural state.  Same
+    incremental-cache property as {!digest_shared}. *)
+
+val digest_shared_fold : t -> int64
+(** {!digest_shared} with every resource re-folded from scratch —
+    differential ground truth (see {!Resource.set_digest_debug}). *)
+
+val digest_core_fold : t -> core:int -> int64
+(** {!digest_core} with every resource re-folded from scratch. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,63 +1,114 @@
-type slot = {
-  mutable tag : int; (* pc tag; -1 = empty *)
-  mutable last : int;
-  mutable stride : int;
-  mutable confidence : int;
+(* Flat unboxed storage: parallel int arrays per tracking slot (pc tag
+   -1 = empty), with a memoised digest.  [observe] is on the data-access
+   hot path, so it stales the cached digest only when it actually moves
+   slot state (a zero-stride re-touch of the same address changes
+   nothing). *)
+type t = {
+  tags : int array;
+  lasts : int array;
+  strides : int array;
+  confidences : int array;
+  mutable touched : bool; (* any slot differs from power-on: flush is O(1) otherwise *)
+  mutable digest_cache : int64;
+  mutable digest_clean : bool;
+  empty_digest : int64;
 }
 
-type t = { slots : slot array }
+(* One slot's contribution — shared by the memoised recompute and the
+   from-scratch re-fold. *)
+let slot_bits ~tags ~lasts ~strides ~confidences i =
+  (Array.unsafe_get tags i lsl 24)
+  lxor (Array.unsafe_get lasts i lsl 8)
+  lxor (Array.unsafe_get strides i lsl 2)
+  lxor Array.unsafe_get confidences i
+
+let compute_digest t =
+  let acc = ref 5L in
+  for i = 0 to Array.length t.tags - 1 do
+    acc :=
+      Rng.chain_int !acc
+        (slot_bits ~tags:t.tags ~lasts:t.lasts ~strides:t.strides
+           ~confidences:t.confidences i)
+  done;
+  !acc
 
 let create ?(slots = 16) () =
   if slots <= 0 then invalid_arg "Prefetch.create: slots must be positive";
+  let empty_digest =
+    let acc = ref 5L in
+    for _ = 1 to slots do
+      acc := Rng.chain_int !acc ((-1) lsl 24)
+    done;
+    !acc
+  in
   {
-    slots =
-      Array.init slots (fun _ ->
-          { tag = -1; last = 0; stride = 0; confidence = 0 });
+    tags = Array.make slots (-1);
+    lasts = Array.make slots 0;
+    strides = Array.make slots 0;
+    confidences = Array.make slots 0;
+    touched = false;
+    digest_cache = empty_digest;
+    digest_clean = true;
+    empty_digest;
   }
 
 let degree = 2 (* prefetch depth once confident *)
 
 let observe t ~pc ~addr =
-  let i = (pc lsr 2) mod Array.length t.slots in
-  let s = t.slots.(i) in
-  if s.tag <> pc then begin
-    s.tag <- pc;
-    s.last <- addr;
-    s.stride <- 0;
-    s.confidence <- 0;
+  let i = (pc lsr 2) mod Array.length t.tags in
+  if t.tags.(i) <> pc then begin
+    t.tags.(i) <- pc;
+    t.lasts.(i) <- addr;
+    t.strides.(i) <- 0;
+    t.confidences.(i) <- 0;
+    t.digest_clean <- false;
+    t.touched <- true;
     []
   end
   else begin
-    let stride = addr - s.last in
-    if stride <> 0 && stride = s.stride then
-      s.confidence <- min 3 (s.confidence + 1)
-    else begin
-      s.stride <- stride;
-      s.confidence <- 0
+    let stride = addr - t.lasts.(i) in
+    let conf' =
+      if stride <> 0 && stride = t.strides.(i) then
+        min 3 (t.confidences.(i) + 1)
+      else 0
+    in
+    let stride' =
+      if stride <> 0 && stride = t.strides.(i) then t.strides.(i) else stride
+    in
+    if
+      stride' <> t.strides.(i) || conf' <> t.confidences.(i)
+      || addr <> t.lasts.(i)
+    then begin
+      t.strides.(i) <- stride';
+      t.confidences.(i) <- conf';
+      t.lasts.(i) <- addr;
+      t.digest_clean <- false;
+      t.touched <- true
     end;
-    s.last <- addr;
-    if s.confidence >= 2 && s.stride <> 0 then
-      List.init degree (fun k -> addr + ((k + 1) * s.stride))
+    if conf' >= 2 && stride' <> 0 then
+      List.init degree (fun k -> addr + ((k + 1) * stride'))
     else []
   end
 
 let flush t =
-  Array.iter
-    (fun s ->
-      s.tag <- -1;
-      s.last <- 0;
-      s.stride <- 0;
-      s.confidence <- 0)
-    t.slots
+  if t.touched then begin
+    let n = Array.length t.tags in
+    Array.fill t.tags 0 n (-1);
+    Array.fill t.lasts 0 n 0;
+    Array.fill t.strides 0 n 0;
+    Array.fill t.confidences 0 n 0;
+    t.touched <- false;
+    t.digest_cache <- t.empty_digest;
+    t.digest_clean <- true
+  end
 
 let digest t =
-  Array.fold_left
-    (fun acc s ->
-      let bits =
-        (s.tag lsl 24) lxor (s.last lsl 8) lxor (s.stride lsl 2)
-        lxor s.confidence
-      in
-      Rng.combine acc (Int64.of_int bits))
-    5L t.slots
+  if not t.digest_clean then begin
+    t.digest_cache <- compute_digest t;
+    t.digest_clean <- true
+  end;
+  t.digest_cache
 
-let pp ppf t = Format.fprintf ppf "prefetch: %d slots" (Array.length t.slots)
+let digest_fold t = compute_digest t
+
+let pp ppf t = Format.fprintf ppf "prefetch: %d slots" (Array.length t.tags)

@@ -15,7 +15,14 @@ val observe : t -> pc:int -> addr:int -> int list
     fetch (empty unless a stable stride has been observed twice). *)
 
 val flush : t -> unit
+(** O(1) if no observation moved any slot since the last flush. *)
 
 val digest : t -> int64
+(** Memoised: O(1) unless an {!observe} moved slot state since the last
+    call. *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch, bypassing the memo — ground truth
+    for the debug re-fold assertion. *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,10 +12,30 @@ module type S = sig
   val present : bool
   val colours : int option
   val digest : unit -> int64
+  val digest_fold : unit -> int64
   val flush : unit -> flush_report
 end
 
 type t = (module S)
+
+exception Digest_divergence of { resource : string; cached : int64; fold : int64 }
+
+(* Debug re-fold mode: while enabled (a nestable counter, so concurrent
+   fuzz trials can each hold it), every [digest] also recomputes the
+   from-scratch fold and raises if the incrementally-maintained value
+   diverged — the enforcement of the "a digest is a pure function of
+   state" invariant now that digests are cached. *)
+let digest_debug = Atomic.make 0
+
+let set_digest_debug = function
+  | true -> Atomic.incr digest_debug
+  | false -> Atomic.decr digest_debug
+
+let digest_debug_enabled () = Atomic.get digest_debug > 0
+
+let with_digest_debug f =
+  set_digest_debug true;
+  Fun.protect ~finally:(fun () -> set_digest_debug false) f
 
 let name (module R : S) = R.name
 let classification (module R : S) = R.classification
@@ -23,7 +43,17 @@ let in_scope (module R : S) = R.in_scope
 let defence (module R : S) = R.defence
 let present (module R : S) = R.present
 let colours (module R : S) = R.colours
-let digest (module R : S) = R.digest ()
+
+let digest (module R : S) =
+  let d = R.digest () in
+  if Atomic.get digest_debug > 0 then begin
+    let f = R.digest_fold () in
+    if d <> f then
+      raise (Digest_divergence { resource = R.name; cached = d; fold = f })
+  end;
+  d
+
+let digest_fold (module R : S) = R.digest_fold ()
 let flush (module R : S) = R.flush ()
 
 let flushable r = classification r = Flushable
@@ -38,8 +68,8 @@ let default_defence = function
     "out of scope: needs hardware bandwidth partitioning (e.g. strict TDMA)"
 
 let make ~name:rname ~classification:cls ?in_scope:(scope = cls <> Neither)
-    ?defence:(def = default_defence cls) ?colours:cols ~digest:dig ~flush:fl ()
-    : t =
+    ?defence:(def = default_defence cls) ?colours:cols ?digest_fold:dig_fold
+    ~digest:dig ~flush:fl () : t =
   (module struct
     let name = rname
     let classification = cls
@@ -48,6 +78,7 @@ let make ~name:rname ~classification:cls ?in_scope:(scope = cls <> Neither)
     let present = true
     let colours = cols
     let digest = dig
+    let digest_fold = Option.value dig_fold ~default:dig
     let flush = fl
   end)
 
@@ -64,6 +95,7 @@ let absent ~name:rname ~placeholder_digest : t =
     let present = false
     let colours = None
     let digest () = placeholder_digest
+    let digest_fold () = placeholder_digest
     let flush () = no_flush
   end)
 
@@ -74,6 +106,7 @@ let of_cache ~name:rname ?(classification = Flushable) ?defence ?colours cache
     : t =
   make ~name:rname ~classification ?defence ?colours
     ~digest:(fun () -> Cache.digest cache)
+    ~digest_fold:(fun () -> Cache.digest_fold cache)
     ~flush:(fun () ->
       { dirty_writebacks = Cache.flush cache; extra_cycles = 0 })
     ()
@@ -81,6 +114,7 @@ let of_cache ~name:rname ?(classification = Flushable) ?defence ?colours cache
 let of_tlb ?(name = "TLB") tlb : t =
   make ~name ~classification:Flushable
     ~digest:(fun () -> Tlb.digest tlb)
+    ~digest_fold:(fun () -> Tlb.digest_fold tlb)
     ~flush:(fun () ->
       (* flush_all reports evicted entries; TLB entries are never dirty,
          so none of them is a write-back *)
@@ -91,6 +125,7 @@ let of_tlb ?(name = "TLB") tlb : t =
 let of_bpred ?(name = "branch predictor") bp : t =
   make ~name ~classification:Flushable
     ~digest:(fun () -> Bpred.digest bp)
+    ~digest_fold:(fun () -> Bpred.digest_fold bp)
     ~flush:(fun () ->
       Bpred.flush bp;
       no_flush)
@@ -99,6 +134,7 @@ let of_bpred ?(name = "branch predictor") bp : t =
 let of_prefetch ?(name = "prefetcher") pf : t =
   make ~name ~classification:Flushable
     ~digest:(fun () -> Prefetch.digest pf)
+    ~digest_fold:(fun () -> Prefetch.digest_fold pf)
     ~flush:(fun () ->
       Prefetch.flush pf;
       no_flush)
@@ -107,6 +143,7 @@ let of_prefetch ?(name = "prefetcher") pf : t =
 let of_btb ?(name = "branch target buffer") btb : t =
   make ~name ~classification:Flushable
     ~digest:(fun () -> Btb.digest btb)
+    ~digest_fold:(fun () -> Btb.digest_fold btb)
     ~flush:(fun () ->
       Btb.flush btb;
       no_flush)
@@ -119,6 +156,7 @@ let of_interconnect ?(name = "memory interconnect") bus : t =
      kernel's flush must not pretend to reset it. *)
   make ~name ~classification:Neither ~in_scope:false
     ~digest:(fun () -> Interconnect.digest bus)
+    ~digest_fold:(fun () -> Interconnect.digest_fold bus)
     ~flush:(fun () -> no_flush)
     ()
 
@@ -138,6 +176,14 @@ let rec rfold_right = function
 let digest_group g = rfold_right (List.map digest g)
 
 let digest_registry groups = rfold_right (List.map digest_group groups)
+
+(* From-scratch mirrors of the registry folds: same shape, but every
+   resource re-folds its state instead of reading the memoised value.
+   The differential tests and the legacy-equivalence fuzz oracle compare
+   these against the incremental path. *)
+let digest_group_fold g = rfold_right (List.map digest_fold g)
+
+let digest_registry_fold groups = rfold_right (List.map digest_group_fold groups)
 
 let flush_group g =
   List.fold_left

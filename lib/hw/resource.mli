@@ -60,6 +60,12 @@ module type S = sig
       resources. *)
 
   val digest : unit -> int64
+  (** May be served from an incrementally-maintained cache; must equal
+      [digest_fold ()] at every instant. *)
+
+  val digest_fold : unit -> int64
+  (** The same digest recomputed from scratch (no memoisation) — ground
+      truth for the debug re-fold assertion. *)
 
   val flush : unit -> flush_report
 end
@@ -73,8 +79,30 @@ val defence : t -> string
 val present : t -> bool
 val colours : t -> int option
 val digest : t -> int64
+(** Reads the resource's (possibly cached) digest.  With the debug mode
+    enabled ({!set_digest_debug}), also recomputes the from-scratch fold
+    and raises {!Digest_divergence} if the two disagree. *)
+
+val digest_fold : t -> int64
+(** The from-scratch re-fold, bypassing any incremental cache. *)
+
 val flush : t -> flush_report
 val flushable : t -> bool
+
+exception Digest_divergence of { resource : string; cached : int64; fold : int64 }
+(** Raised by {!digest} in debug mode when an incrementally-maintained
+    digest diverges from its from-scratch re-fold — i.e. the "digest is
+    a pure function of state" invariant was broken by a missed cache
+    invalidation. *)
+
+val set_digest_debug : bool -> unit
+(** Enable/disable the debug re-fold assertion globally.  Nestable
+    (a counter, not a flag): concurrent holders compose. *)
+
+val digest_debug_enabled : unit -> bool
+
+val with_digest_debug : (unit -> 'a) -> 'a
+(** Run [f] with the debug re-fold assertion enabled. *)
 
 val default_defence : classification -> string
 
@@ -84,6 +112,7 @@ val make :
   ?in_scope:bool ->
   ?defence:string ->
   ?colours:int ->
+  ?digest_fold:(unit -> int64) ->
   digest:(unit -> int64) ->
   flush:(unit -> flush_report) ->
   unit ->
@@ -91,7 +120,8 @@ val make :
 (** General constructor (used by the adapters below, by {!Machine} for
     built-in structures, and by tests/extensions for ad-hoc resources).
     [in_scope] defaults to [classification <> Neither]; [defence]
-    defaults to {!default_defence}. *)
+    defaults to {!default_defence}; [digest_fold] defaults to [digest]
+    (correct for resources that do not cache their digest). *)
 
 val absent : name:string -> placeholder_digest:int64 -> t
 (** A slot for a structure this configuration omits: digests to the
@@ -129,6 +159,11 @@ val of_interconnect : ?name:string -> Interconnect.t -> t
 
 val digest_group : t list -> int64
 val digest_registry : t list list -> int64
+
+val digest_group_fold : t list -> int64
+val digest_registry_fold : t list list -> int64
+(** The same folds with every resource re-folded from scratch — the
+    differential ground truth for {!digest_group}/{!digest_registry}. *)
 
 val flush_group : t list -> flush_report
 (** Flush every resource in order; reports are summed. *)

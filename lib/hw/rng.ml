@@ -28,5 +28,13 @@ let hash64 x = mix (Int64.add x golden)
 
 let combine a b = hash64 (Int64.logxor (hash64 a) (Int64.add b golden))
 
+(* The one routing point for state-digest chains: every digest in lib/hw
+   — whether maintained incrementally or re-folded from scratch — must
+   extend its accumulator through [chain]/[chain_int], so the two paths
+   are the same arithmetic by construction and cannot drift. *)
+let chain acc d = combine acc d
+
+let chain_int acc bits = combine acc (Int64.of_int bits)
+
 let hash_int seed digest =
   Int64.to_int (Int64.shift_right_logical (combine seed digest) 2)

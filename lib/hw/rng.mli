@@ -35,6 +35,17 @@ val hash64 : int64 -> int64
 val combine : int64 -> int64 -> int64
 (** [combine a b] hashes two values into one, order-sensitive. *)
 
+val chain : int64 -> int64 -> int64
+(** [chain acc d] extends a state-digest chain with one element digest.
+    Today it is exactly {!combine}; it exists as the {e single} routing
+    point for digest chains so the incrementally-maintained digests and
+    the from-scratch [digest_fold] re-folds in [lib/hw] share one
+    definition and cannot drift. *)
+
+val chain_int : int64 -> int -> int64
+(** [chain_int acc bits] is [chain acc (Int64.of_int bits)]: extends a
+    digest chain with one element's packed state bits. *)
+
 val hash_int : int64 -> int64 -> int
 (** [hash_int seed digest] maps a digest to a non-negative [int],
     deterministically under [seed]. *)

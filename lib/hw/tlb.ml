@@ -1,119 +1,206 @@
 type entry = { asid : int; vpn : int; pfn : int; global : bool }
 
-type slot = { mutable e : entry option; mutable stamp : int }
+(* Flat unboxed storage: one slot per index across parallel int arrays,
+   with presence/globality packed into one byte per slot.  The digest is
+   memoised: translation hits only refresh recency (which the digest does
+   not cover), so the hot TLB-hit path never re-folds the table — only
+   inserts and invalidations stale the cached digest. *)
 
-type t = { slots : slot array; mutable tick : int }
+let flag_present = 0x1
+let flag_global = 0x2
+
+type t = {
+  asids : int array;
+  vpns : int array;
+  pfns : int array;
+  flags : Bytes.t;
+  stamps : int array;
+  mutable tick : int;
+  mutable n_entries : int;
+  mutable digest_cache : int64;
+  mutable digest_clean : bool;
+  empty_digest : int64;
+}
+
+(* One slot's contribution to the digest chain — shared by the memoised
+   recompute and the from-scratch re-fold. *)
+let slot_bits ~flags ~asids ~vpns ~pfns i =
+  let f = Char.code (Bytes.unsafe_get flags i) in
+  if f land flag_present = 0 then 0
+  else
+    (Array.unsafe_get asids i lsl 40)
+    lxor (Array.unsafe_get vpns i lsl 12)
+    lxor Array.unsafe_get pfns i
+    lxor if f land flag_global <> 0 then 1 lsl 62 else 0
+
+let compute_digest t =
+  let n = Array.length t.asids in
+  let acc = ref 3L in
+  for i = 0 to n - 1 do
+    acc :=
+      Rng.chain_int !acc
+        (slot_bits ~flags:t.flags ~asids:t.asids ~vpns:t.vpns ~pfns:t.pfns i)
+  done;
+  !acc
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
-  { slots = Array.init capacity (fun _ -> { e = None; stamp = 0 }); tick = 0 }
+  let empty_digest =
+    let acc = ref 3L in
+    for _ = 1 to capacity do
+      acc := Rng.chain_int !acc 0
+    done;
+    !acc
+  in
+  {
+    asids = Array.make capacity 0;
+    vpns = Array.make capacity 0;
+    pfns = Array.make capacity 0;
+    flags = Bytes.make capacity '\000';
+    stamps = Array.make capacity 0;
+    tick = 0;
+    n_entries = 0;
+    digest_cache = empty_digest;
+    digest_clean = true;
+    empty_digest;
+  }
 
-let capacity t = Array.length t.slots
+let capacity t = Array.length t.asids
 
-let matches ~asid ~vpn = function
-  | None -> false
-  | Some e -> e.vpn = vpn && (e.global || e.asid = asid)
+let slot_matches t ~asid ~vpn i =
+  let f = Char.code (Bytes.unsafe_get t.flags i) in
+  f land flag_present <> 0
+  && t.vpns.(i) = vpn
+  && (f land flag_global <> 0 || t.asids.(i) = asid)
 
 let find t ~asid ~vpn =
-  let n = Array.length t.slots in
+  let n = Array.length t.asids in
   let rec go i =
-    if i >= n then None
-    else if matches ~asid ~vpn t.slots.(i).e then Some i
-    else go (i + 1)
+    if i >= n then -1 else if slot_matches t ~asid ~vpn i then i else go (i + 1)
   in
   go 0
 
 let lookup t ~asid ~vpn =
   match find t ~asid ~vpn with
-  | None -> None
-  | Some i ->
+  | -1 -> None
+  | i ->
     t.tick <- t.tick + 1;
-    t.slots.(i).stamp <- t.tick;
-    (match t.slots.(i).e with Some e -> Some e.pfn | None -> None)
+    t.stamps.(i) <- t.tick;
+    Some t.pfns.(i)
 
 let peek t ~asid ~vpn =
-  match find t ~asid ~vpn with
-  | None -> None
-  | Some i -> (match t.slots.(i).e with Some e -> Some e.pfn | None -> None)
+  match find t ~asid ~vpn with -1 -> None | i -> Some t.pfns.(i)
 
 let insert ?(global = false) t ~asid ~vpn ~pfn =
   t.tick <- t.tick + 1;
-  let entry = { asid; vpn; pfn; global } in
+  let write i =
+    (* re-inserting the identical translation only refreshes recency —
+       the digest stays clean *)
+    let f = Char.code (Bytes.unsafe_get t.flags i) in
+    let new_f = flag_present lor if global then flag_global else 0 in
+    if
+      not
+        (f = new_f && t.asids.(i) = asid && t.vpns.(i) = vpn
+        && t.pfns.(i) = pfn)
+    then begin
+      if f land flag_present = 0 then t.n_entries <- t.n_entries + 1;
+      t.asids.(i) <- asid;
+      t.vpns.(i) <- vpn;
+      t.pfns.(i) <- pfn;
+      Bytes.unsafe_set t.flags i (Char.chr new_f);
+      t.digest_clean <- false
+    end;
+    t.stamps.(i) <- t.tick
+  in
   match find t ~asid ~vpn with
-  | Some i ->
-    t.slots.(i).e <- Some entry;
-    t.slots.(i).stamp <- t.tick
-  | None ->
+  | i when i >= 0 -> write i
+  | _ ->
+    let n = Array.length t.asids in
     let victim = ref 0 in
-    let n = Array.length t.slots in
     (try
        for i = 0 to n - 1 do
-         if t.slots.(i).e = None then begin
+         if Char.code (Bytes.unsafe_get t.flags i) land flag_present = 0
+         then begin
            victim := i;
            raise Exit
          end
        done;
        for i = 1 to n - 1 do
-         if t.slots.(i).stamp < t.slots.(!victim).stamp then victim := i
+         if t.stamps.(i) < t.stamps.(!victim) then victim := i
        done
      with Exit -> ());
-    t.slots.(!victim).e <- Some entry;
-    t.slots.(!victim).stamp <- t.tick
+    write !victim
 
+(* [tick = 0] means no lookup hit or insert since the last full flush;
+   entries only appear through inserts, so the TLB is already in the
+   power-on state and the flush is O(1). *)
 let flush_all t =
-  let n = ref 0 in
-  Array.iter
-    (fun s ->
-      if s.e <> None then incr n;
-      s.e <- None;
-      s.stamp <- 0)
-    t.slots;
-  t.tick <- 0;
-  !n
+  let n = t.n_entries in
+  if t.tick <> 0 then begin
+    let cap = Array.length t.asids in
+    Bytes.fill t.flags 0 cap '\000';
+    Array.fill t.stamps 0 cap 0;
+    t.tick <- 0;
+    t.n_entries <- 0;
+    t.digest_cache <- t.empty_digest;
+    t.digest_clean <- true
+  end;
+  n
 
 let flush_asid t asid =
   let n = ref 0 in
-  Array.iter
-    (fun s ->
-      match s.e with
-      | Some e when e.asid = asid && not e.global ->
-        incr n;
-        s.e <- None;
-        s.stamp <- 0
-      | Some _ | None -> ())
-    t.slots;
+  let cap = Array.length t.asids in
+  for i = 0 to cap - 1 do
+    let f = Char.code (Bytes.unsafe_get t.flags i) in
+    if f land flag_present <> 0 && f land flag_global = 0 && t.asids.(i) = asid
+    then begin
+      incr n;
+      Bytes.unsafe_set t.flags i '\000';
+      t.stamps.(i) <- 0;
+      t.n_entries <- t.n_entries - 1
+    end
+  done;
+  if !n > 0 then t.digest_clean <- false;
   !n
 
 let invalidate t ~asid ~vpn =
-  Array.iter
-    (fun s ->
-      match s.e with
-      | Some e when e.vpn = vpn && (e.global || e.asid = asid) ->
-        s.e <- None;
-        s.stamp <- 0
-      | Some _ | None -> ())
-    t.slots
+  let cap = Array.length t.asids in
+  for i = 0 to cap - 1 do
+    if slot_matches t ~asid ~vpn i then begin
+      Bytes.unsafe_set t.flags i '\000';
+      t.stamps.(i) <- 0;
+      t.n_entries <- t.n_entries - 1;
+      t.digest_clean <- false
+    end
+  done
 
 let entries t =
-  Array.fold_left
-    (fun acc s -> match s.e with Some e -> e :: acc | None -> acc)
-    [] t.slots
+  let acc = ref [] in
+  let cap = Array.length t.asids in
+  for i = 0 to cap - 1 do
+    let f = Char.code (Bytes.unsafe_get t.flags i) in
+    if f land flag_present <> 0 then
+      acc :=
+        {
+          asid = t.asids.(i);
+          vpn = t.vpns.(i);
+          pfn = t.pfns.(i);
+          global = f land flag_global <> 0;
+        }
+        :: !acc
+  done;
+  !acc
 
-let count t =
-  Array.fold_left (fun n s -> if s.e <> None then n + 1 else n) 0 t.slots
+let count t = t.n_entries
 
 let digest t =
-  Array.fold_left
-    (fun acc s ->
-      match s.e with
-      | None -> Rng.combine acc 0L
-      | Some e ->
-        let bits =
-          (e.asid lsl 40) lxor (e.vpn lsl 12) lxor e.pfn
-          lxor if e.global then 1 lsl 62 else 0
-        in
-        Rng.combine acc (Int64.of_int bits))
-    3L t.slots
+  if not t.digest_clean then begin
+    t.digest_cache <- compute_digest t;
+    t.digest_clean <- true
+  end;
+  t.digest_cache
+
+let digest_fold t = compute_digest t
 
 let pp ppf t =
   Format.fprintf ppf "tlb: %d/%d entries" (count t) (capacity t)

@@ -43,6 +43,13 @@ val entries : t -> entry list
 val count : t -> int
 
 val digest : t -> int64
-(** Deterministic digest of TLB contents (for the latency model). *)
+(** Deterministic digest of TLB contents (for the latency model).
+    Memoised: translation hits only refresh recency, which the digest
+    does not cover, so the hot TLB-hit path reads a cached value —
+    only inserts and invalidations force a re-fold. *)
+
+val digest_fold : t -> int64
+(** [digest] recomputed from scratch, bypassing the memo — ground truth
+    for the debug re-fold assertion. *)
 
 val pp : Format.formatter -> t -> unit

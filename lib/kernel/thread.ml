@@ -10,9 +10,11 @@ type t = {
   mutable pc : int;
   mutable state : state;
   mutable obs_rev : Event.obs list;
+  mutable n_obs : int;
   mutable msg : int;
   mutable traced : bool;
   mutable costs_rev : (step_kind * int) list;
+  mutable n_costs : int;
   regs : int array;
 }
 
@@ -30,9 +32,11 @@ let create ?regs ~tid ~dom ~code_vbase prog =
     pc = 0;
     state = Ready;
     obs_rev = [];
+    n_obs = 0;
     msg = 0;
     traced = false;
     costs_rev = [];
+    n_costs = 0;
     regs = file;
   }
 
@@ -52,18 +56,29 @@ let current_instr t =
 
 let instr_vaddr t = t.code_vbase + (t.pc * 4)
 
-let observe t o = t.obs_rev <- o :: t.obs_rev
+let observe t o =
+  t.obs_rev <- o :: t.obs_rev;
+  t.n_obs <- t.n_obs + 1
 
 let observations t = List.rev t.obs_rev
+
+let observations_rev t = t.obs_rev
+
+let obs_count t = t.n_obs
 
 let runnable t = match t.state with Ready -> true | Blocked_send _ | Blocked_recv _ | Halted -> false
 
 let set_traced t b = t.traced <- b
 
 let record_cost t kind cycles =
-  if t.traced then t.costs_rev <- (kind, cycles) :: t.costs_rev
+  if t.traced then begin
+    t.costs_rev <- (kind, cycles) :: t.costs_rev;
+    t.n_costs <- t.n_costs + 1
+  end
 
 let cost_trace t = List.rev t.costs_rev
+
+let cost_count t = t.n_costs
 
 let code_pages t ~page_bits =
   let bytes = max 4 (Array.length t.prog * 4) in

@@ -22,9 +22,12 @@ type t = {
   mutable pc : int;    (** instruction index *)
   mutable state : state;
   mutable obs_rev : Event.obs list;
+  mutable n_obs : int;  (** [List.length obs_rev], maintained so trace
+                            consumers never pay a list walk *)
   mutable msg : int;   (** last message received *)
   mutable traced : bool;
   mutable costs_rev : (step_kind * int) list;
+  mutable n_costs : int;  (** [List.length costs_rev] *)
   regs : int array;  (** general-purpose registers (initial values are
                          thread data, e.g. a secret) *)
 }
@@ -45,7 +48,15 @@ val instr_vaddr : t -> int
 val observe : t -> Event.obs -> unit
 
 val observations : t -> Event.obs list
-(** In program order. *)
+(** In program order.  Allocates (reverses the internal list): hot
+    consumers should use {!observations_rev} + {!obs_count} and keep an
+    incremental view instead. *)
+
+val observations_rev : t -> Event.obs list
+(** The raw internal list, newest first.  O(1), no allocation. *)
+
+val obs_count : t -> int
+(** Number of observations so far.  O(1). *)
 
 val runnable : t -> bool
 
@@ -58,7 +69,11 @@ val record_cost : t -> step_kind -> int -> unit
 
 val cost_trace : t -> (step_kind * int) list
 (** Cycles consumed by each executed instruction, in program order,
-    labelled user-step vs. trap. *)
+    labelled user-step vs. trap.  Allocates; see {!cost_count} for the
+    O(1) length. *)
+
+val cost_count : t -> int
+(** Number of recorded instruction costs.  O(1). *)
 
 val code_pages : t -> page_bits:int -> int
 (** Number of pages the code image occupies. *)

@@ -16,7 +16,84 @@ let state_code = function
   | Thread.Blocked_recv ep -> 5 + (ep lsl 2)
   | Thread.Halted -> 2
 
-let lo_view k ~lo_dom =
+(* Incremental observation-trace hash.
+
+   [lo_view] hashes Lo's complete observation trace at every Lo
+   instruction boundary; folding the whole trace each time is quadratic
+   in trace length and dominated E7.  Observation lists are strictly
+   append-only, so the memo keeps, per thread, the running boundary
+   accumulator of the original left fold and extends it by folding only
+   the observations recorded since the previous boundary — the returned
+   value is bit-identical to the from-scratch [hash_int64s] fold. *)
+type obs_memo = {
+  mutable m_threads : Thread.t array;
+  mutable m_counts : int array;
+  mutable m_accs : int64 array;
+      (** [m_accs.(i)]: the fold accumulator after thread [i]'s codes *)
+}
+
+let obs_memo () = { m_threads = [||]; m_counts = [||]; m_accs = [||] }
+
+let rec take n = function
+  | x :: r when n > 0 -> x :: take (n - 1) r
+  | _ -> []
+
+let fold_codes acc obs =
+  List.fold_left (fun a o -> Rng.chain a (obs_code o)) acc obs
+
+let obs_hash memo threads =
+  let ths = Array.of_list threads in
+  let n = Array.length ths in
+  let same =
+    n = Array.length memo.m_threads
+    &&
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if ths.(i) != memo.m_threads.(i) then ok := false
+    done;
+    !ok
+  in
+  if not same then begin
+    (* thread set changed (first call, or a spawn): full refold *)
+    memo.m_threads <- ths;
+    memo.m_counts <- Array.make (max n 1) 0;
+    memo.m_accs <- Array.make (max n 1) 0x11L;
+    let acc = ref 0x11L in
+    for i = 0 to n - 1 do
+      acc := fold_codes !acc (Thread.observations ths.(i));
+      memo.m_counts.(i) <- Thread.obs_count ths.(i);
+      memo.m_accs.(i) <- !acc
+    done
+  end
+  else begin
+    let first = ref n in
+    for i = n - 1 downto 0 do
+      if Thread.obs_count ths.(i) <> memo.m_counts.(i) then first := i
+    done;
+    for i = !first to n - 1 do
+      let th = ths.(i) in
+      let count = Thread.obs_count th in
+      let acc =
+        if i = !first then
+          (* append-only: extend this thread's own accumulator by the
+             new tail (newest-first internally, so reverse the slice) *)
+          fold_codes memo.m_accs.(i)
+            (List.rev
+               (take (count - memo.m_counts.(i)) (Thread.observations_rev th)))
+        else
+          (* an earlier thread grew, shifting this thread's starting
+             accumulator: refold it entirely *)
+          fold_codes
+            (if i = 0 then 0x11L else memo.m_accs.(i - 1))
+            (Thread.observations th)
+      in
+      memo.m_counts.(i) <- count;
+      memo.m_accs.(i) <- acc
+    done
+  end;
+  if n = 0 then 0x11L else memo.m_accs.(n - 1)
+
+let lo_view ?memo k ~lo_dom =
   let dom = Kernel.domain k lo_dom in
   let m = Kernel.machine k in
   let core = dom.Domain.core in
@@ -31,18 +108,30 @@ let lo_view k ~lo_dom =
          (Domain.threads dom))
   in
   let observations =
-    hash_int64s
-      (List.concat_map
-         (fun th -> List.map obs_code (Thread.observations th))
-         (Domain.threads dom))
+    match memo with
+    | Some m -> obs_hash m (Domain.threads dom)
+    | None ->
+      hash_int64s
+        (List.concat_map
+           (fun th -> List.map obs_code (Thread.observations th))
+           (Domain.threads dom))
   in
   let llc = Machine.llc m in
   let geom = Cache.geom llc in
   let page_bits = Kernel.page_bits k in
+  (* This runs once per Lo instruction boundary, over every LLC set —
+     the hottest digest loop in the unwinding check.  Hoist the colour
+     membership test into a bool table; [Cache.digest_set] itself is
+     served from the cache's per-set memo.  Fold order over the selected
+     sets is unchanged, so the view digest is bit-identical. *)
+  let owned = Array.make (max (Machine.n_colours m) 1) false in
+  List.iter
+    (fun c -> if c < Array.length owned then owned.(c) <- true)
+    dom.Domain.colours;
   let partition = ref 0x22L in
   for set = 0 to geom.Cache.sets - 1 do
-    if List.mem (Cache.colour_of_set geom ~page_bits set) dom.Domain.colours
-    then partition := Rng.combine !partition (Cache.digest_set llc set)
+    if owned.(Cache.colour_of_set geom ~page_bits set) then
+      partition := Rng.chain !partition (Cache.digest_set llc set)
   done;
   [
     ("lo-threads", threads);
@@ -54,7 +143,7 @@ let lo_view k ~lo_dom =
 
 let lo_count (run : Nonint.run) =
   List.fold_left
-    (fun acc th -> acc + List.length (Thread.cost_trace th))
+    (fun acc th -> acc + Thread.cost_count th)
     0 run.Nonint.observers
 
 (* Advance one run until Lo has completed [target] instructions; [false]
@@ -80,6 +169,7 @@ let check_pair ?(max_lo_steps = 20_000) ~build ~secret1 ~secret2 () =
     | th :: _ -> th.Thread.dom
     | [] -> invalid_arg "Unwinding.check_pair: no observers"
   in
+  let memo_a = obs_memo () and memo_b = obs_memo () in
   let rec go k =
     if k > max_lo_steps then None
     else begin
@@ -89,8 +179,8 @@ let check_pair ?(max_lo_steps = 20_000) ~build ~secret1 ~secret2 () =
         Some { lo_step = k; component = "lo-progress" }
       else if not a_live then None
       else begin
-        let va = lo_view a.Nonint.kernel ~lo_dom in
-        let vb = lo_view b.Nonint.kernel ~lo_dom in
+        let va = lo_view ~memo:memo_a a.Nonint.kernel ~lo_dom in
+        let vb = lo_view ~memo:memo_b b.Nonint.kernel ~lo_dom in
         match
           List.find_opt
             (fun ((na, da), (nb, db)) ->

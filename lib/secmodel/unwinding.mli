@@ -29,8 +29,18 @@ type divergence = {
   component : string;   (** which part of Lo's view differs *)
 }
 
-val lo_view : Kernel.t -> lo_dom:int -> (string * int64) list
-(** Digest of each component of Lo's view of the current state. *)
+type obs_memo
+(** Incremental accumulator for the observation-trace component of the
+    view.  Observation lists are append-only, so a memo carried across
+    successive boundaries folds only the newly recorded observations —
+    the value stays bit-identical to the from-scratch fold. *)
+
+val obs_memo : unit -> obs_memo
+(** A fresh memo; use one per run. *)
+
+val lo_view : ?memo:obs_memo -> Kernel.t -> lo_dom:int -> (string * int64) list
+(** Digest of each component of Lo's view of the current state.
+    Without [memo] the observation trace is re-folded from scratch. *)
 
 val check_pair :
   ?max_lo_steps:int ->

@@ -1,0 +1,265 @@
+(* Differential suite for the flat-state hardware core: the memoised
+   (incremental) digests must equal the from-scratch folds after *every*
+   trace step, on every machine preset, and a core-local flush must
+   return every resource to the empty-state digest.  This is the test
+   harness for the "a digest is a pure function of state" invariant now
+   that digests are cached (see Resource.set_digest_debug). *)
+
+open Tpro_hw
+
+let geometry = Cache.geometry
+
+let base_config =
+  {
+    Machine.default_config with
+    Machine.n_frames = 256;
+    l1_geom = geometry ~sets:16 ~ways:2 ~line_bits:6 ();
+    llc_geom = geometry ~sets:256 ~ways:4 ~line_bits:6 ();
+  }
+
+(* Presets span the digest-relevant configuration space: optional private
+   L2, optional BTB, every replacement policy, SMT sharing, and the
+   memoised Partitioned interconnect. *)
+let presets =
+  [
+    ("base", base_config);
+    ( "l2",
+      {
+        base_config with
+        Machine.l2_geom = Some (geometry ~sets:32 ~ways:4 ~line_bits:6 ());
+      } );
+    ("btb", { base_config with Machine.btb_entries = Some 64 });
+    ( "l2+btb+fifo",
+      {
+        base_config with
+        Machine.l2_geom = Some (geometry ~sets:32 ~ways:4 ~line_bits:6 ());
+        btb_entries = Some 32;
+        replacement = Cache.Fifo;
+      } );
+    ( "smt+pseudo-random",
+      {
+        base_config with
+        Machine.n_cores = 2;
+        smt = true;
+        replacement = Cache.Pseudo_random 7;
+      } );
+    ( "partitioned-bus",
+      {
+        base_config with
+        Machine.bus_mode = Interconnect.Partitioned { slot = 16; n_domains = 2 };
+      } );
+  ]
+
+let translate vpn = if vpn < 256 then Some vpn else None
+
+(* One random machine event.  The op mix deliberately hits the paths
+   whose digest bookkeeping is subtle: writes (dirty bits + write-backs
+   on eviction), kernel fetches, branches (saturating counters + BTB),
+   virtual accesses (TLB insert/evict), line invalidation, and the
+   occasional full core-local flush mid-trace. *)
+let step m ~core rng =
+  let span = 0x40000 in
+  match Rng.int rng 10 with
+  | 0 | 1 ->
+    ignore
+      (Machine.touch_paddr m ~core ~owner:(Rng.int rng 2) ~write:false
+         (Rng.int rng span))
+  | 2 | 3 ->
+    ignore
+      (Machine.touch_paddr m ~core ~owner:(Rng.int rng 2) ~write:true
+         (Rng.int rng span))
+  | 4 -> ignore (Machine.fetch_paddr m ~core ~owner:0 (Rng.int rng span))
+  | 5 | 6 ->
+    ignore
+      (Machine.branch m ~core ~pc:(Rng.int rng 256 * 4) ~taken:(Rng.bool rng))
+  | 7 ->
+    ignore
+      (Machine.load m ~core ~asid:(1 + Rng.int rng 3) ~domain:0 ~translate
+         ~pc:(Rng.int rng 4096) (Rng.int rng span))
+  | 8 ->
+    ignore
+      (Machine.store m ~core ~asid:(1 + Rng.int rng 3) ~domain:1 ~translate
+         ~pc:(Rng.int rng 4096) (Rng.int rng span))
+  | _ ->
+    if Rng.int rng 8 = 0 then ignore (Machine.flush_core_local m ~core)
+    else
+      ignore (Machine.flush_line m ~core ~asid:1 ~translate (Rng.int rng span))
+
+let check_digests_agree name m =
+  for core = 0 to Machine.n_cores m - 1 do
+    Alcotest.(check int64)
+      (Printf.sprintf "%s: core %d incremental == fold" name core)
+      (Machine.digest_core_fold m ~core)
+      (Machine.digest_core m ~core)
+  done;
+  Alcotest.(check int64)
+    (Printf.sprintf "%s: shared incremental == fold" name)
+    (Machine.digest_shared_fold m) (Machine.digest_shared m)
+
+(* Every preset, a full random trace, incremental == fold after every
+   single step (the per-step comparison is the point of the suite: a
+   missed invalidation shows up at the first step that stales state
+   without invalidating the memo). *)
+let test_trace_differential (name, cfg) () =
+  let m = Machine.create cfg in
+  check_digests_agree (name ^ " (fresh)") m;
+  let rng = Rng.create 0xf1a7 in
+  for i = 1 to 300 do
+    step m ~core:0 rng;
+    if Machine.n_cores m > 1 then step m ~core:1 rng;
+    check_digests_agree (Printf.sprintf "%s step %d" name i) m
+  done;
+  (* per-set LLC digests (the unwinding relation's partition view reads
+     these directly) *)
+  let llc = Machine.llc m in
+  let g = Cache.geom llc in
+  for set = 0 to g.Cache.sets - 1 do
+    Alcotest.(check int64)
+      (Printf.sprintf "%s: LLC set %d memo == fold" name set)
+      (Cache.digest_set_fold llc set)
+      (Cache.digest_set llc set)
+  done
+
+(* Flushing a traced machine returns every core-private digest to the
+   empty state: bit-identical to a never-used machine of the same
+   configuration. *)
+let test_flush_resets (name, cfg) () =
+  let m = Machine.create cfg in
+  let rng = Rng.create 0xbeef in
+  for _ = 1 to 200 do
+    step m ~core:0 rng
+  done;
+  let fresh = Machine.create cfg in
+  for core = 0 to Machine.n_cores m - 1 do
+    let (_ : int) = Machine.flush_core_local m ~core in
+    Alcotest.(check int64)
+      (Printf.sprintf "%s: core %d post-flush == fresh" name core)
+      (Machine.digest_core fresh ~core)
+      (Machine.digest_core m ~core);
+    Alcotest.(check int64)
+      (Printf.sprintf "%s: core %d post-flush fold agrees" name core)
+      (Machine.digest_core_fold m ~core)
+      (Machine.digest_core m ~core)
+  done
+
+(* O(1) counters agree with the flush's ground truth: [flush] reports
+   exactly [dirty_count] write-backs, and a clean (untouched) cache
+   flushes to zero write-backs with an unchanged digest. *)
+let test_dirty_counter () =
+  let c = Cache.create (geometry ~sets:16 ~ways:2 ~line_bits:6 ()) in
+  Alcotest.(check int) "fresh cache flush reports 0" 0 (Cache.flush c);
+  let rng = Rng.create 42 in
+  for _ = 1 to 500 do
+    ignore
+      (Cache.access c ~owner:0 ~write:(Rng.bool rng) (Rng.int rng 0x10000))
+  done;
+  let dirty = Cache.dirty_count c in
+  Alcotest.(check bool) "trace produced dirty lines" true (dirty > 0);
+  Alcotest.(check int) "flush write-backs == dirty_count" dirty (Cache.flush c);
+  Alcotest.(check int) "post-flush dirty_count is 0" 0 (Cache.dirty_count c);
+  Alcotest.(check int) "post-flush valid_count is 0" 0 (Cache.valid_count c);
+  let d0 = Cache.digest c in
+  Alcotest.(check int) "clean re-flush reports 0" 0 (Cache.flush c);
+  Alcotest.(check int64) "clean re-flush leaves digest unchanged" d0
+    (Cache.digest c)
+
+(* The debug re-fold mode actually detects divergence: a resource whose
+   cached digest lies must raise. *)
+let test_debug_mode_detects () =
+  let lying =
+    Resource.make ~name:"liar" ~classification:Resource.Flushable
+      ~digest:(fun () -> 1L)
+      ~digest_fold:(fun () -> 2L)
+      ~flush:(fun () -> Resource.no_flush)
+      ()
+  in
+  Alcotest.(check int64)
+    "outside debug mode the cached value is served" 1L (Resource.digest lying);
+  Alcotest.check_raises "debug mode raises Digest_divergence"
+    (Resource.Digest_divergence { resource = "liar"; cached = 1L; fold = 2L })
+    (fun () ->
+      Resource.with_digest_debug (fun () -> ignore (Resource.digest lying)))
+
+(* QCheck: arbitrary traces under the debug re-fold assertion — every
+   registry digest read recomputes its fold and raises on divergence. *)
+let prop_random_traces =
+  QCheck.Test.make ~name:"random traces keep incremental == fold" ~count:30
+    QCheck.(
+      triple
+        (int_bound (List.length presets - 1))
+        (int_bound 10_000) (int_bound 150))
+    (fun (p, seed, steps) ->
+      let _, cfg = List.nth presets p in
+      let m = Machine.create cfg in
+      Resource.with_digest_debug (fun () ->
+          let rng = Rng.create ((seed * 2) + 1) in
+          for _ = 1 to steps do
+            step m ~core:0 rng;
+            ignore (Machine.digest_core m ~core:0);
+            ignore (Machine.digest_shared m)
+          done;
+          Machine.digest_core m ~core:0 = Machine.digest_core_fold m ~core:0
+          && Machine.digest_shared m = Machine.digest_shared_fold m))
+
+(* QCheck: conflict traces aimed at one cache set per colour, forcing
+   evictions and dirty write-backs — the paths where a stale per-set
+   memo or a miscounted dirty line would hide. *)
+let prop_eviction_writeback_colours =
+  QCheck.Test.make
+    ~name:"eviction/writeback/colour paths keep per-set memo == fold"
+    ~count:30
+    QCheck.(
+      pair
+        (small_list (triple (int_bound 15) (int_bound 15) bool))
+        (int_bound 10_000))
+    (fun (ops, seed) ->
+      let m = Machine.create base_config in
+      let llc = Machine.llc m in
+      let g = Cache.geom llc in
+      let pb = Machine.page_bits m in
+      let n_colours = Machine.n_colours m in
+      let page = 1 lsl pb in
+      let rng = Rng.create ((seed * 2) + 1) in
+      List.iter
+        (fun (colour, conflict, write) ->
+          (* same LLC set, different tags: colour * page selects the
+             colour, conflict * (colour span) walks the tag bits *)
+          let addr =
+            ((colour mod n_colours) * page)
+            + (conflict * n_colours * page)
+            + (Rng.int rng 4 * Cache.line_size g)
+          in
+          ignore (Machine.touch_paddr m ~core:0 ~owner:0 ~write addr))
+        ops;
+      let ok = ref true in
+      for set = 0 to g.Cache.sets - 1 do
+        if Cache.digest_set llc set <> Cache.digest_set_fold llc set then
+          ok := false
+      done;
+      !ok
+      && Cache.digest llc = Cache.digest_fold llc
+      && Machine.digest_shared m = Machine.digest_shared_fold m)
+
+let suite =
+  List.map
+    (fun (name, cfg) ->
+      Alcotest.test_case
+        (Printf.sprintf "trace differential (%s)" name)
+        `Quick
+        (test_trace_differential (name, cfg)))
+    presets
+  @ List.map
+      (fun (name, cfg) ->
+        Alcotest.test_case
+          (Printf.sprintf "flush resets to empty state (%s)" name)
+          `Quick
+          (test_flush_resets (name, cfg)))
+      presets
+  @ [
+      Alcotest.test_case "O(1) dirty counter agrees with flush" `Quick
+        test_dirty_counter;
+      Alcotest.test_case "debug re-fold detects a lying digest" `Quick
+        test_debug_mode_detects;
+      QCheck_alcotest.to_alcotest prop_random_traces;
+      QCheck_alcotest.to_alcotest prop_eviction_writeback_colours;
+    ]

@@ -17,6 +17,7 @@ let () =
       ("prime_probe", Test_prime_probe.suite);
       ("secmodel", Test_secmodel.suite);
       ("resource-registry", Test_resource.suite);
+      ("flat-state", Test_flatstate.suite);
       ("nonint/proofs", Test_nonint_proofs.suite);
       ("channels", Test_channels.suite);
       ("core", Test_core_lib.suite);
