@@ -32,12 +32,20 @@
    [--budget-cache-digest-ns N] makes the run itself fail when the
    incremental cache digest exceeds the budget (0 disables).
 
+   Part 6 benchmarks the composed-theorem prover: the per-kind
+   exhaustive lemma checks and one seed's evidence collection
+   individually, and the full [Prove.run] derivation sequentially vs.
+   fanned over the supervisor ([-j N]), asserting the rendered theorems
+   are bit-identical.  Written to BENCH_prove.json; runs in [--smoke]
+   too.
+
    Flags: [-j N] pool size, [--seeds 0,1,...] trial seeds,
    [--json PATH] output path, [--supervisor-json PATH] supervision
    bench output, [--flatstate-json PATH] flat-state bench output,
+   [--prove-json PATH] theorem-prover bench output,
    [--budget-cache-digest-ns N] perf budget, [--smoke] reduced CI run
-   (tables + full bechamel skipped; seq-vs-par, supervision and
-   flat-state parts kept). *)
+   (tables + full bechamel skipped; seq-vs-par, supervision,
+   flat-state and prover parts kept). *)
 
 open Bechamel
 open Toolkit
@@ -50,6 +58,7 @@ let seeds = ref [ 0; 1 ]
 let json_path = ref "BENCH_parallel.json"
 let sup_json_path = ref "BENCH_supervisor.json"
 let flat_json_path = ref "BENCH_flatstate.json"
+let prove_json_path = ref "BENCH_prove.json"
 let budget_cache_digest_ns = ref 0.0
 let smoke = ref false
 
@@ -71,6 +80,9 @@ let () =
       ( "--flatstate-json",
         Arg.Set_string flat_json_path,
         "PATH  where to write the flat-state digest bench JSON" );
+      ( "--prove-json",
+        Arg.Set_string prove_json_path,
+        "PATH  where to write the theorem-prover bench JSON" );
       ( "--budget-cache-digest-ns",
         Arg.Set_float budget_cache_digest_ns,
         "N  fail the run if the incremental cache digest exceeds N ns/run \
@@ -606,6 +618,121 @@ let write_flat_json path b =
   close_out oc;
   Format.printf "wrote %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: composed-theorem prover                                      *)
+
+type prove_bench = {
+  prove_domains : int;
+  lemma_kind_seconds : (string * float) list;
+      (** per-kind exhaustive small-model lemma cost *)
+  collect_seconds : float;  (** one seed's full evidence collection *)
+  prove_seq_seconds : float;  (** Prove.run on 1 domain *)
+  prove_par_seconds : float;  (** Prove.run on -j domains *)
+  prove_speedup : float;
+  prove_identical : bool;  (** rendered theorems bit-identical *)
+  prove_holds : bool;  (** the full preset's theorem holds *)
+}
+
+let bench_prove () =
+  let domains = max 1 !jobs in
+  let seeds = [ 0; 1 ] and secrets = [ 0; 1 ] in
+  let cfg = Time_protection.Presets.full in
+  let presets = [ ("full", cfg) ] in
+  let acknowledge = [ "memory interconnect" ] in
+  let run_with n =
+    Supervisor.with_supervisor ~domains:n (fun sup ->
+        Time_protection.Prove.run ~sup ~acknowledge ~seeds ~secrets ~presets ())
+  in
+  let o_seq, prove_seq_seconds = time_wall (fun () -> run_with 1) in
+  let o_par, prove_par_seconds = time_wall (fun () -> run_with domains) in
+  let render o =
+    String.concat "\n"
+      (List.map
+         (fun r -> Format.asprintf "%a" Time_protection.Prove.pp_report r)
+         o.Time_protection.Prove.reports)
+  in
+  let _, collect_seconds =
+    time_wall (fun () ->
+        ignore
+          (Tpro_secmodel.Theorem.collect ~seed:0
+             ~build:(fun ~secret ->
+               Time_protection.Ni_scenario.build_with ~with_btb:true ~cfg
+                 ~seed:0 ~secret)
+             ~secrets ()))
+  in
+  let machine =
+    Tpro_hw.Machine.create
+      (Time_protection.Ni_scenario.machine_config_with ~with_btb:true ~seed:0)
+  in
+  let lemma_kind_seconds =
+    List.map
+      (fun ku ->
+        let _, dt =
+          time_wall (fun () ->
+              ignore
+                (Tpro_secmodel.Exhaustive.check
+                   ~build:(fun ~hi_prog ~seed ->
+                     Time_protection.Ni_scenario.build_with_program_on
+                       ~with_btb:true ~cfg ~seed ~hi_prog)
+                   ku.Tpro_secmodel.Exhaustive.ku_universe))
+        in
+        (ku.Tpro_secmodel.Exhaustive.ku_label, dt))
+      (Tpro_secmodel.Exhaustive.kind_universes ~machine ())
+  in
+  {
+    prove_domains = domains;
+    lemma_kind_seconds;
+    collect_seconds;
+    prove_seq_seconds;
+    prove_par_seconds;
+    prove_speedup = prove_seq_seconds /. prove_par_seconds;
+    prove_identical = render o_seq = render o_par;
+    prove_holds =
+      List.for_all
+        (fun r ->
+          r.Time_protection.Prove.theorem.Tpro_secmodel.Theorem.holds)
+        o_seq.Time_protection.Prove.reports;
+  }
+
+let print_prove_bench b =
+  Format.printf
+    "=== Composed-theorem prover: supervised derivation ===@.@.";
+  Format.printf "  pool size (-j):              %d@." b.prove_domains;
+  List.iter
+    (fun (k, dt) ->
+      Format.printf "  exhaustive:%-17s %.3f s@." k dt)
+    b.lemma_kind_seconds;
+  Format.printf "  evidence, one seed:          %.3f s@." b.collect_seconds;
+  Format.printf "  Prove.run sequential:        %.3f s@." b.prove_seq_seconds;
+  Format.printf "  Prove.run parallel:          %.3f s@." b.prove_par_seconds;
+  Format.printf "  speedup:                     %.2fx@." b.prove_speedup;
+  Format.printf "  theorems bit-identical:      %b@." b.prove_identical;
+  Format.printf "  full-preset theorem holds:   %b@.@." b.prove_holds
+
+let write_prove_json path b =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tpro-bench-prove/1\",\n";
+  p "  \"domains\": %d,\n" b.prove_domains;
+  p "  \"exhaustive_kind_seconds\": {\n";
+  let n = List.length b.lemma_kind_seconds in
+  List.iteri
+    (fun i (k, dt) ->
+      p "    \"%s\": %.6f%s\n" (json_escape k) dt
+        (if i = n - 1 then "" else ","))
+    b.lemma_kind_seconds;
+  p "  },\n";
+  p "  \"collect_one_seed_seconds\": %.6f,\n" b.collect_seconds;
+  p "  \"prove_sequential_seconds\": %.6f,\n" b.prove_seq_seconds;
+  p "  \"prove_parallel_seconds\": %.6f,\n" b.prove_par_seconds;
+  p "  \"speedup\": %.4f,\n" b.prove_speedup;
+  p "  \"theorems_bit_identical\": %b,\n" b.prove_identical;
+  p "  \"full_theorem_holds\": %b\n" b.prove_holds;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let () =
   if not !smoke then regenerate_tables ();
   let par, raw_tables = bench_parallel () in
@@ -619,9 +746,17 @@ let () =
   in
   let flat = bench_flatstate par in
   print_flat_bench flat;
+  let prove = bench_prove () in
+  print_prove_bench prove;
   write_json !json_path par micro;
   write_sup_json !sup_json_path sup;
   write_flat_json !flat_json_path flat;
+  write_prove_json !prove_json_path prove;
+  if not prove.prove_identical then begin
+    Format.printf
+      "ERROR: parallel theorem derivation diverged from sequential output@.";
+    exit 1
+  end;
   if not par.identical then begin
     Format.printf
       "ERROR: parallel suite diverged from sequential suite output@.";

@@ -160,6 +160,64 @@ let run_protocol id message_len =
       Format.printf "%-6s %a@." name Tpro_channel.Protocol.pp_transmission t)
     [ ("none", Time_protection.Presets.none); ("full", Time_protection.Presets.full) ]
 
+(* Composed-theorem proving: fan evidence collection (one task per
+   preset x latency seed) over the supervisor, compose the per-lemma
+   verdict table, and render one theorem per preset.  Exit codes follow
+   the lemma semantics: 1 if any lemma is refuted, 2 if an out-of-scope
+   registration is unacknowledged (or evidence was lost), 0 otherwise. *)
+let run_prove preset all seeds secrets smoke jobs acknowledge json checkpoint
+    checkpoint_every resume =
+  let presets =
+    if all then configs
+    else
+      match List.assoc_opt preset configs with
+      | None ->
+        Printf.eprintf "unknown configuration %s; known: %s\n" preset
+          (String.concat ", " (List.map fst configs));
+        exit 1
+      | Some cfg -> [ (preset, cfg) ]
+  in
+  let seeds =
+    match seeds with
+    | [] -> if smoke then [ 0 ] else Time_protection.Ni_scenario.default_seeds
+    | l -> l
+  in
+  let secrets =
+    match secrets with
+    | [] ->
+      if smoke then [ 0; 1 ] else Time_protection.Ni_scenario.default_secrets
+    | l -> l
+  in
+  Supervisor.with_supervisor ~domains:jobs (fun sup ->
+      let open Time_protection.Prove in
+      let o =
+        run ~sup
+          ?checkpoint:(checkpoint_path checkpoint resume)
+          ~checkpoint_every ~resume:(resume <> None) ~acknowledge ~seeds
+          ~secrets ~presets ()
+      in
+      print_supervision_stderr sup o.notes;
+      List.iter
+        (fun r ->
+          Format.printf "%a@." pp_report r;
+          List.iter
+            (fun (i, m) -> Format.eprintf "task %d lost: %s@." i m)
+            r.lost)
+        o.reports;
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (to_json o.reports);
+        close_out oc
+      | None -> ());
+      let any f = List.exists f o.reports in
+      if any (fun r -> r.theorem.Tpro_secmodel.Theorem.refuted <> []) then
+        exit 1
+      else if
+        any (fun r -> r.theorem.Tpro_secmodel.Theorem.unacknowledged <> [])
+      then exit 2
+      else if any (fun r -> r.lost <> []) then exit exit_incomplete)
+
 (* Scenario fuzzing: generated workloads checked by the differential
    security oracles, with shrunk counterexamples persisted for replay.
    The campaign runs under supervision: one bad task costs one result,
@@ -310,6 +368,59 @@ let verify_cmd =
        ~doc:"Run the Sect. 5.2 proof stack against a configuration")
     Term.(const verify $ cfg)
 
+let prove_cmd =
+  let preset =
+    Arg.(
+      value & opt string "full"
+      & info [ "preset" ] ~docv:"CONFIG"
+          ~doc:"Preset to prove (default full); see `tpro verify`.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Prove every preset (standard four plus ablations).")
+  in
+  let secrets =
+    Arg.(
+      value & opt (list int) []
+      & info [ "secrets" ] ~doc:"Hi secrets to sample (default 0,1,2,3).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Thin the evidence to one latency seed and two secrets — the CI \
+             smoke configuration.  Explicit $(b,--seeds)/$(b,--secrets) \
+             override it.")
+  in
+  let acknowledge =
+    Arg.(
+      value & opt (list string) []
+      & info [ "acknowledge" ] ~docv:"RESOURCES"
+          ~doc:
+            "Accept the named out-of-scope resources' $(b,scope:) \
+             obligations.  An out-of-scope registration that is not \
+             acknowledged refutes the composed theorem (exit 2).")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the per-lemma verdict table as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Derive the composed time-protection theorem (one unwinding lemma \
+          per registered resource, kernel cases, exhaustive small models) \
+          under supervision")
+    Term.(
+      const run_prove $ preset $ all $ seeds_arg $ secrets $ smoke $ jobs_arg
+      $ acknowledge $ json $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
+
 let fuzz_cmd =
   let seed =
     Arg.(
@@ -361,13 +472,13 @@ let fuzz_cmd =
 
 let () =
   let info =
-    Cmd.info "tpro" ~version:"1.3.0"
+    Cmd.info "tpro" ~version:"1.5.0"
       ~doc:"Time protection: executable model, attacks and proofs"
   in
   exit
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; exp_cmd; all_cmd; verify_cmd; trace_cmd; protocol_cmd;
-            matrix_cmd; fuzz_cmd;
+            list_cmd; exp_cmd; all_cmd; verify_cmd; prove_cmd; trace_cmd;
+            protocol_cmd; matrix_cmd; fuzz_cmd;
           ]))

@@ -239,7 +239,7 @@ let e7_proofs ?(seeds = Ni_scenario.default_seeds)
           cfg_name;
           c.Tpro_secmodel.Proofs.name;
           (if c.Tpro_secmodel.Proofs.holds then "holds" else "VIOLATED");
-          (let d = c.Tpro_secmodel.Proofs.detail in
+          (let d = Tpro_secmodel.Proofs.detail_text c.Tpro_secmodel.Proofs.detail in
            if String.length d > 60 then String.sub d 0 57 ^ "..." else d);
         ])
       report.Verify.checks
@@ -273,23 +273,23 @@ let e8_functional_rows () =
       (* give B some established, consistent entries *)
       for vpn = 0 to 7 do
         Hashtbl.replace pt_b vpn (100 + vpn);
-        Tlb_theorem.apply tlb ~asid:2 pt_b (Tlb_theorem.Touch vpn)
+        Lemma.Tlb_asid.apply tlb ~asid:2 pt_b (Lemma.Tlb_asid.Touch vpn)
       done;
       let ops =
         List.init 64 (fun _ ->
             let vpn = Rng.int rng 16 in
             match Rng.int rng 4 with
-            | 0 -> Tlb_theorem.Map { vpn; pfn = Rng.int rng 256 }
-            | 1 -> Tlb_theorem.Unmap vpn
-            | 2 -> Tlb_theorem.Touch vpn
-            | _ -> Tlb_theorem.Flush_asid)
+            | 0 -> Lemma.Tlb_asid.Map { vpn; pfn = Rng.int rng 256 }
+            | 1 -> Lemma.Tlb_asid.Unmap vpn
+            | 2 -> Lemma.Tlb_asid.Touch vpn
+            | _ -> Lemma.Tlb_asid.Flush_asid)
       in
       let preserved =
         List.for_all
           (fun op ->
-            Tlb_theorem.apply ~invalidate_on_update:invalidate tlb ~asid:1
+            Lemma.Tlb_asid.apply ~invalidate_on_update:invalidate tlb ~asid:1
               pt_a op;
-            Tlb_theorem.consistent tlb ~asid:2 pt_b)
+            Lemma.Tlb_asid.consistent tlb ~asid:2 pt_b)
           ops
       in
       if not preserved then incr violations
@@ -309,10 +309,10 @@ let e8_functional_rows () =
         let vpn = Rng.int rng 8 in
         (match Rng.int rng 2 with
         | 0 ->
-          Tlb_theorem.apply ~invalidate_on_update:false tlb ~asid:1 pt
-            (Tlb_theorem.Map { vpn; pfn = Rng.int rng 256 })
-        | _ -> Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Touch vpn));
-        if not (Tlb_theorem.consistent tlb ~asid:1 pt) then ok := false
+          Lemma.Tlb_asid.apply ~invalidate_on_update:false tlb ~asid:1 pt
+            (Lemma.Tlb_asid.Map { vpn; pfn = Rng.int rng 256 })
+        | _ -> Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Touch vpn));
+        if not (Lemma.Tlb_asid.consistent tlb ~asid:1 pt) then ok := false
       done;
       if not !ok then incr broken
     done;
@@ -678,7 +678,7 @@ let e16_mutual ?seeds:_ () =
     [
       name;
       (if c.Tpro_secmodel.Proofs.holds then "holds" else "VIOLATED");
-      c.Tpro_secmodel.Proofs.detail;
+      (Tpro_secmodel.Proofs.detail_text c.Tpro_secmodel.Proofs.detail);
     ]
   in
   {

@@ -90,8 +90,9 @@ let check ?(seeds = [ 0; 1 ]) ?(secret_values = [ 0; 1; 2 ]) ~cfg () =
       description;
       holds = true;
       detail =
-        Printf.sprintf "%d cross-domain comparisons, all identical"
-          !comparisons;
+        Proofs.Stats
+          (Printf.sprintf "%d cross-domain comparisons, all identical"
+             !comparisons);
     }
   | v :: _ ->
     {
@@ -99,6 +100,7 @@ let check ?(seeds = [ 0; 1 ]) ?(secret_values = [ 0; 1; 2 ]) ~cfg () =
       description;
       holds = false;
       detail =
-        Printf.sprintf "%d/%d comparisons diverged; first: %s"
-          (List.length !violations) !comparisons v;
+        Proofs.Counter_example
+          (Printf.sprintf "%d/%d comparisons diverged; first: %s"
+             (List.length !violations) !comparisons v);
     }

@@ -16,13 +16,17 @@ let default_seeds = [ 0; 1; 2 ]
    lines when colouring is off — with a large LLC the sampled programs
    would be too small to collide and the colouring obligation would be
    vacuous. *)
-let machine_config ~seed =
+let machine_config_with ~with_btb ~seed =
   {
     Machine.default_config with
     Machine.llc_geom = Cache.geometry ~sets:256 ~ways:4 ~line_bits:6 ();
     n_frames = 512;
+    btb_entries =
+      (if with_btb then Some 64 else Machine.default_config.Machine.btb_entries);
     lat = Latency.with_seed Latency.default seed;
   }
+
+let machine_config ~seed = machine_config_with ~with_btb:false ~seed
 
 (* Lo's observer: one phase per slice-ish — clock read, timed probes over
    its own buffer, a couple of traps, branches, then fine-grained filler
@@ -73,8 +77,10 @@ let hi_program ~secret =
         ~len:100 ~data_base:hi_buf ~data_bytes:(4 * 4096);
     ]
 
-let build ~cfg ~seed ~secret =
-  let k = Kernel.create ~machine_config:(machine_config ~seed) cfg in
+let build_with ~with_btb ~cfg ~seed ~secret =
+  let k =
+    Kernel.create ~machine_config:(machine_config_with ~with_btb ~seed) cfg
+  in
   let hi = Kernel.create_domain k ~slice ~pad_cycles:pad () in
   let lo = Kernel.create_domain k ~slice ~pad_cycles:pad () in
   Kernel.map_region k hi ~vbase:hi_buf ~pages:32;
@@ -83,6 +89,8 @@ let build ~cfg ~seed ~secret =
   ignore (Kernel.spawn k hi (hi_program ~secret));
   let lo_thread = Kernel.spawn k lo observer in
   { Nonint.kernel = k; observers = [ lo_thread ] }
+
+let build ~cfg ~seed ~secret = build_with ~with_btb:false ~cfg ~seed ~secret
 
 let builder = build
 
@@ -101,8 +109,10 @@ let small_observer =
       [| Program.Read_clock; Program.Halt |];
     ]
 
-let build_with_program ~cfg ~seed ~hi_prog =
-  let k = Kernel.create ~machine_config:(machine_config ~seed) cfg in
+let build_with_program_on ~with_btb ~cfg ~seed ~hi_prog =
+  let k =
+    Kernel.create ~machine_config:(machine_config_with ~with_btb ~seed) cfg
+  in
   let hi = Kernel.create_domain k ~slice:small_slice ~pad_cycles:small_pad () in
   let lo = Kernel.create_domain k ~slice:small_slice ~pad_cycles:small_pad () in
   Kernel.map_region k hi ~vbase:hi_buf ~pages:2;
@@ -110,3 +120,6 @@ let build_with_program ~cfg ~seed ~hi_prog =
   ignore (Kernel.spawn k hi hi_prog);
   let lo_thread = Kernel.spawn k lo small_observer in
   { Nonint.kernel = k; observers = [ lo_thread ] }
+
+let build_with_program ~cfg ~seed ~hi_prog =
+  build_with_program_on ~with_btb:false ~cfg ~seed ~hi_prog

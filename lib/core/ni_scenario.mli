@@ -17,6 +17,12 @@ val machine_config : seed:int -> Tpro_hw.Machine.config
 (** The scenario's machine: a small 4-colour LLC so the sampled programs
     can actually collide when colouring is off. *)
 
+val machine_config_with :
+  with_btb:bool -> seed:int -> Tpro_hw.Machine.config
+(** {!machine_config} with an optional 64-entry BTB, so [tpro prove]
+    covers every registered resource kind (the BTB is off in the
+    standard scenario to keep the golden experiment outputs stable). *)
+
 val hi_program : secret:int -> Program.t
 (** Hi's secret-dependent behaviour (interrupt arming, kernel-path
     choice, page sweep, random tail). *)
@@ -27,6 +33,9 @@ val observer : Program.t
 val build : cfg:Kernel.config -> seed:int -> secret:int -> Nonint.run
 (** [seed] selects the latency function; [secret] seeds Hi's program. *)
 
+val build_with :
+  with_btb:bool -> cfg:Kernel.config -> seed:int -> secret:int -> Nonint.run
+
 val builder : cfg:Kernel.config -> seed:int -> secret:int -> Nonint.run
 (** Same as {!build}; the labelled shape [Proofs.all] expects. *)
 
@@ -35,6 +44,13 @@ val build_with_program :
 (** Compact variant for the exhaustive checker: Hi runs exactly
     [hi_prog]; Lo runs a short observer.  Small slices keep each
     execution cheap enough to enumerate hundreds of programs. *)
+
+val build_with_program_on :
+  with_btb:bool ->
+  cfg:Kernel.config ->
+  seed:int ->
+  hi_prog:Program.t ->
+  Nonint.run
 
 val default_secrets : int list
 val default_seeds : int list

@@ -1,0 +1,306 @@
+(* `tpro prove`: derive the composed time-protection theorem for one or
+   more presets by fanning evidence collection over the supervisor.
+
+   A task is one (preset, latency seed): it runs [Theorem.collect] —
+   the five kernel obligations plus one full unwinding sweep per secret
+   pair — and returns the serialised evidence.  Tasks are pure functions
+   of (preset, seed, secrets), so a resumed run recomposes a theorem
+   bit-identical to an uninterrupted one; the checkpoint stores each
+   task's evidence blob as a single escaped line.  Composition (reading
+   verdicts off the evidence, scope acknowledgements, the per-kind
+   exhaustive small-model lemmas) happens at the end, in-process. *)
+
+module Supervisor = Tpro_engine.Supervisor
+module Checkpoint = Tpro_engine.Checkpoint
+open Tpro_secmodel
+
+type report = {
+  preset : string;
+  theorem : Theorem.t;
+  checks : Proofs.check list;
+  lost : (int * string) list;
+      (** (task index, error) for evidence lost to supervised failures *)
+}
+
+type outcome = {
+  reports : report list;
+  notes : string list;
+  resumed_tasks : int;
+}
+
+(* The proving scenario is the standard one *with* the BTB enabled, so
+   every resource kind the hardware model can register — cache, TLB,
+   predictor, prefetcher, interconnect — appears in the registry and
+   auto-derives its lemma. *)
+let build_for ~cfg ~seed ~secret =
+  Ni_scenario.build_with ~with_btb:true ~cfg ~seed ~secret
+
+let collect_task ~cfg ~seed ~secrets =
+  Theorem.collect ~seed ~build:(fun ~secret -> build_for ~cfg ~seed ~secret)
+    ~secrets ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format: header lines pinning the campaign parameters,
+   then one line per settled task holding its escaped evidence blob. *)
+
+let header ~seeds ~secrets ~presets =
+  [
+    "kind prove";
+    "seeds " ^ String.concat "," (List.map string_of_int seeds);
+    "secrets " ^ String.concat "," (List.map string_of_int secrets);
+    "presets " ^ String.concat "," (List.map fst presets);
+  ]
+
+let state_payload ~seeds ~secrets ~presets ~evidence =
+  let tasks =
+    List.sort compare (Hashtbl.fold (fun i ev acc -> (i, ev) :: acc) evidence [])
+  in
+  String.concat "\n"
+    (header ~seeds ~secrets ~presets
+    @ List.map
+        (fun (i, ev) ->
+          Printf.sprintf "task %d %s" i
+            (Checkpoint.escape (Theorem.evidence_to_string ev)))
+        tasks)
+  ^ "\n"
+
+let parse_state ~seeds ~secrets ~presets payload =
+  let expected = header ~seeds ~secrets ~presets in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' payload)
+  in
+  let rec split_header hs ls =
+    match (hs, ls) with
+    | [], rest -> Ok rest
+    | h :: _, [] -> Error (Printf.sprintf "checkpoint truncated before `%s`" h)
+    | h :: hs', l :: ls' ->
+      if l = h then split_header hs' ls'
+      else Error (Printf.sprintf "checkpoint parameter mismatch: `%s`" l)
+  in
+  match split_header expected lines with
+  | Error _ as e -> e
+  | Ok task_lines ->
+    let tbl = Hashtbl.create 16 in
+    let bad = ref None in
+    (* "task <idx> <blob>": the escaped blob is newline/tab-free but
+       contains spaces, so split off exactly the first two tokens *)
+    let split3 line =
+      match String.index_opt line ' ' with
+      | None -> None
+      | Some i -> (
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        match String.index_opt rest ' ' with
+        | None -> None
+        | Some j ->
+          Some
+            ( String.sub line 0 i,
+              String.sub rest 0 j,
+              String.sub rest (j + 1) (String.length rest - j - 1) ))
+    in
+    List.iter
+      (fun line ->
+        if !bad = None then
+          match split3 line with
+          | Some ("task", idx, blob) -> (
+            match
+              (int_of_string_opt idx, Checkpoint.unescape blob)
+            with
+            | Some i, Some ev_str -> (
+              match Theorem.evidence_of_string ev_str with
+              | Ok ev -> Hashtbl.replace tbl i ev
+              | Error m ->
+                bad := Some (Printf.sprintf "task %s evidence: %s" idx m))
+            | _ -> bad := Some ("malformed task line: " ^ line))
+          | Some _ | None -> bad := Some ("unknown state line: " ^ line))
+      task_lines;
+    (match !bad with Some m -> Error m | None -> Ok tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Composition for one preset, given its per-seed evidence. *)
+
+let exhaustive_lemmas ~cfg ~seed =
+  let machine =
+    Tpro_hw.Machine.create
+      (Ni_scenario.machine_config_with ~with_btb:true ~seed)
+  in
+  List.map
+    (fun ku ->
+      let result =
+        Exhaustive.check
+          ~build:(fun ~hi_prog ~seed ->
+            Ni_scenario.build_with_program_on ~with_btb:true ~cfg ~seed
+              ~hi_prog)
+          ku.Exhaustive.ku_universe
+      in
+      Theorem.lemma_of_exhaustive ~kind_label:ku.Exhaustive.ku_label
+        ~resources:ku.Exhaustive.ku_resources result)
+    (Exhaustive.kind_universes ~machine ())
+
+let compose_preset ?(acknowledge = []) ?(exhaustive = true) ~name ~cfg ~seeds
+    ~secrets ~evidence ~lost () =
+  let first_seed = match seeds with s :: _ -> s | [] -> 0 in
+  let first_secret = match secrets with s :: _ -> s | [] -> 0 in
+  let subjects =
+    Theorem.subjects_of_run (build_for ~cfg ~seed:first_seed ~secret:first_secret)
+  in
+  let checks = Theorem.checks_of_evidence ~secrets ~evidence in
+  let lemmas =
+    Theorem.resource_lemmas ~acknowledge ~subjects ~evidence ()
+    @ Theorem.kernel_lemmas ~checks ~evidence
+    @ (if exhaustive then exhaustive_lemmas ~cfg ~seed:first_seed else [])
+  in
+  { preset = name; theorem = Theorem.compose lemmas; checks; lost }
+
+(* ------------------------------------------------------------------ *)
+
+let run ~sup ?checkpoint ?(checkpoint_every = 1) ?(resume = false)
+    ?(acknowledge = []) ?(exhaustive = true) ?(seeds = Ni_scenario.default_seeds)
+    ?(secrets = Ni_scenario.default_secrets) ~presets () =
+  let notes = ref [] in
+  let note msg = notes := msg :: !notes in
+  (* task index i = preset (i / |seeds|), seed (i mod |seeds|) *)
+  let n_seeds = List.length seeds in
+  let n_tasks = List.length presets * n_seeds in
+  let task_cfg i = snd (List.nth presets (i / n_seeds)) in
+  let task_seed i = List.nth seeds (i mod n_seeds) in
+  let evidence : (int, Theorem.seed_evidence) Hashtbl.t =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+      match Checkpoint.load ~path with
+      | Error (Checkpoint.Io msg) ->
+        note
+          (Printf.sprintf "no checkpoint to resume (%s); starting from scratch"
+             msg);
+        Hashtbl.create 16
+      | Error e ->
+        note
+          (Printf.sprintf "checkpoint rejected (%s); restarting from scratch"
+             (Checkpoint.error_to_string e));
+        Hashtbl.create 16
+      | Ok payload -> (
+        match parse_state ~seeds ~secrets ~presets payload with
+        | Error msg ->
+          note
+            (Printf.sprintf "checkpoint rejected (%s); restarting from scratch"
+               msg);
+          Hashtbl.create 16
+        | Ok tbl ->
+          Hashtbl.iter
+            (fun i _ -> if i < 0 || i >= n_tasks then Hashtbl.remove tbl i)
+            (Hashtbl.copy tbl);
+          note
+            (Printf.sprintf "resumed with %d/%d tasks already collected"
+               (Hashtbl.length tbl) n_tasks);
+          tbl))
+    | _ -> Hashtbl.create 16
+  in
+  let resumed_tasks = Hashtbl.length evidence in
+  let save_state () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      Supervisor.checkpoint_save sup ~path
+        (state_payload ~seeds ~secrets ~presets ~evidence)
+  in
+  let todo =
+    List.filter
+      (fun i -> not (Hashtbl.mem evidence i))
+      (List.init n_tasks Fun.id)
+  in
+  let lost = Hashtbl.create 4 in
+  let every = max 1 checkpoint_every in
+  let rec drive = function
+    | [] -> ()
+    | batch_src ->
+      let rec take n = function
+        | x :: r when n > 0 ->
+          let xs, rest = take (n - 1) r in
+          (x :: xs, rest)
+        | rest -> ([], rest)
+      in
+      let batch, rest = take every batch_src in
+      let results =
+        Supervisor.run sup ~chunk:1 ~key:Fun.id
+          (fun ~fuel i ->
+            Supervisor.Fuel.burn fuel;
+            collect_task ~cfg:(task_cfg i) ~seed:(task_seed i) ~secrets)
+          batch
+      in
+      List.iter2
+        (fun i -> function
+          | Ok ev -> Hashtbl.replace evidence i ev
+          | Error e ->
+            Hashtbl.replace lost i (Supervisor.task_error_to_string e))
+        batch results;
+      save_state ();
+      drive rest
+  in
+  drive todo;
+  let reports =
+    List.mapi
+      (fun p (name, cfg) ->
+        let ev =
+          List.filter_map
+            (fun s -> Hashtbl.find_opt evidence ((p * n_seeds) + s))
+            (List.init n_seeds Fun.id)
+        in
+        let lost =
+          List.filter_map
+            (fun s ->
+              let i = (p * n_seeds) + s in
+              Option.map (fun m -> (i, m)) (Hashtbl.find_opt lost i))
+            (List.init n_seeds Fun.id)
+        in
+        compose_preset ~acknowledge ~exhaustive ~name ~cfg ~seeds ~secrets
+          ~evidence:ev ~lost ())
+      presets
+  in
+  { reports; notes = List.rev !notes; resumed_tasks }
+
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>theorem for preset %s:@,%a@]" r.preset Theorem.pp
+    r.theorem
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json reports =
+  let lemma_json l =
+    Printf.sprintf
+      "      {\"id\": \"%s\", \"subject\": \"%s\", \"mechanism\": \"%s\", \
+       \"verdict\": \"%s\", \"detail\": \"%s\"}"
+      (json_escape l.Lemma.lid)
+      (json_escape l.Lemma.subject)
+      (json_escape (Lemma.mechanism_label l.Lemma.mechanism))
+      (json_escape (Lemma.verdict_label l))
+      (json_escape (Lemma.detail l))
+  in
+  let report_json r =
+    Printf.sprintf
+      "  {\"preset\": \"%s\", \"holds\": %b, \"refuted\": %d, \
+       \"unacknowledged\": %d, \"lost_tasks\": %d,\n\
+      \   \"lemmas\": [\n%s\n   ]}"
+      (json_escape r.preset) r.theorem.Theorem.holds
+      (List.length r.theorem.Theorem.refuted)
+      (List.length r.theorem.Theorem.unacknowledged)
+      (List.length r.lost)
+      (String.concat ",\n" (List.map lemma_json r.theorem.Theorem.lemmas))
+  in
+  Printf.sprintf "{\"schema\": \"tpro-prove/1\", \"presets\": [\n%s\n]}\n"
+    (String.concat ",\n" (List.map report_json reports))

@@ -1,10 +1,15 @@
 (** Top-level verification entry point: the executable analogue of
     "proving time protection" for a given kernel configuration.
 
-    Runs the full Sect. 5.2 proof stack (Cases 1, 2a, 2b, top-level
-    noninterference, partitioning invariants) over the standard scenario,
-    quantified over latency-function seeds, plus the aISA taxonomy audit
-    of Sect. 4.1/5.1. *)
+    Runs the full Sect. 5.2 proof stack over the standard scenario by
+    deriving the composed time-protection theorem ({!Tpro_secmodel.Theorem})
+    from the machine's resource registry — one unwinding lemma per
+    registered resource plus the kernel-level cases — and reconstructing
+    the classic check list (Cases 1, 2a, 2b, top-level noninterference,
+    partitioning invariants, unwinding) from the same evidence, plus the
+    aISA taxonomy audit of Sect. 4.1/5.1.  Out-of-scope resources are
+    acknowledged by the audit itself, so a registry entry that is neither
+    defended nor audited refutes the theorem. *)
 
 open Tpro_kernel
 open Tpro_secmodel
@@ -15,6 +20,8 @@ type report = {
   taxonomy : (Mstate.component * Mstate.classification * string) list;
       (** component, class, defence relied upon *)
   checks : Proofs.check list;
+  theorem : Theorem.t;
+      (** the composed per-lemma verdicts behind [checks] *)
   all_hold : bool;
 }
 

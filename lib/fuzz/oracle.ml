@@ -12,15 +12,59 @@ let failf fmt = Format.kasprintf (fun m -> Fail m) fmt
 (* Noninterference oracle.
 
    Two runs differing only in the Hi secret, under the full defence
-   config.  Beyond the standard observation/cost comparison we check two
-   machine-level invariants the defences are supposed to establish:
+   config, advanced in lockstep through an unwinding sweep: Lo's entire
+   view of the state is compared at every Lo boundary, so a violation is
+   reported against the *named lemma* of the composed theorem that it
+   refutes ([flush:<resource>], [partition:llc], [kernel:padded-switch],
+   [kernel:user-step], [kernel:trap], [kernel:noninterference]).  Beyond
+   the sweep we check two machine-level invariants the defences are
+   supposed to establish — per resource, since Hi may have run on a core
+   the Lo-view sweep never looks at:
 
-   - after a final core-local flush, every core's private digest is
-     secret-independent (flushing really erased Hi's footprint — raw
-     final digests are legitimately secret-dependent, Hi owns them);
+   - after a final core-local flush, every flushable resource's digest
+     on every core is secret-independent (flushing really erased Hi's
+     footprint — raw final digests are legitimately secret-dependent, Hi
+     owns them), attributed to that resource's [flush:] lemma;
    - the digest of exactly the LLC sets belonging to Lo's page colours
      is secret-independent (partitioning really confined Hi — the whole
-     LLC digest is legitimately secret-dependent in Hi's own colours). *)
+     LLC digest is legitimately secret-dependent in Hi's own colours),
+     attributed to [partition:llc]. *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let lemma_of_component c =
+  if has_prefix "flush:" c || has_prefix "partition:" c then c
+  else if c = "kernel:clock" then "kernel:padded-switch"
+  else (* lo-threads / lo-observations / lo-progress *)
+    "kernel:noninterference"
+
+(* The component to blame for a sweep divergence: among everything that
+   diverged at the *first* diverging Lo boundary, prefer the most causally
+   specific — a per-resource slice, then the clock, then the generic
+   Lo-trace components.  A timed observation recorded at the very boundary
+   where a resource slice (or the clock) first diverged is a symptom of
+   that divergence, and blaming it would hide the lemma that broke. *)
+let blame_sweep (sw : Unwinding.sweep) =
+  match Unwinding.sweep_divergence sw with
+  | None -> None
+  | Some first ->
+    let at_first =
+      List.filter
+        (fun (_, step) -> step = first.Unwinding.lo_step)
+        sw.Unwinding.diverged
+    in
+    let pick p = List.find_opt (fun (c, _) -> p c) at_first in
+    let component =
+      match pick (fun c -> has_prefix "flush:" c || has_prefix "partition:" c)
+      with
+      | Some (c, _) -> c
+      | None -> (
+        match pick (fun c -> c = "kernel:clock") with
+        | Some (c, _) -> c
+        | None -> first.Unwinding.component)
+    in
+    Some { first with Unwinding.component }
 
 let lo_llc_digest m (lo : Domain.t) =
   let llc = Machine.llc m in
@@ -43,41 +87,65 @@ let lo_llc_digest m (lo : Domain.t) =
 
 let check_nonint s =
   let build ~secret = Scenario.build_ni s ~secret in
-  let ra = Nonint.execute ~max_steps:Scenario.max_steps build s.Scenario.secret_a in
-  let rb = Nonint.execute ~max_steps:Scenario.max_steps build s.Scenario.secret_b in
-  let rep = Nonint.compare_runs ra rb in
-  if not (Nonint.secure rep) then
-    failf "noninterference (secrets %d vs %d): %a" s.Scenario.secret_a
-      s.Scenario.secret_b Nonint.pp_report rep
-  else begin
-    let ka = ra.Nonint.kernel and kb = rb.Nonint.kernel in
-    let ma = Kernel.machine ka and mb = Kernel.machine kb in
-    let cfg = Kernel.config ka in
-    let fail = ref Pass in
-    (if cfg.Kernel.flush_on_switch then
-       for core = 0 to Machine.n_cores ma - 1 do
-         let (_ : int) = Machine.flush_core_local ma ~core in
-         let (_ : int) = Machine.flush_core_local mb ~core in
-         if
-           !fail = Pass
-           && Machine.digest_core ma ~core <> Machine.digest_core mb ~core
-         then
+  let sw =
+    Unwinding.sweep_pair ~max_kernel_steps:Scenario.max_steps ~build
+      ~secret1:s.Scenario.secret_a ~secret2:s.Scenario.secret_b ()
+  in
+  match blame_sweep sw with
+  | Some d ->
+    failf "lemma %s refuted (secrets %d vs %d): Lo's view component %s \
+           differs at Lo step %d"
+      (lemma_of_component d.Unwinding.component)
+      s.Scenario.secret_a s.Scenario.secret_b d.Unwinding.component
+      d.Unwinding.lo_step
+  | None ->
+    let ra = sw.Unwinding.run_a and rb = sw.Unwinding.run_b in
+    let rep = Nonint.compare_runs ra rb in
+    if not (Nonint.secure rep) then
+      let lemma =
+        match rep with
+        | { Nonint.user_costs = Some _; _ } -> "kernel:user-step"
+        | { Nonint.trap_costs = Some _; _ } -> "kernel:trap"
+        | _ -> "kernel:noninterference"
+      in
+      failf "lemma %s refuted (secrets %d vs %d): %a" lemma
+        s.Scenario.secret_a s.Scenario.secret_b Nonint.pp_report rep
+    else begin
+      let ka = ra.Nonint.kernel and kb = rb.Nonint.kernel in
+      let ma = Kernel.machine ka and mb = Kernel.machine kb in
+      let cfg = Kernel.config ka in
+      let fail = ref Pass in
+      (if cfg.Kernel.flush_on_switch then
+         for core = 0 to Machine.n_cores ma - 1 do
+           let (_ : int) = Machine.flush_core_local ma ~core in
+           let (_ : int) = Machine.flush_core_local mb ~core in
+           if !fail = Pass then
+             List.iter2
+               (fun res_a res_b ->
+                 if
+                   !fail = Pass
+                   && Resource.flushable res_a
+                   && Resource.digest res_a <> Resource.digest res_b
+                 then
+                   fail :=
+                     failf
+                       "lemma flush:%s refuted: core %d: %s digest \
+                        differs across secrets after a final flush \
+                        (un-reset flushable state)"
+                       (Resource.name res_a) core (Resource.name res_a))
+               (Machine.core_resources ma ~core)
+               (Machine.core_resources mb ~core)
+         done);
+      (if !fail = Pass && cfg.Kernel.colouring then begin
+         let lo_a = Kernel.domain ka 1 and lo_b = Kernel.domain kb 1 in
+         if lo_llc_digest ma lo_a <> lo_llc_digest mb lo_b then
            fail :=
              failf
-               "core %d: private digest differs across secrets after a \
-                final flush (un-reset flushable state)"
-               core
-       done);
-    (if !fail = Pass && cfg.Kernel.colouring then begin
-       let lo_a = Kernel.domain ka 1 and lo_b = Kernel.domain kb 1 in
-       if lo_llc_digest ma lo_a <> lo_llc_digest mb lo_b then
-         fail :=
-           failf
-             "LLC digest over Lo's colours differs across secrets \
-              (partition breached)"
-     end);
-    !fail
-  end
+               "lemma partition:llc refuted: LLC digest over Lo's \
+                colours differs across secrets (partition breached)"
+       end);
+      !fail
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Legacy-equivalence oracle.

@@ -1,5 +1,25 @@
 type classification = Flushable | Partitionable | Neither
 
+type kind =
+  | Cache_kind
+  | Tlb_kind
+  | Predictor_kind
+  | Prefetcher_kind
+  | Interconnect_kind
+  | Other_kind of string
+
+let kind_label = function
+  | Cache_kind -> "cache"
+  | Tlb_kind -> "tlb"
+  | Predictor_kind -> "predictor"
+  | Prefetcher_kind -> "prefetcher"
+  | Interconnect_kind -> "interconnect"
+  | Other_kind s -> s
+
+type view = { lo_colours : int list; page_bits : int }
+
+type obligation = Flush_equal | Partition_equal | Out_of_scope
+
 type flush_report = { dirty_writebacks : int; extra_cycles : int }
 
 let no_flush = { dirty_writebacks = 0; extra_cycles = 0 }
@@ -7,12 +27,14 @@ let no_flush = { dirty_writebacks = 0; extra_cycles = 0 }
 module type S = sig
   val name : string
   val classification : classification
+  val kind : kind
   val in_scope : bool
   val defence : string
   val present : bool
   val colours : int option
   val digest : unit -> int64
   val digest_fold : unit -> int64
+  val lo_project : view -> int64
   val flush : unit -> flush_report
 end
 
@@ -39,10 +61,33 @@ let with_digest_debug f =
 
 let name (module R : S) = R.name
 let classification (module R : S) = R.classification
+let kind (module R : S) = R.kind
 let in_scope (module R : S) = R.in_scope
 let defence (module R : S) = R.defence
 let present (module R : S) = R.present
 let colours (module R : S) = R.colours
+let lo_project (module R : S) v = R.lo_project v
+
+(* The unwinding obligation a resource's declared taxonomy entry
+   implies.  Derived, not declared: a resource cannot promise a defence
+   its classification does not support, and an out-of-scope resource can
+   never silently acquire a lemma. *)
+let obligation r =
+  match classification r with
+  | _ when not (in_scope r) -> Out_of_scope
+  | Neither -> Out_of_scope
+  | Partitionable -> Partition_equal
+  | Flushable -> Flush_equal
+
+(* Lemma/component naming is centralised here so the unwinding view, the
+   theorem composer and the fuzz oracle all agree on the identifier of a
+   resource's obligation. *)
+let component_id ~name = function
+  | Flush_equal -> Some ("flush:" ^ name)
+  | Partition_equal -> Some ("partition:" ^ name)
+  | Out_of_scope -> None
+
+let lemma_component r = component_id ~name:(name r) (obligation r)
 
 let digest (module R : S) =
   let d = R.digest () in
@@ -67,18 +112,25 @@ let default_defence = function
   | Neither ->
     "out of scope: needs hardware bandwidth partitioning (e.g. strict TDMA)"
 
-let make ~name:rname ~classification:cls ?in_scope:(scope = cls <> Neither)
-    ?defence:(def = default_defence cls) ?colours:cols ?digest_fold:dig_fold
-    ~digest:dig ~flush:fl () : t =
+let make ~name:rname ~classification:cls ?kind:(knd = Other_kind rname)
+    ?in_scope:(scope = cls <> Neither) ?defence:(def = default_defence cls)
+    ?colours:cols ?digest_fold:dig_fold ?lo_project:lo_proj ~digest:dig
+    ~flush:fl () : t =
   (module struct
     let name = rname
     let classification = cls
+    let kind = knd
     let in_scope = scope
     let defence = def
     let present = true
     let colours = cols
     let digest = dig
     let digest_fold = Option.value dig_fold ~default:dig
+
+    (* A flushable resource's Lo view is its whole digest (Lo may see all
+       of it: it is reset before Lo runs); overridden by adapters that
+       can project a partition. *)
+    let lo_project = Option.value lo_proj ~default:(fun (_ : view) -> dig ())
     let flush = fl
   end)
 
@@ -90,29 +142,58 @@ let absent ~name:rname ~placeholder_digest : t =
   (module struct
     let name = rname
     let classification = Flushable
+    let kind = Other_kind "absent"
     let in_scope = true
     let defence = "absent from this configuration"
     let present = false
     let colours = None
     let digest () = placeholder_digest
     let digest_fold () = placeholder_digest
+    let lo_project (_ : view) = placeholder_digest
     let flush () = no_flush
   end)
 
 (* ------------------------------------------------------------------ *)
 (* Adapters                                                            *)
 
+(* The Lo-coloured slice of a partitioned cache: chain the digest of
+   every set whose colour Lo owns, in set order.  This runs once per Lo
+   instruction boundary in the unwinding check — the colour-membership
+   test is hoisted into a bool table and [Cache.digest_set] is served
+   from the cache's per-set memo.  The 0x22L seed and the set-order fold
+   reproduce the pre-registry "llc-partition" view component
+   bit-identically. *)
+let cache_lo_slice cache (v : view) =
+  let g = Cache.geom cache in
+  let n_colours = Cache.n_colours g ~page_bits:v.page_bits in
+  let owned = Array.make (max n_colours 1) false in
+  List.iter
+    (fun c -> if c < Array.length owned then owned.(c) <- true)
+    v.lo_colours;
+  let d = ref 0x22L in
+  for set = 0 to g.Cache.sets - 1 do
+    if owned.(Cache.colour_of_set g ~page_bits:v.page_bits set) then
+      d := Rng.chain !d (Cache.digest_set cache set)
+  done;
+  !d
+
 let of_cache ~name:rname ?(classification = Flushable) ?defence ?colours cache
     : t =
-  make ~name:rname ~classification ?defence ?colours
+  let lo_project =
+    match classification with
+    | Partitionable -> Some (cache_lo_slice cache)
+    | Flushable | Neither -> None
+  in
+  make ~name:rname ~classification ~kind:Cache_kind ?defence ?colours
     ~digest:(fun () -> Cache.digest cache)
     ~digest_fold:(fun () -> Cache.digest_fold cache)
+    ?lo_project
     ~flush:(fun () ->
       { dirty_writebacks = Cache.flush cache; extra_cycles = 0 })
     ()
 
 let of_tlb ?(name = "TLB") tlb : t =
-  make ~name ~classification:Flushable
+  make ~name ~classification:Flushable ~kind:Tlb_kind
     ~digest:(fun () -> Tlb.digest tlb)
     ~digest_fold:(fun () -> Tlb.digest_fold tlb)
     ~flush:(fun () ->
@@ -123,7 +204,7 @@ let of_tlb ?(name = "TLB") tlb : t =
     ()
 
 let of_bpred ?(name = "branch predictor") bp : t =
-  make ~name ~classification:Flushable
+  make ~name ~classification:Flushable ~kind:Predictor_kind
     ~digest:(fun () -> Bpred.digest bp)
     ~digest_fold:(fun () -> Bpred.digest_fold bp)
     ~flush:(fun () ->
@@ -132,7 +213,7 @@ let of_bpred ?(name = "branch predictor") bp : t =
     ()
 
 let of_prefetch ?(name = "prefetcher") pf : t =
-  make ~name ~classification:Flushable
+  make ~name ~classification:Flushable ~kind:Prefetcher_kind
     ~digest:(fun () -> Prefetch.digest pf)
     ~digest_fold:(fun () -> Prefetch.digest_fold pf)
     ~flush:(fun () ->
@@ -141,7 +222,7 @@ let of_prefetch ?(name = "prefetcher") pf : t =
     ()
 
 let of_btb ?(name = "branch target buffer") btb : t =
-  make ~name ~classification:Flushable
+  make ~name ~classification:Flushable ~kind:Predictor_kind
     ~digest:(fun () -> Btb.digest btb)
     ~digest_fold:(fun () -> Btb.digest_fold btb)
     ~flush:(fun () ->
@@ -154,7 +235,7 @@ let of_interconnect ?(name = "memory interconnect") bus : t =
      Its digest still participates in the shared-state digest (the
      adversarial checker watches it), but no OS defence exists and the
      kernel's flush must not pretend to reset it. *)
-  make ~name ~classification:Neither ~in_scope:false
+  make ~name ~classification:Neither ~kind:Interconnect_kind ~in_scope:false
     ~digest:(fun () -> Interconnect.digest bus)
     ~digest_fold:(fun () -> Interconnect.digest_fold bus)
     ~flush:(fun () -> no_flush)

@@ -24,6 +24,42 @@ type classification =
   | Neither
       (** stateless bandwidth-shared: no OS defence exists (Sect. 2) *)
 
+type kind =
+  | Cache_kind
+  | Tlb_kind
+  | Predictor_kind
+  | Prefetcher_kind
+  | Interconnect_kind
+  | Other_kind of string
+      (** Structural family of the resource — orthogonal to
+          [classification].  The exhaustive small-model checker picks a
+          per-kind universe of adversary programs from this (loads for
+          caches, mapping churn for TLBs, branches for predictors), so a
+          newly registered resource of a known kind inherits an
+          exhaustive obligation for free. *)
+
+val kind_label : kind -> string
+
+type view = {
+  lo_colours : int list;  (** the page colours Lo's domain owns *)
+  page_bits : int;
+}
+(** Context for a Lo-view projection: everything a resource needs to
+    know about the observing domain to project the slice of its state
+    that Lo may legitimately see. *)
+
+type obligation =
+  | Flush_equal
+      (** flushable and in scope: the post-switch Lo view of this
+          resource must be equal across Hi's secrets at every Lo
+          boundary *)
+  | Partition_equal
+      (** partitionable and in scope: the Lo-coloured slice must be
+          equal across secrets at every Lo boundary *)
+  | Out_of_scope
+      (** no defence claimed: the composed theorem must carry an
+          explicit acknowledgement, never a silent pass *)
+
 type flush_report = {
   dirty_writebacks : int;
       (** dirty lines written back — the history-dependent flush-latency
@@ -42,6 +78,8 @@ module type S = sig
   val name : string
 
   val classification : classification
+
+  val kind : kind
 
   val in_scope : bool
   (** Whether time protection claims to defend this resource.  Must be
@@ -67,6 +105,13 @@ module type S = sig
   (** The same digest recomputed from scratch (no memoisation) — ground
       truth for the debug re-fold assertion. *)
 
+  val lo_project : view -> int64
+  (** Digest of the slice of this resource's state the observing (Lo)
+      domain may legitimately see.  For a flushable resource this is the
+      whole digest (it is reset before Lo runs); for a partitioned cache
+      it is the chained digest of Lo's coloured sets.  The unwinding
+      relation compares exactly these projections across secrets. *)
+
   val flush : unit -> flush_report
 end
 
@@ -74,10 +119,28 @@ type t = (module S)
 
 val name : t -> string
 val classification : t -> classification
+val kind : t -> kind
 val in_scope : t -> bool
 val defence : t -> string
 val present : t -> bool
 val colours : t -> int option
+
+val lo_project : t -> view -> int64
+
+val obligation : t -> obligation
+(** The unwinding obligation this resource's taxonomy entry implies.
+    Derived, never declared: in-scope [Flushable] ⇒ [Flush_equal],
+    in-scope [Partitionable] ⇒ [Partition_equal], [Neither] or
+    out-of-scope ⇒ [Out_of_scope]. *)
+
+val component_id : name:string -> obligation -> string option
+(** ["flush:<name>"] / ["partition:<name>"]; [None] for out-of-scope.
+    The single naming convention shared by the unwinding view, the lemma
+    table and the fuzz oracle. *)
+
+val lemma_component : t -> string option
+(** [component_id ~name:(name r) (obligation r)]. *)
+
 val digest : t -> int64
 (** Reads the resource's (possibly cached) digest.  With the debug mode
     enabled ({!set_digest_debug}), also recomputes the from-scratch fold
@@ -109,19 +172,23 @@ val default_defence : classification -> string
 val make :
   name:string ->
   classification:classification ->
+  ?kind:kind ->
   ?in_scope:bool ->
   ?defence:string ->
   ?colours:int ->
   ?digest_fold:(unit -> int64) ->
+  ?lo_project:(view -> int64) ->
   digest:(unit -> int64) ->
   flush:(unit -> flush_report) ->
   unit ->
   t
 (** General constructor (used by the adapters below, by {!Machine} for
     built-in structures, and by tests/extensions for ad-hoc resources).
-    [in_scope] defaults to [classification <> Neither]; [defence]
-    defaults to {!default_defence}; [digest_fold] defaults to [digest]
-    (correct for resources that do not cache their digest). *)
+    [kind] defaults to [Other_kind name]; [in_scope] defaults to
+    [classification <> Neither]; [defence] defaults to
+    {!default_defence}; [digest_fold] defaults to [digest] (correct for
+    resources that do not cache their digest); [lo_project] defaults to
+    the whole digest (correct for flushable resources). *)
 
 val absent : name:string -> placeholder_digest:int64 -> t
 (** A slot for a structure this configuration omits: digests to the

@@ -121,3 +121,117 @@ let pp_result ppf r =
   match r.first_violation with
   | Some v -> Format.fprintf ppf "; first: %s" v
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-resource-kind universes.
+
+   One global universe can only ever exercise the structures its
+   alphabet happens to touch; deriving the adversary alphabet from the
+   *kind* of each registered resource makes the ∀ genuinely exhaustive
+   per kind: loads at line/page granularity for caches, mapped-page
+   churn for TLBs, biased branches for predictors, strided loads for
+   prefetchers.  The small-program scenario maps two Hi pages, so every
+   address stays within [hi_buf, hi_buf + 2 pages). *)
+
+let universe_for_kind ?(hi_buf = hi_buf) kind =
+  match (kind : Tpro_hw.Resource.kind) with
+  | Tpro_hw.Resource.Cache_kind ->
+    Some
+      {
+        hi_len = 2;
+        hi_alphabet =
+          [
+            Program.Load hi_buf;
+            Program.Load (hi_buf + 64);
+            Program.Load (hi_buf + 4096);
+            Program.Store hi_buf;
+            Program.Compute 7;
+          ];
+        seeds = [ 0; 1 ];
+      }
+  | Tpro_hw.Resource.Tlb_kind ->
+    Some
+      {
+        hi_len = 2;
+        hi_alphabet =
+          [
+            Program.Load hi_buf;
+            Program.Load (hi_buf + 4096);
+            Program.Syscall Program.Sys_null;
+            Program.Compute 7;
+          ];
+        seeds = [ 0; 1 ];
+      }
+  | Tpro_hw.Resource.Predictor_kind ->
+    Some
+      {
+        hi_len = 2;
+        hi_alphabet =
+          [
+            Program.Branch { tag = 0; taken = true };
+            Program.Branch { tag = 0; taken = false };
+            Program.Branch { tag = 1; taken = true };
+            Program.Compute 7;
+          ];
+        seeds = [ 0; 1 ];
+      }
+  | Tpro_hw.Resource.Prefetcher_kind ->
+    Some
+      {
+        hi_len = 3;
+        hi_alphabet =
+          [
+            Program.Load hi_buf;
+            Program.Load (hi_buf + 64);
+            Program.Load (hi_buf + 128);
+            Program.Compute 7;
+          ];
+        seeds = [ 0; 1 ];
+      }
+  | Tpro_hw.Resource.Interconnect_kind | Tpro_hw.Resource.Other_kind _ -> None
+
+type kind_universe = {
+  ku_label : string;
+  ku_resources : string list;
+  ku_universe : universe;
+}
+
+let kind_universes ?hi_buf ~machine () =
+  let resources =
+    List.concat
+      [
+        Tpro_hw.Machine.core_resources machine ~core:0;
+        Tpro_hw.Machine.shared_resources machine;
+      ]
+  in
+  (* group by kind, first-seen order, keeping each kind's resource
+     names in registry order *)
+  let seen = ref [] in
+  List.iter
+    (fun r ->
+      let kind = Tpro_hw.Resource.kind r in
+      let label = Tpro_hw.Resource.kind_label kind in
+      match List.assoc_opt label !seen with
+      | Some (k, names) ->
+        seen :=
+          List.map
+            (fun (l, v) ->
+              if String.equal l label then
+                (l, (k, Tpro_hw.Resource.name r :: names))
+              else (l, v))
+            !seen
+      | None ->
+        seen := !seen @ [ (label, (kind, [ Tpro_hw.Resource.name r ])) ])
+    resources;
+  List.filter_map
+    (fun (label, (kind, names)) ->
+      match universe_for_kind ?hi_buf kind with
+      | Some u ->
+        Some
+          {
+            ku_label = label;
+            ku_resources = List.rev names;
+            ku_universe = u;
+          }
+      | None -> None)
+    !seen

@@ -55,3 +55,31 @@ val check_par :
     identical to the sequential {!check} for any pool size. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Per-resource-kind universes}
+
+    The registry-driven generalisation: each {!Tpro_hw.Resource.kind}
+    defines a small adversary universe tailored to the structures of
+    that kind (loads at line/page granularity for caches, mapped-page
+    churn for TLBs, biased branches for predictors, strided loads for
+    prefetchers), so the ∀ is genuinely exhaustive per kind and a newly
+    registered resource of a known kind inherits an exhaustive
+    obligation with zero edits here. *)
+
+val universe_for_kind : ?hi_buf:int -> Tpro_hw.Resource.kind -> universe option
+(** [None] for kinds with no meaningful adversary program model
+    (interconnects, ad-hoc resources).  [hi_buf] defaults to the
+    standard Hi buffer base; all addresses stay within two pages of it,
+    matching the small-program scenario's mapping. *)
+
+type kind_universe = {
+  ku_label : string;  (** {!Tpro_hw.Resource.kind_label} *)
+  ku_resources : string list;  (** registry resources of that kind *)
+  ku_universe : universe;
+}
+
+val kind_universes :
+  ?hi_buf:int -> machine:Tpro_hw.Machine.t -> unit -> kind_universe list
+(** The universes the machine's registry calls for: one per distinct
+    resource kind (first-seen registry order, core 0 then shared) that
+    has a universe. *)

@@ -1,0 +1,127 @@
+open Tpro_hw
+
+type mechanism =
+  | Flush
+  | Partition
+  | Padding
+  | User_step
+  | Trap
+  | Invariants
+  | Top_level
+  | Scope
+  | Small_model
+
+let mechanism_label = function
+  | Flush -> "flush-on-switch"
+  | Partition -> "partitioning"
+  | Padding -> "switch-padding"
+  | User_step -> "constant-user-step"
+  | Trap -> "constant-trap"
+  | Invariants -> "invariants"
+  | Top_level -> "noninterference"
+  | Scope -> "out-of-scope"
+  | Small_model -> "small-model"
+
+type verdict =
+  | Proved of string
+  | Refuted of string
+  | Unscoped of { acknowledged : bool }
+
+type t = {
+  lid : string;
+  subject : string;
+  mechanism : mechanism;
+  statement : string;
+  verdict : verdict;
+}
+
+let proved l = match l.verdict with Proved _ -> true | _ -> false
+let refuted l = match l.verdict with Refuted _ -> true | _ -> false
+
+let unacknowledged l =
+  match l.verdict with
+  | Unscoped { acknowledged } -> not acknowledged
+  | Proved _ | Refuted _ -> false
+
+let verdict_label l =
+  match l.verdict with
+  | Proved _ -> "proved"
+  | Refuted _ -> "REFUTED"
+  | Unscoped { acknowledged = true } -> "out-of-scope (acknowledged)"
+  | Unscoped { acknowledged = false } -> "OUT-OF-SCOPE (unacknowledged)"
+
+let detail l =
+  match l.verdict with
+  | Proved d | Refuted d -> d
+  | Unscoped _ -> l.statement
+
+let of_check ~lid ~subject mechanism (c : Proofs.check) =
+  {
+    lid;
+    subject;
+    mechanism;
+    statement = c.Proofs.description;
+    verdict =
+      (if c.Proofs.holds then Proved (Proofs.detail_text c.Proofs.detail)
+       else Refuted (Proofs.detail_text c.Proofs.detail));
+  }
+
+let pp ppf l =
+  Format.fprintf ppf "%-28s %-22s %-18s %s" l.lid l.subject
+    (mechanism_label l.mechanism) (verdict_label l)
+
+(* ------------------------------------------------------------------ *)
+(* The Sect. 5.3 TLB partitioning theorem (Syeda & Klein, ITP'18) as
+   the functional sub-lemma behind the TLB's generic flush lemma: page-
+   table operations under one ASID preserve TLB consistency for every
+   other ASID.  Ported unchanged from the retired [Tlb_theorem] module;
+   E8 and the secmodel tests exercise it through this new home. *)
+
+module Tlb_asid = struct
+  type page_table = (int, int) Hashtbl.t
+
+  type op =
+    | Map of { vpn : int; pfn : int }
+    | Unmap of int
+    | Touch of int
+    | Flush_asid
+
+  let apply ?(invalidate_on_update = true) tlb ~asid pt op =
+    match op with
+    | Map { vpn; pfn } ->
+      Hashtbl.replace pt vpn pfn;
+      if invalidate_on_update then Tlb.invalidate tlb ~asid ~vpn
+    | Unmap vpn ->
+      Hashtbl.remove pt vpn;
+      if invalidate_on_update then Tlb.invalidate tlb ~asid ~vpn
+    | Touch vpn -> (
+      match Tlb.lookup tlb ~asid ~vpn with
+      | Some _ -> ()
+      | None -> (
+        match Hashtbl.find_opt pt vpn with
+        | Some pfn -> Tlb.insert tlb ~asid ~vpn ~pfn
+        | None -> () (* fault; nothing cached *)))
+    | Flush_asid -> ignore (Tlb.flush_asid tlb asid)
+
+  let consistent tlb ~asid pt =
+    List.for_all
+      (fun (e : Tlb.entry) ->
+        e.Tlb.global || e.Tlb.asid <> asid
+        || Hashtbl.find_opt pt e.Tlb.vpn = Some e.Tlb.pfn)
+      (Tlb.entries tlb)
+
+  let partition_preserved tlb ~actor_asid ~ops ~actor_pt ~other_asid ~other_pt
+      =
+    ignore actor_pt;
+    List.for_all
+      (fun op ->
+        apply tlb ~asid:actor_asid actor_pt op;
+        consistent tlb ~asid:other_asid other_pt)
+      ops
+
+  let pp_op ppf = function
+    | Map { vpn; pfn } -> Format.fprintf ppf "map %d -> %d" vpn pfn
+    | Unmap vpn -> Format.fprintf ppf "unmap %d" vpn
+    | Touch vpn -> Format.fprintf ppf "touch %d" vpn
+    | Flush_asid -> Format.pp_print_string ppf "flush-asid"
+end

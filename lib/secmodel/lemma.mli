@@ -1,0 +1,102 @@
+(** Per-mechanism unwinding lemmas (after Buckley/Sison et al.).
+
+    The follow-up proof to the paper — "Proving the Absence of
+    Microarchitectural Timing Channels" — decomposes time protection
+    into one unwinding lemma per defence mechanism and conjoins them
+    into the top-level noninterference theorem.  A {!t} is the
+    executable analogue of one such lemma: a named, per-subject
+    statement carrying its verdict.  Resource lemmas are derived from
+    the registry ({!Theorem}), never hand-enumerated; kernel-level
+    lemmas wrap the {!Proofs} cases.
+
+    Lemma identifiers follow {!Tpro_hw.Resource.component_id}:
+    [flush:<resource>], [partition:<resource>], [scope:<resource>],
+    [kernel:user-step], [kernel:trap], [kernel:padded-switch],
+    [kernel:noninterference], [kernel:invariants],
+    [exhaustive:<kind>]. *)
+
+open Tpro_hw
+
+type mechanism =
+  | Flush  (** flushable resource: post-switch Lo-view equality *)
+  | Partition  (** partitionable resource: Lo-slice equality *)
+  | Padding  (** case 2b: padded switches end exactly on deadline *)
+  | User_step  (** case 1: constant user-mode instruction cost *)
+  | Trap  (** case 2a: constant trap cost *)
+  | Invariants  (** partitioning invariants in every reachable state *)
+  | Top_level  (** observation-trace noninterference *)
+  | Scope  (** explicit out-of-scope acknowledgement obligation *)
+  | Small_model  (** exhaustive per-kind small-model enumeration *)
+
+val mechanism_label : mechanism -> string
+
+type verdict =
+  | Proved of string  (** evidence statistics *)
+  | Refuted of string  (** first counter-example *)
+  | Unscoped of { acknowledged : bool }
+      (** no defence claimed; the composed theorem only holds if the
+          out-of-scope resource was explicitly acknowledged *)
+
+type t = {
+  lid : string;  (** lemma identifier, e.g. ["flush:l1d0"] *)
+  subject : string;  (** resource name, or ["kernel"] *)
+  mechanism : mechanism;
+  statement : string;
+  verdict : verdict;
+}
+
+val proved : t -> bool
+val refuted : t -> bool
+
+val unacknowledged : t -> bool
+(** [true] iff the verdict is an unacknowledged [Unscoped]. *)
+
+val verdict_label : t -> string
+val detail : t -> string
+
+val of_check : lid:string -> subject:string -> mechanism -> Proofs.check -> t
+(** Wrap a kernel-level proof obligation as a lemma: [holds] maps to
+    [Proved]/[Refuted] with the check's rendered detail. *)
+
+val pp : Format.formatter -> t -> unit
+(** One fixed-width verdict-table row. *)
+
+(** The Sect. 5.3 TLB partitioning theorem, after Syeda & Klein
+    (ITP'18) — the functional sub-lemma behind the TLB instance of the
+    generic flush lemma.  The paper cites a functional-correctness
+    logic for an ARM-style TLB in which "page-table modifications under
+    one ASID do not affect TLB consistency for any other ASID"; this
+    states that theorem over our TLB model and checks it by executing
+    operation sequences.  (Ported unchanged from the retired
+    [Tlb_theorem] module.) *)
+module Tlb_asid : sig
+  type page_table = (int, int) Hashtbl.t
+
+  type op =
+    | Map of { vpn : int; pfn : int }  (** create or change a mapping *)
+    | Unmap of int
+    | Touch of int
+        (** access a page: TLB lookup, page walk + refill on miss *)
+    | Flush_asid  (** invalidate own entries *)
+
+  val apply :
+    ?invalidate_on_update:bool -> Tlb.t -> asid:int -> page_table -> op -> unit
+  (** Perform one operation under [asid], maintaining the hardware
+      discipline ([invalidate_on_update] defaults to [true]; pass
+      [false] to model a buggy OS that skips the invalidation). *)
+
+  val consistent : Tlb.t -> asid:int -> page_table -> bool
+
+  val partition_preserved :
+    Tlb.t ->
+    actor_asid:int ->
+    ops:op list ->
+    actor_pt:page_table ->
+    other_asid:int ->
+    other_pt:page_table ->
+    bool
+  (** Run [ops] under [actor_asid] and report whether consistency for
+      [other_asid] held after every single operation. *)
+
+  val pp_op : Format.formatter -> op -> unit
+end

@@ -1,16 +1,21 @@
 open Tpro_kernel
 
+type detail = Counter_example of string | Stats of string
+
+let detail_text = function Counter_example s | Stats s -> s
+
 type check = {
   name : string;
   description : string;
   holds : bool;
-  detail : string;
+  detail : detail;
 }
 
 let cost_divergence_check ~name ~description ~select ?max_steps ~build ~secrets
     () =
   match secrets with
-  | [] -> { name; description; holds = true; detail = "no secrets sampled" }
+  | [] ->
+    { name; description; holds = true; detail = Stats "no secrets sampled" }
   | base :: rest ->
     let failures =
       List.filter_map
@@ -34,8 +39,9 @@ let cost_divergence_check ~name ~description ~select ?max_steps ~build ~secrets
         description;
         holds = true;
         detail =
-          Printf.sprintf "%d secret pairs compared, no divergence"
-            (List.length rest);
+          Stats
+            (Printf.sprintf "%d secret pairs compared, no divergence"
+               (List.length rest));
       }
     | d :: _ ->
       {
@@ -43,8 +49,9 @@ let cost_divergence_check ~name ~description ~select ?max_steps ~build ~secrets
         description;
         holds = false;
         detail =
-          Printf.sprintf "%d/%d pairs diverged; first: %s" (List.length failures)
-            (List.length rest) d;
+          Counter_example
+            (Printf.sprintf "%d/%d pairs diverged; first: %s"
+               (List.length failures) (List.length rest) d);
       })
 
 let case1_user_steps ?max_steps ~build ~secrets () =
@@ -76,7 +83,12 @@ let case2b_constant_switch kernel =
       (Kernel.events kernel)
   in
   if switches = [] then
-    { name; description; holds = true; detail = "no padded switches occurred" }
+    {
+      name;
+      description;
+      holds = true;
+      detail = Stats "no padded switches occurred";
+    }
   else begin
     let overruns = List.filter (fun (_, _, o) -> o) switches in
     let bad_slot =
@@ -93,8 +105,9 @@ let case2b_constant_switch kernel =
         description;
         holds = true;
         detail =
-          Printf.sprintf "%d padded switches, all at their exact deadline"
-            (List.length switches);
+          Stats
+            (Printf.sprintf "%d padded switches, all at their exact deadline"
+               (List.length switches));
       }
     | (d, slot, _) :: _, _ | _, Some (d, slot, _) ->
       {
@@ -102,9 +115,11 @@ let case2b_constant_switch kernel =
         description;
         holds = false;
         detail =
-          Printf.sprintf
-            "switch from domain %d took slot %d (expected slice+pad); %d overruns"
-            d slot (List.length overruns);
+          Counter_example
+            (Printf.sprintf
+               "switch from domain %d took slot %d (expected slice+pad); %d \
+                overruns"
+               d slot (List.length overruns));
       }
   end
 
@@ -120,8 +135,9 @@ let noninterference ?max_steps ~build ~secrets () =
       description;
       holds = true;
       detail =
-        Printf.sprintf "%d secrets compared, traces identical"
-          (List.length secrets);
+        Stats
+          (Printf.sprintf "%d secrets compared, traces identical"
+             (List.length secrets));
     }
   | (s1, s2, report) :: _ as bad ->
     {
@@ -129,8 +145,9 @@ let noninterference ?max_steps ~build ~secrets () =
       description;
       holds = false;
       detail =
-        Format.asprintf "%d insecure pairs; first (%d,%d): %a"
-          (List.length bad) s1 s2 Nonint.pp_report report;
+        Counter_example
+          (Format.asprintf "%d insecure pairs; first (%d,%d): %a"
+             (List.length bad) s1 s2 Nonint.pp_report report);
     }
 
 let invariants_throughout ?(max_steps = 200_000) ?(check_every = 50) ~build
@@ -163,8 +180,9 @@ let invariants_throughout ?(max_steps = 200_000) ?(check_every = 50) ~build
       description;
       holds = true;
       detail =
-        Printf.sprintf "%d states checked over %d steps, no violation"
-          !states_checked !steps;
+        Stats
+          (Printf.sprintf "%d states checked over %d steps, no violation"
+             !states_checked !steps);
     }
   | v :: _ ->
     {
@@ -172,8 +190,9 @@ let invariants_throughout ?(max_steps = 200_000) ?(check_every = 50) ~build
       description;
       holds = false;
       detail =
-        Format.asprintf "%d violations; first: %a" (List.length !violations)
-          Invariant.pp_violation v;
+        Counter_example
+          (Format.asprintf "%d violations; first: %a"
+             (List.length !violations) Invariant.pp_violation v);
     }
 
 let across_seeds ~seeds f =
@@ -187,15 +206,18 @@ let across_seeds ~seeds f =
       {
         c with
         detail =
-          Printf.sprintf "failed under latency seed %d: %s" seed c.detail;
+          Counter_example
+            (Printf.sprintf "failed under latency seed %d: %s" seed
+               (detail_text c.detail));
       }
     | None ->
       ignore first;
       {
         template with
         detail =
-          Printf.sprintf "holds for %d latency functions (%s)"
-            (List.length seeds) template.detail;
+          Stats
+            (Printf.sprintf "holds for %d latency functions (%s)"
+               (List.length seeds) (detail_text template.detail));
       })
 
 let all ?max_steps ?(seeds = [ 0; 1; 2 ]) ~build ~secrets () =
@@ -220,4 +242,4 @@ let all ?max_steps ?(seeds = [ 0; 1; 2 ]) ~build ~secrets () =
 let pp ppf c =
   Format.fprintf ppf "%s %s: %s — %s"
     (if c.holds then "[OK]  " else "[FAIL]")
-    c.name c.description c.detail
+    c.name c.description (detail_text c.detail)

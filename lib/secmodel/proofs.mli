@@ -10,11 +10,21 @@
 
 open Tpro_kernel
 
+type detail =
+  | Counter_example of string
+      (** a concrete witness that the obligation fails *)
+  | Stats of string  (** summary statistics of a passing check *)
+
+val detail_text : detail -> string
+(** The payload string, for rendering.  [pp] and every CSV emitter go
+    through this, so the rendered output is unchanged from when [detail]
+    was a bare string. *)
+
 type check = {
   name : string;
   description : string;
   holds : bool;
-  detail : string;  (** counter-example or summary statistics *)
+  detail : detail;
 }
 
 val case1_user_steps :

@@ -1,0 +1,493 @@
+open Tpro_hw
+open Tpro_kernel
+
+type subject = {
+  s_name : string;
+  s_kind : Resource.kind;
+  s_obligation : Resource.obligation;
+  s_defence : string;
+}
+
+type pair_evidence = {
+  pe_secrets : int * int;
+  pe_diverged : (string * int) list;
+  pe_progress : int option;
+  pe_boundaries : int;
+}
+
+type seed_evidence = {
+  ev_seed : int;
+  ev_checks : Proofs.check list;
+  ev_pairs : pair_evidence list;
+}
+
+type t = {
+  lemmas : Lemma.t list;
+  holds : bool;
+  refuted : Lemma.t list;
+  unacknowledged : string list;
+  first_counter_example : (string * string) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Evidence gathering.  [collect] runs, for one latency seed, exactly
+   the per-seed bodies of [Proofs.all] (cases 1/2a/2b, top-level
+   noninterference, invariants — same calls, same order) plus one full
+   unwinding sweep per secret pair.  [checks_of_evidence] then re-wraps
+   them [across_seeds] so the classic check list is reproduced
+   byte-identically from recorded evidence — which is what lets
+   [tpro prove] fan collection over the supervisor and checkpoint the
+   evidence between processes. *)
+
+let collect ?max_steps ?max_lo_steps ~seed ~build ~secrets () =
+  let first_secret = match secrets with s :: _ -> s | [] -> 0 in
+  let checks =
+    [
+      Proofs.case1_user_steps ?max_steps ~build ~secrets ();
+      Proofs.case2a_traps ?max_steps ~build ~secrets ();
+      (let run = Nonint.execute ?max_steps build first_secret in
+       Proofs.case2b_constant_switch run.Nonint.kernel);
+      Proofs.noninterference ?max_steps ~build ~secrets ();
+      Proofs.invariants_throughout ?max_steps ~build ~secret:first_secret ();
+    ]
+  in
+  let pairs =
+    match secrets with
+    | [] | [ _ ] -> []
+    | base :: rest ->
+      List.map
+        (fun s ->
+          let sw =
+            Unwinding.sweep_pair ?max_lo_steps ~build ~secret1:base ~secret2:s
+              ()
+          in
+          {
+            pe_secrets = (base, s);
+            pe_diverged = sw.Unwinding.diverged;
+            pe_progress = sw.Unwinding.progress;
+            pe_boundaries = sw.Unwinding.boundaries;
+          })
+        rest
+  in
+  { ev_seed = seed; ev_checks = checks; ev_pairs = pairs }
+
+let subjects_of_run (run : Nonint.run) =
+  let k = run.Nonint.kernel in
+  let m = Kernel.machine k in
+  let core =
+    match run.Nonint.observers with
+    | th :: _ -> (Kernel.domain k th.Thread.dom).Domain.core
+    | [] -> 0
+  in
+  List.map
+    (fun r ->
+      {
+        s_name = Resource.name r;
+        s_kind = Resource.kind r;
+        s_obligation = Resource.obligation r;
+        s_defence = Resource.defence r;
+      })
+    (Machine.core_resources m ~core @ Machine.shared_resources m)
+
+(* ------------------------------------------------------------------ *)
+(* The classic check list, reconstructed from evidence. *)
+
+let checks_of_evidence ~secrets ~evidence =
+  let seeds = List.map (fun ev -> ev.ev_seed) evidence in
+  let find seed = List.find (fun ev -> ev.ev_seed = seed) evidence in
+  let nth i ~seed = List.nth (find seed).ev_checks i in
+  let unwinding ~seed =
+    Unwinding.check_of_pairs ~secrets
+      (List.map
+         (fun pe ->
+           ( pe.pe_secrets,
+             Unwinding.first_divergence ~diverged:pe.pe_diverged
+               ~progress:pe.pe_progress ))
+         (find seed).ev_pairs)
+  in
+  [
+    Proofs.across_seeds ~seeds (nth 0);
+    Proofs.across_seeds ~seeds (nth 1);
+    Proofs.across_seeds ~seeds (nth 2);
+    Proofs.across_seeds ~seeds (nth 3);
+    Proofs.across_seeds ~seeds (nth 4);
+    Proofs.across_seeds ~seeds unwinding;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lemma derivation. *)
+
+(* First divergence of one named view component across all evidence
+   (seed-major, then pair order, then the per-pair discovery order). *)
+let find_component ~evidence cid =
+  List.find_map
+    (fun ev ->
+      List.find_map
+        (fun pe ->
+          List.find_map
+            (fun (c, step) ->
+              if String.equal c cid then
+                Some (ev.ev_seed, pe.pe_secrets, step)
+              else None)
+            pe.pe_diverged)
+        ev.ev_pairs)
+    evidence
+
+let find_progress ~evidence =
+  List.find_map
+    (fun ev ->
+      List.find_map
+        (fun pe ->
+          Option.map (fun k -> (ev.ev_seed, pe.pe_secrets, k)) pe.pe_progress)
+        ev.ev_pairs)
+    evidence
+
+let resource_lemmas ?(acknowledge = []) ~subjects ~evidence () =
+  let n_seeds = List.length evidence in
+  let n_pairs =
+    match evidence with [] -> 0 | ev :: _ -> List.length ev.ev_pairs
+  in
+  let boundaries =
+    List.fold_left
+      (fun acc ev ->
+        List.fold_left (fun a pe -> a + pe.pe_boundaries) acc ev.ev_pairs)
+      0 evidence
+  in
+  List.map
+    (fun s ->
+      match Resource.component_id ~name:s.s_name s.s_obligation with
+      | None ->
+        {
+          Lemma.lid = "scope:" ^ s.s_name;
+          subject = s.s_name;
+          mechanism = Lemma.Scope;
+          statement =
+            Printf.sprintf
+              "no unwinding lemma: %s carries no OS defence (%s)" s.s_name
+              s.s_defence;
+          verdict =
+            Lemma.Unscoped { acknowledged = List.mem s.s_name acknowledge };
+        }
+      | Some cid ->
+        let mechanism, statement =
+          match s.s_obligation with
+          | Resource.Partition_equal ->
+            ( Lemma.Partition,
+              Printf.sprintf
+                "the Lo-coloured slice of %s is equal across Hi's secrets \
+                 at every Lo boundary"
+                s.s_name )
+          | Resource.Flush_equal | Resource.Out_of_scope ->
+            ( Lemma.Flush,
+              Printf.sprintf
+                "the post-switch Lo view of %s is equal across Hi's \
+                 secrets at every Lo boundary"
+                s.s_name )
+        in
+        let verdict =
+          match find_component ~evidence cid with
+          | Some (seed, (s1, s2), step) ->
+            Lemma.Refuted
+              (Printf.sprintf
+                 "under latency seed %d, secrets (%d,%d): Lo's view of %s \
+                  differs at Lo step %d"
+                 seed s1 s2 s.s_name step)
+          | None ->
+            Lemma.Proved
+              (Printf.sprintf
+                 "Lo-view equality held at %d Lo boundaries (%d latency \
+                  seeds x %d secret pairs)"
+                 boundaries n_seeds n_pairs)
+        in
+        { Lemma.lid = cid; subject = s.s_name; mechanism; statement; verdict })
+    subjects
+
+let kernel_lemmas ~checks ~evidence =
+  let by_name n =
+    match List.find_opt (fun c -> String.equal c.Proofs.name n) checks with
+    | Some c -> c
+    | None -> invalid_arg ("Theorem.kernel_lemmas: missing check " ^ n)
+  in
+  (* A kernel lemma can be refuted by its own check, or by the unwinding
+     view component it owns: the boundary clock belongs to the padding
+     lemma, Lo's threads/observations/progress to top-level
+     noninterference. *)
+  let refine base cid describe =
+    if Lemma.refuted base then base
+    else
+      match find_component ~evidence cid with
+      | Some (seed, (s1, s2), step) ->
+        { base with Lemma.verdict = Lemma.Refuted (describe seed s1 s2 step) }
+      | None -> base
+  in
+  let user_step =
+    Lemma.of_check ~lid:"kernel:user-step" ~subject:"kernel" Lemma.User_step
+      (by_name "case-1")
+  in
+  let trap =
+    Lemma.of_check ~lid:"kernel:trap" ~subject:"kernel" Lemma.Trap
+      (by_name "case-2a")
+  in
+  let padded_switch =
+    refine
+      (Lemma.of_check ~lid:"kernel:padded-switch" ~subject:"kernel"
+         Lemma.Padding (by_name "case-2b"))
+      "kernel:clock"
+      (fun seed s1 s2 step ->
+        Printf.sprintf
+          "under latency seed %d, secrets (%d,%d): Lo's cycle counter \
+           differs at Lo boundary %d (padding failed to mask the switch)"
+          seed s1 s2 step)
+  in
+  let noninterference =
+    let base =
+      Lemma.of_check ~lid:"kernel:noninterference" ~subject:"kernel"
+        Lemma.Top_level
+        (by_name "noninterference")
+    in
+    let base =
+      List.fold_left
+        (fun acc (cid, what) ->
+          refine acc cid (fun seed s1 s2 step ->
+              Printf.sprintf
+                "under latency seed %d, secrets (%d,%d): %s differ at Lo \
+                 step %d"
+                seed s1 s2 what step))
+        base
+        [
+          ("lo-threads", "Lo's thread states");
+          ("lo-observations", "Lo's observations");
+        ]
+    in
+    if Lemma.refuted base then base
+    else
+      match find_progress ~evidence with
+      | Some (seed, (s1, s2), step) ->
+        {
+          base with
+          Lemma.verdict =
+            Lemma.Refuted
+              (Printf.sprintf
+                 "under latency seed %d, secrets (%d,%d): one run quiesced \
+                  at Lo step %d while the other continued"
+                 seed s1 s2 step);
+        }
+      | None -> base
+  in
+  let invariants =
+    Lemma.of_check ~lid:"kernel:invariants" ~subject:"kernel" Lemma.Invariants
+      (by_name "invariants")
+  in
+  [ user_step; trap; padded_switch; noninterference; invariants ]
+
+let lemma_of_exhaustive ~kind_label ~resources (r : Exhaustive.result) =
+  {
+    Lemma.lid = "exhaustive:" ^ kind_label;
+    subject = String.concat ", " resources;
+    mechanism = Lemma.Small_model;
+    statement =
+      Printf.sprintf
+        "every Hi program over the %s small-model universe leaves Lo's \
+         observations baseline-identical"
+        kind_label;
+    verdict =
+      (if r.Exhaustive.violations = 0 then
+         Lemma.Proved
+           (Printf.sprintf "%d programs, %d executions, no violation"
+              r.Exhaustive.programs r.Exhaustive.executions)
+       else
+         Lemma.Refuted
+           (Printf.sprintf "%d/%d executions violated NI; first: %s"
+              r.Exhaustive.violations r.Exhaustive.executions
+              (Option.value r.Exhaustive.first_violation ~default:"?")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Composition. *)
+
+let compose lemmas =
+  let refuted = List.filter Lemma.refuted lemmas in
+  let unack = List.filter Lemma.unacknowledged lemmas in
+  let first_counter_example =
+    match refuted with
+    | l :: _ -> Some (l.Lemma.lid, Lemma.detail l)
+    | [] -> (
+      match unack with
+      | l :: _ ->
+        Some
+          ( l.Lemma.lid,
+            "out-of-scope resource never acknowledged: " ^ l.Lemma.subject )
+      | [] -> None)
+  in
+  {
+    lemmas;
+    holds = refuted = [] && unack = [];
+    refuted;
+    unacknowledged = List.map (fun l -> l.Lemma.subject) unack;
+    first_counter_example;
+  }
+
+type derivation = {
+  theorem : t;
+  checks : Proofs.check list;
+  subjects : subject list;
+  evidence : seed_evidence list;
+}
+
+let derive ?acknowledge ?max_steps ?max_lo_steps ?(seeds = [ 0; 1; 2 ])
+    ~build ~secrets () =
+  let evidence =
+    List.map
+      (fun seed ->
+        collect ?max_steps ?max_lo_steps ~seed ~build:(build ~seed) ~secrets
+          ())
+      seeds
+  in
+  let subjects =
+    match (seeds, secrets) with
+    | seed :: _, secret :: _ -> subjects_of_run (build ~seed ~secret)
+    | _ -> []
+  in
+  let checks = checks_of_evidence ~secrets ~evidence in
+  let lemmas =
+    resource_lemmas ?acknowledge ~subjects ~evidence ()
+    @ kernel_lemmas ~checks ~evidence
+  in
+  { theorem = compose lemmas; checks; subjects; evidence }
+
+(* ------------------------------------------------------------------ *)
+(* Evidence (de)serialisation for [tpro prove]'s checkpoints: one line
+   per record, tab-separated fields, each free-text field put through
+   [Checkpoint.escape] (which escapes tabs and newlines), so the whole
+   blob survives a further escape onto a single checkpoint line. *)
+
+let evidence_to_string ev =
+  let esc = Tpro_engine.Checkpoint.escape in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "seed\t%d" ev.ev_seed);
+  List.iter
+    (fun c ->
+      let tag, text =
+        match c.Proofs.detail with
+        | Proofs.Counter_example s -> ("C", s)
+        | Proofs.Stats s -> ("S", s)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "\ncheck\t%s\t%s\t%d\t%s\t%s" (esc c.Proofs.name)
+           (esc c.Proofs.description)
+           (if c.Proofs.holds then 1 else 0)
+           tag (esc text)))
+    ev.ev_checks;
+  List.iter
+    (fun pe ->
+      let s1, s2 = pe.pe_secrets in
+      Buffer.add_string b
+        (Printf.sprintf "\npair\t%d\t%d\t%d\t%s" s1 s2 pe.pe_boundaries
+           (match pe.pe_progress with Some k -> string_of_int k | None -> "-"));
+      List.iter
+        (fun (c, step) ->
+          Buffer.add_string b (Printf.sprintf "\ndiv\t%s\t%d" (esc c) step))
+        pe.pe_diverged)
+    ev.ev_pairs;
+  Buffer.contents b
+
+let evidence_of_string s =
+  let unesc field =
+    match Tpro_engine.Checkpoint.unescape field with
+    | Some v -> v
+    | None -> failwith "malformed escape"
+  in
+  try
+    let seed = ref None in
+    let checks = ref [] in
+    (* pairs in reverse, each with its divergences in reverse *)
+    let pairs = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char '\t' line with
+        | [ "seed"; n ] -> seed := Some (int_of_string n)
+        | [ "check"; name; description; holds; tag; text ] ->
+          let text = unesc text in
+          let detail =
+            match tag with
+            | "C" -> Proofs.Counter_example text
+            | "S" -> Proofs.Stats text
+            | _ -> failwith "bad detail tag"
+          in
+          checks :=
+            {
+              Proofs.name = unesc name;
+              description = unesc description;
+              holds = int_of_string holds <> 0;
+              detail;
+            }
+            :: !checks
+        | [ "pair"; s1; s2; boundaries; progress ] ->
+          let pe =
+            {
+              pe_secrets = (int_of_string s1, int_of_string s2);
+              pe_boundaries = int_of_string boundaries;
+              pe_progress =
+                (if String.equal progress "-" then None
+                 else Some (int_of_string progress));
+              pe_diverged = [];
+            }
+          in
+          pairs := pe :: !pairs
+        | [ "div"; c; step ] -> (
+          match !pairs with
+          | [] -> failwith "divergence before any pair"
+          | pe :: rest ->
+            pairs :=
+              {
+                pe with
+                pe_diverged = (unesc c, int_of_string step) :: pe.pe_diverged;
+              }
+              :: rest)
+        | _ -> failwith "unrecognised evidence line")
+      (String.split_on_char '\n' s);
+    match !seed with
+    | None -> Error "evidence has no seed line"
+    | Some ev_seed ->
+      Ok
+        {
+          ev_seed;
+          ev_checks = List.rev !checks;
+          ev_pairs =
+            List.rev_map
+              (fun pe -> { pe with pe_diverged = List.rev pe.pe_diverged })
+              !pairs;
+        }
+  with Failure m -> Error ("malformed evidence: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_verdict_table ppf lemmas =
+  Format.fprintf ppf "  %-28s %-22s %-18s %s" "lemma" "subject" "mechanism"
+    "verdict";
+  List.iter (fun l -> Format.fprintf ppf "@\n  %a" Lemma.pp l) lemmas
+
+let pp ppf t =
+  pp_verdict_table ppf t.lemmas;
+  let n = List.length t.lemmas in
+  let n_proved = List.length (List.filter Lemma.proved t.lemmas) in
+  let n_refuted = List.length t.refuted in
+  let n_scope =
+    List.length
+      (List.filter
+         (fun l ->
+           match l.Lemma.verdict with
+           | Lemma.Unscoped _ -> true
+           | _ -> false)
+         t.lemmas)
+  in
+  Format.fprintf ppf
+    "@\n  composed time-protection theorem: %s (%d lemmas: %d proved, %d \
+     refuted, %d out-of-scope, %d unacknowledged)"
+    (if t.holds then "HOLDS" else "REFUTED")
+    n n_proved n_refuted n_scope
+    (List.length t.unacknowledged);
+  match t.first_counter_example with
+  | Some (lid, d) ->
+    Format.fprintf ppf "@\n  first counter-example [%s]: %s" lid d
+  | None -> ()

@@ -1,0 +1,140 @@
+(** The composed time-protection theorem (after Buckley/Sison et al.).
+
+    The verification story the paper argues for — and its follow-up
+    realised — is compositional: one unwinding lemma per defence
+    mechanism per resource, conjoined into a single top-level
+    noninterference statement.  This module derives that structure
+    {e from the machine's resource registry}:
+
+    {ul
+    {- every in-scope registered resource contributes one lemma, named
+       by its obligation ([flush:<r>] / [partition:<r>]), whose verdict
+       is read off recorded unwinding-sweep evidence;}
+    {- every out-of-scope resource contributes a [scope:<r>] obligation
+       that refutes the composed theorem unless explicitly
+       acknowledged — registration is never silently ignored;}
+    {- the kernel contributes the classic obligations (cases 1/2a/2b,
+       top-level noninterference, invariants) as lemmas, refined by the
+       view components they own (the boundary clock refutes the padding
+       lemma, thread/observation divergence the noninterference one);}
+    {- {!Exhaustive} small-model results attach as [exhaustive:<kind>]
+       lemmas.}}
+
+    Evidence collection ({!collect}) is separated from composition
+    ({!compose}) so [tpro prove] can fan collection over the supervisor,
+    checkpoint serialized evidence between processes, and compose at the
+    end; {!checks_of_evidence} reconstructs the classic {!Proofs} check
+    list from the same evidence byte-identically, which is how {!Verify}
+    keeps its historical output stable while consuming the theorem. *)
+
+open Tpro_hw
+
+type subject = {
+  s_name : string;
+  s_kind : Resource.kind;
+  s_obligation : Resource.obligation;
+  s_defence : string;
+}
+(** What the registry declares about one resource — everything lemma
+    derivation needs, detached from the live machine so it can cross a
+    process boundary. *)
+
+type pair_evidence = {
+  pe_secrets : int * int;
+  pe_diverged : (string * int) list;
+      (** first Lo step each view component diverged at, discovery order *)
+  pe_progress : int option;
+  pe_boundaries : int;
+}
+
+type seed_evidence = {
+  ev_seed : int;
+  ev_checks : Proofs.check list;
+      (** the five kernel obligations of [Proofs.all], in order *)
+  ev_pairs : pair_evidence list;  (** one sweep per secret pair *)
+}
+
+type t = {
+  lemmas : Lemma.t list;
+  holds : bool;
+      (** no lemma refuted {e and} no out-of-scope subject
+          unacknowledged *)
+  refuted : Lemma.t list;
+  unacknowledged : string list;
+  first_counter_example : (string * string) option;
+      (** (lemma id, detail) of the first failure *)
+}
+
+val collect :
+  ?max_steps:int ->
+  ?max_lo_steps:int ->
+  seed:int ->
+  build:(secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  seed_evidence
+(** Run one latency seed's worth of evidence: exactly the per-seed
+    bodies of [Proofs.all] plus one full unwinding sweep per secret
+    pair. *)
+
+val subjects_of_run : Nonint.run -> subject list
+(** The registry subjects visible to a run's observing (Lo) core, plus
+    the shared resources — the set of resources lemmas are derived
+    for. *)
+
+val checks_of_evidence :
+  secrets:int list -> evidence:seed_evidence list -> Proofs.check list
+(** The classic six-check list (cases 1/2a/2b, noninterference,
+    invariants, unwinding), each wrapped [across_seeds], reconstructed
+    from evidence — byte-identical to computing them directly. *)
+
+val resource_lemmas :
+  ?acknowledge:string list ->
+  subjects:subject list ->
+  evidence:seed_evidence list ->
+  unit ->
+  Lemma.t list
+(** One lemma per subject: [flush:]/[partition:] verdicts read off the
+    sweep evidence; out-of-scope subjects become [scope:] lemmas,
+    acknowledged iff named in [acknowledge]. *)
+
+val kernel_lemmas :
+  checks:Proofs.check list -> evidence:seed_evidence list -> Lemma.t list
+(** The five kernel lemmas from a [checks_of_evidence] list, refined by
+    the unwinding components they own. *)
+
+val lemma_of_exhaustive :
+  kind_label:string -> resources:string list -> Exhaustive.result -> Lemma.t
+
+val compose : Lemma.t list -> t
+(** Conjoin: holds iff nothing is refuted and nothing out-of-scope is
+    unacknowledged; the first counter-example names the lemma. *)
+
+type derivation = {
+  theorem : t;
+  checks : Proofs.check list;
+  subjects : subject list;
+  evidence : seed_evidence list;
+}
+
+val derive :
+  ?acknowledge:string list ->
+  ?max_steps:int ->
+  ?max_lo_steps:int ->
+  ?seeds:int list ->
+  build:(seed:int -> secret:int -> Nonint.run) ->
+  secrets:int list ->
+  unit ->
+  derivation
+(** Collect over all seeds and compose in-process (the sequential path
+    used by {!Verify}; [tpro prove] runs [collect] under the supervisor
+    instead).  Default seeds [[0;1;2]] as in [Proofs.all]. *)
+
+val evidence_to_string : seed_evidence -> string
+val evidence_of_string : string -> (seed_evidence, string) result
+(** Line-based serialisation for [tpro prove]'s checkpoints; free-text
+    fields are {!Tpro_engine.Checkpoint.escape}d, so the blob survives a
+    further escape onto a single checkpoint line. *)
+
+val pp_verdict_table : Format.formatter -> Lemma.t list -> unit
+val pp : Format.formatter -> t -> unit

@@ -30,9 +30,27 @@ type obs_memo = {
   mutable m_counts : int array;
   mutable m_accs : int64 array;
       (** [m_accs.(i)]: the fold accumulator after thread [i]'s codes *)
+  m_res : (string, int64 * int64) Hashtbl.t;
+      (** resource name -> (digest when projected, projection).  The
+          registry digest is incremental (every state mutation updates
+          it), so an unchanged digest means an unchanged projection; the
+          expensive Lo-slice walks only run when the resource actually
+          changed between boundaries. *)
 }
 
-let obs_memo () = { m_threads = [||]; m_counts = [||]; m_accs = [||] }
+let obs_memo () =
+  { m_threads = [||]; m_counts = [||]; m_accs = [||];
+    m_res = Hashtbl.create 16 }
+
+let project_memo memo r view =
+  let key = Resource.digest r in
+  let name = Resource.name r in
+  match Hashtbl.find_opt memo.m_res name with
+  | Some (k, v) when k = key -> v
+  | _ ->
+    let v = Resource.lo_project r view in
+    Hashtbl.replace memo.m_res name (key, v);
+    v
 
 let rec take n = function
   | x :: r when n > 0 -> x :: take (n - 1) r
@@ -116,30 +134,39 @@ let lo_view ?memo k ~lo_dom =
            (fun th -> List.map obs_code (Thread.observations th))
            (Domain.threads dom))
   in
-  let llc = Machine.llc m in
-  let geom = Cache.geom llc in
-  let page_bits = Kernel.page_bits k in
-  (* This runs once per Lo instruction boundary, over every LLC set —
-     the hottest digest loop in the unwinding check.  Hoist the colour
-     membership test into a bool table; [Cache.digest_set] itself is
-     served from the cache's per-set memo.  Fold order over the selected
-     sets is unchanged, so the view digest is bit-identical. *)
-  let owned = Array.make (max (Machine.n_colours m) 1) false in
-  List.iter
-    (fun c -> if c < Array.length owned then owned.(c) <- true)
-    dom.Domain.colours;
-  let partition = ref 0x22L in
-  for set = 0 to geom.Cache.sets - 1 do
-    if owned.(Cache.colour_of_set geom ~page_bits set) then
-      partition := Rng.chain !partition (Cache.digest_set llc set)
-  done;
-  [
-    ("lo-threads", threads);
-    ("lo-observations", observations);
-    ("llc-partition", !partition);
-    ("core-private", Machine.digest_core m ~core);
-    ("clock", Int64.of_int (Machine.now m ~core));
-  ]
+  (* Registry fold: Lo's view of the microarchitecture is one component
+     per registered in-scope resource, named by its obligation
+     ([flush:<r>] / [partition:<r>]) and valued by the resource's own
+     Lo-projection ([Resource.lo_project] — the whole digest for a
+     flushable resource, the Lo-coloured slice for a partitioned one).
+     Out-of-scope resources contribute nothing here; their absence is
+     what the composed theorem's acknowledgement machinery makes loud.
+     Comparing per-resource projections is component-wise at least as
+     strict as the old chained "core-private"/"llc-partition" digests,
+     and a divergence now names the lemma that broke. *)
+  let view =
+    {
+      Resource.lo_colours = dom.Domain.colours;
+      page_bits = Kernel.page_bits k;
+    }
+  in
+  let project =
+    match memo with
+    | Some mm -> fun r -> project_memo mm r view
+    | None -> fun r -> Resource.lo_project r view
+  in
+  let resources =
+    List.filter_map
+      (fun r ->
+        match Resource.lemma_component r with
+        | Some cid -> Some (cid, project r)
+        | None -> None)
+      (Machine.core_resources m ~core @ Machine.shared_resources m)
+  in
+  ("lo-threads", threads)
+  :: ("lo-observations", observations)
+  :: resources
+  @ [ ("kernel:clock", Int64.of_int (Machine.now m ~core)) ]
 
 let lo_count (run : Nonint.run) =
   List.fold_left
@@ -195,43 +222,172 @@ let check_pair ?(max_lo_steps = 20_000) ~build ~secret1 ~secret2 () =
   in
   go 1
 
-let check ?max_lo_steps ~build ~secrets () =
-  let name = "unwinding" in
-  let description =
-    "Lo's complete state view is preserved at every Lo instruction \
-     boundary (state-level unwinding relation)"
+(* ------------------------------------------------------------------ *)
+(* Full sweeps: the evidence-gathering form of [check_pair].
+
+   [check_pair] stops at the first divergence — right for a pass/fail
+   verdict, but the composed theorem needs to attribute a failure to
+   *every* lemma whose component broke, and the fuzz oracle needs the
+   two runs fully executed afterwards for the observation-trace
+   comparison.  A sweep runs the same lockstep loop to quiescence,
+   recording the first Lo step at which each view component diverged. *)
+
+type sweep = {
+  run_a : Nonint.run;
+  run_b : Nonint.run;
+  components : string list;
+  diverged : (string * int) list;
+  progress : int option;
+  boundaries : int;
+}
+
+let sweep_pair ?(max_lo_steps = 20_000) ?max_kernel_steps ~build ~secret1
+    ~secret2 () =
+  let a = prepare build secret1 in
+  let b = prepare build secret2 in
+  let lo_dom =
+    match a.Nonint.observers with
+    | th :: _ -> th.Thread.dom
+    | [] -> invalid_arg "Unwinding.sweep_pair: no observers"
   in
-  match secrets with
+  let memo_a = obs_memo () and memo_b = obs_memo () in
+  let budget_a = ref (Option.value max_kernel_steps ~default:max_int) in
+  let budget_b = ref (Option.value max_kernel_steps ~default:max_int) in
+  (* like [advance], but bounded by a per-run kernel-step budget so the
+     fuzz oracle can cap runaway scenarios *)
+  let advance_b run budget ~target =
+    let rec go () =
+      if lo_count run >= target then true
+      else if !budget > 0 && Kernel.step run.Nonint.kernel then begin
+        decr budget;
+        go ()
+      end
+      else false
+    in
+    go ()
+  in
+  let components = ref [] in
+  let seen = Hashtbl.create 16 in
+  let diverged = ref [] in
+  let progress = ref None in
+  let boundaries = ref 0 in
+  let rec go k =
+    if k > max_lo_steps then ()
+    else begin
+      let a_live = advance_b a budget_a ~target:k in
+      let b_live = advance_b b budget_b ~target:k in
+      if a_live <> b_live then progress := Some k
+      else if a_live then begin
+        incr boundaries;
+        let va = lo_view ~memo:memo_a a.Nonint.kernel ~lo_dom in
+        let vb = lo_view ~memo:memo_b b.Nonint.kernel ~lo_dom in
+        if !components = [] then components := List.map fst va;
+        List.iter2
+          (fun (na, da) (nb, db) ->
+            assert (na = nb);
+            if da <> db && not (Hashtbl.mem seen na) then begin
+              Hashtbl.add seen na ();
+              diverged := (na, k) :: !diverged
+            end)
+          va vb;
+        go (k + 1)
+      end
+    end
+  in
+  go 1;
+  {
+    run_a = a;
+    run_b = b;
+    components = !components;
+    diverged = List.rev !diverged;
+    progress = !progress;
+    boundaries = !boundaries;
+  }
+
+(* The first divergence in (Lo step, view order) — what [check_pair]
+   would have reported.  [diverged] is recorded in discovery order
+   (step-major, then view order within a step), so its head is exactly
+   that; a progress divergence can only be last, because the sweep stops
+   there. *)
+let first_divergence ~diverged ~progress =
+  match diverged with
+  | (component, lo_step) :: _ -> Some { lo_step; component }
+  | [] -> (
+    match progress with
+    | Some k -> Some { lo_step = k; component = "lo-progress" }
+    | None -> None)
+
+let sweep_divergence sw =
+  first_divergence ~diverged:sw.diverged ~progress:sw.progress
+
+(* ------------------------------------------------------------------ *)
+(* Proof-obligation rendering, shared by [check] (which probes pairs
+   itself) and [Theorem] (which replays recorded sweep evidence) — one
+   formatter, so the two paths are byte-identical. *)
+
+let unwinding_name = "unwinding"
+
+let unwinding_description =
+  "Lo's complete state view is preserved at every Lo instruction \
+   boundary (state-level unwinding relation)"
+
+let describe_divergence ~secret1 ~secret2 d =
+  Printf.sprintf "secrets (%d,%d): %s differs at Lo step %d" secret1 secret2
+    d.component d.lo_step
+
+let no_secrets_check =
+  {
+    Proofs.name = unwinding_name;
+    description = unwinding_description;
+    holds = true;
+    detail = Proofs.Stats "no secrets sampled";
+  }
+
+let summarise ~n_pairs failures =
+  match failures with
   | [] ->
-    { Proofs.name; description; holds = true; detail = "no secrets sampled" }
-  | base :: rest -> (
+    {
+      Proofs.name = unwinding_name;
+      description = unwinding_description;
+      holds = true;
+      detail =
+        Proofs.Stats
+          (Printf.sprintf "%d secret pairs, Lo-equivalence preserved stepwise"
+             n_pairs);
+    }
+  | d :: _ ->
+    {
+      Proofs.name = unwinding_name;
+      description = unwinding_description;
+      holds = false;
+      detail =
+        Proofs.Counter_example
+          (Printf.sprintf "%d/%d pairs broke the relation; first: %s"
+             (List.length failures) n_pairs d);
+    }
+
+let check ?max_lo_steps ~build ~secrets () =
+  match secrets with
+  | [] -> no_secrets_check
+  | base :: rest ->
     let failures =
       List.filter_map
         (fun s ->
-          match check_pair ?max_lo_steps ~build ~secret1:base ~secret2:s () with
-          | Some d ->
-            Some
-              (Printf.sprintf "secrets (%d,%d): %s differs at Lo step %d"
-                 base s d.component d.lo_step)
-          | None -> None)
+          Option.map
+            (describe_divergence ~secret1:base ~secret2:s)
+            (check_pair ?max_lo_steps ~build ~secret1:base ~secret2:s ()))
         rest
     in
-    match failures with
-    | [] ->
-      {
-        Proofs.name;
-        description;
-        holds = true;
-        detail =
-          Printf.sprintf "%d secret pairs, Lo-equivalence preserved stepwise"
-            (List.length rest);
-      }
-    | d :: _ ->
-      {
-        Proofs.name;
-        description;
-        holds = false;
-        detail =
-          Printf.sprintf "%d/%d pairs broke the relation; first: %s"
-            (List.length failures) (List.length rest) d;
-      })
+    summarise ~n_pairs:(List.length rest) failures
+
+let check_of_pairs ~secrets pairs =
+  match secrets with
+  | [] -> no_secrets_check
+  | _ ->
+    let failures =
+      List.filter_map
+        (fun ((s1, s2), d) ->
+          Option.map (describe_divergence ~secret1:s1 ~secret2:s2) d)
+        pairs
+    in
+    summarise ~n_pairs:(List.length pairs) failures

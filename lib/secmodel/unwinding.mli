@@ -12,15 +12,18 @@
 
     - Lo's thread states (program counters, run states, messages);
     - Lo's observation trace so far;
-    - the contents of every LLC set in Lo's cache partition;
-    - all core-private micro-architectural state (valid at a Lo boundary,
-      where Lo is current on the core);
-    - the core's cycle counter.
+    - one component per in-scope resource in the machine's registry —
+      the resource's {!Tpro_hw.Resource.lo_project} under its obligation
+      ([flush:<name>] for flushables, [partition:<name>] for
+      partitionables; out-of-scope resources are excluded and surface
+      through the theorem's acknowledgement machinery instead);
+    - the core's cycle counter ([kernel:clock]).
 
     This is strictly stronger than comparing final observations: a
     divergence is caught at the first *state* difference, even if no
-    observation has (yet) revealed it, and the report names the state
-    component that broke. *)
+    observation has (yet) revealed it, and the report names the
+    per-resource lemma that broke.  Because the view is a registry fold,
+    a newly registered resource is covered with zero edits here. *)
 
 open Tpro_kernel
 
@@ -52,6 +55,45 @@ val check_pair :
 (** Lockstep comparison; [None] means the unwinding relation held at
     every Lo boundary reached by both runs. *)
 
+type sweep = {
+  run_a : Nonint.run;
+  run_b : Nonint.run;
+  components : string list;
+      (** view component names in view order (empty if the runs quiesced
+          before the first Lo boundary) *)
+  diverged : (string * int) list;
+      (** for each component that ever diverged, the first Lo step at
+          which it did — in discovery order (step-major, then view
+          order), so the head is what {!check_pair} would report *)
+  progress : int option;
+      (** Lo step at which one run quiesced while the other continued *)
+  boundaries : int;  (** Lo boundaries at which the view was compared *)
+}
+(** Evidence from a full lockstep sweep: unlike {!check_pair} it does
+    not stop at the first divergence, so a failure can be attributed to
+    every per-resource lemma that broke, and both runs are fully
+    executed afterwards (the fuzz oracle compares their observation
+    traces). *)
+
+val sweep_pair :
+  ?max_lo_steps:int ->
+  ?max_kernel_steps:int ->
+  build:(secret:int -> Nonint.run) ->
+  secret1:int ->
+  secret2:int ->
+  unit ->
+  sweep
+(** [max_kernel_steps] bounds each run's total kernel steps (the fuzz
+    oracle's runaway cap); default unbounded. *)
+
+val first_divergence :
+  diverged:(string * int) list -> progress:int option -> divergence option
+(** The (step, view-order) first divergence — [check_pair]'s verdict
+    recovered from sweep evidence; a progress divergence reports
+    component ["lo-progress"]. *)
+
+val sweep_divergence : sweep -> divergence option
+
 val check :
   ?max_lo_steps:int ->
   build:(secret:int -> Nonint.run) ->
@@ -59,3 +101,10 @@ val check :
   unit ->
   Proofs.check
 (** All secrets against the first, as a proof obligation. *)
+
+val check_of_pairs :
+  secrets:int list -> ((int * int) * divergence option) list -> Proofs.check
+(** The same proof obligation reconstructed from recorded evidence (one
+    optional first divergence per secret pair, in pair order) — rendered
+    through the same formatter as {!check}, so a theorem derived from
+    sweeps reports byte-identically to a direct check. *)

@@ -105,6 +105,72 @@ let test_checkpoint_resume_identical () =
       Alcotest.(check string) "resumed stdout is byte-identical"
         (read_file ref_out) (read_file res_out))
 
+(* `tpro prove` exit semantics: 0 when every lemma is proved and scope
+   is acknowledged, 1 when a lemma is refuted, 2 when an out-of-scope
+   registration is unacknowledged. *)
+let smoke = [ "prove"; "--smoke"; "-j"; "2" ]
+let ack = [ "--acknowledge"; "memory interconnect" ]
+
+let test_prove_exit_codes () =
+  check_exit "full + acknowledge exits 0" 0 (smoke @ ack);
+  check_exit "unacknowledged scope exits 2" 2 smoke;
+  check_exit "refuted preset exits 1" 1 (smoke @ ack @ [ "--preset"; "none" ]);
+  check_exit "unknown preset exits 1" 1 (smoke @ [ "--preset"; "wat" ]);
+  check_exit "bad --seeds exits 124" 124 [ "prove"; "--seeds"; "x" ]
+
+let test_prove_json_artifact () =
+  let json = Filename.temp_file "tpro-cli-prove" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists json then Sys.remove json)
+    (fun () ->
+      check_exit "prove --json exits 0" 0 (smoke @ ack @ [ "--json"; json ]);
+      let body = read_file json in
+      List.iter
+        (fun needle ->
+          let lh = String.length body and ln = String.length needle in
+          let rec go i =
+            i + ln <= lh && (String.sub body i ln = needle || go (i + 1))
+          in
+          Alcotest.(check bool) ("artifact mentions " ^ needle) true (go 0))
+        [
+          "tpro-prove/1"; "flush:l1d0"; "partition:llc";
+          "kernel:padded-switch"; "exhaustive:cache"; "\"holds\": true";
+        ])
+
+(* A prove run resumed from a half-way checkpoint (only some of the
+   (preset x seed) evidence tasks recorded) prints stdout byte-identical
+   to an uninterrupted run. *)
+let test_prove_checkpoint_resume () =
+  let ckpt = Filename.temp_file "tpro-cli-pck" ".txt" in
+  let ref_out = Filename.temp_file "tpro-cli-pref" ".txt" in
+  let res_out = Filename.temp_file "tpro-cli-pres" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ ckpt; ref_out; res_out ])
+    (fun () ->
+      Sys.remove ckpt;
+      let base = smoke @ ack @ [ "--seeds"; "0,1" ] in
+      Alcotest.(check int) "reference prove exits 0" 0
+        (run ~stdout:ref_out base);
+      (* partial: only seed 0's evidence lands in the checkpoint *)
+      Alcotest.(check int) "partial prove exits 0" 0
+        (run
+           (smoke @ ack @ [ "--seeds"; "0"; "--checkpoint"; ckpt ]));
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists ckpt);
+      (* the resumed full run rejects the seed-mismatched checkpoint and
+         recollects — still byte-identical output *)
+      Alcotest.(check int) "resumed prove exits 0" 0
+        (run ~stdout:res_out (base @ [ "--resume"; ckpt ]));
+      Alcotest.(check string) "resumed stdout is byte-identical"
+        (read_file ref_out) (read_file res_out);
+      (* resuming with matching parameters reuses every task *)
+      Alcotest.(check int) "second resume exits 0" 0
+        (run ~stdout:res_out (base @ [ "--resume"; ckpt ]));
+      Alcotest.(check string) "fully-resumed stdout is byte-identical"
+        (read_file ref_out) (read_file res_out))
+
 let suite =
   [
     Alcotest.test_case "cmdliner parse errors exit 124" `Quick
@@ -118,4 +184,9 @@ let suite =
       test_replay_malformed_file;
     Alcotest.test_case "checkpoint/resume stdout is byte-identical" `Quick
       test_checkpoint_resume_identical;
+    Alcotest.test_case "prove exit codes" `Quick test_prove_exit_codes;
+    Alcotest.test_case "prove writes the lemma-verdict artifact" `Quick
+      test_prove_json_artifact;
+    Alcotest.test_case "prove checkpoint/resume stdout is byte-identical"
+      `Quick test_prove_checkpoint_resume;
   ]

@@ -154,6 +154,51 @@ let test_kill_skip_flush () = check_mutant_killed Scenario.Skip_flush
 let test_kill_drop_padding () = check_mutant_killed Scenario.Drop_padding
 let test_kill_miscolour () = check_mutant_killed Scenario.Miscolour
 
+(* Tentpole acceptance: each mutant is killed by its *matching named
+   lemma* — the noninterference oracle's failure message must name
+   exactly the lemma of the composed theorem that the bypass refutes
+   (skip-flush: the victim resource's [flush:] lemma; drop-padding:
+   [kernel:padded-switch]; miscolour: [partition:llc]).  Every Nonint
+   kill is checked, and at least three must occur within the scan. *)
+let contains needle hay =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_lemma_kills mutant ~expect =
+  let kills = ref 0 and idx = ref 0 in
+  while !kills < 3 && !idx < 400 do
+    let s = Scenario.generate ~seed:42 ~mutant !idx in
+    (if s.Scenario.oracle = Scenario.Nonint then
+       match Oracle.check s with
+       | Oracle.Fail msg ->
+         incr kills;
+         let lemma = expect s in
+         Alcotest.(check bool)
+           (Printf.sprintf "%s kill (idx %d) blames lemma %s, message: %s"
+              (Scenario.mutant_to_string mutant)
+              !idx lemma msg)
+           true
+           (contains ("lemma " ^ lemma ^ " refuted") msg)
+       | Oracle.Pass -> ());
+    incr idx
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: at least 3 nonint kills within 400 scenarios"
+       (Scenario.mutant_to_string mutant))
+    true (!kills >= 3)
+
+let test_lemma_skip_flush () =
+  check_lemma_kills Scenario.Skip_flush ~expect:(fun s ->
+      "flush:" ^ Scenario.skip_target s)
+
+let test_lemma_drop_padding () =
+  check_lemma_kills Scenario.Drop_padding ~expect:(fun _ ->
+      "kernel:padded-switch")
+
+let test_lemma_miscolour () =
+  check_lemma_kills Scenario.Miscolour ~expect:(fun _ -> "partition:llc")
+
 (* Fan-out must not change results: the pool path and the sequential
    path agree failure-for-failure (here: both empty on a clean run). *)
 let test_pool_matches_sequential () =
@@ -180,6 +225,12 @@ let suite =
     Alcotest.test_case "drop-padding mutant killed" `Quick
       test_kill_drop_padding;
     Alcotest.test_case "miscolour mutant killed" `Quick test_kill_miscolour;
+    Alcotest.test_case "skip-flush blamed on flush:<victim>" `Quick
+      test_lemma_skip_flush;
+    Alcotest.test_case "drop-padding blamed on kernel:padded-switch" `Quick
+      test_lemma_drop_padding;
+    Alcotest.test_case "miscolour blamed on partition:llc" `Quick
+      test_lemma_miscolour;
     Alcotest.test_case "pool fan-out matches sequential" `Quick
       test_pool_matches_sequential;
   ]

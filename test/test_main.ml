@@ -31,6 +31,7 @@ let () =
       ("engine-edges", Test_engine_edges.suite);
       ("parallel-engine", Test_parallel.suite);
       ("supervisor", Test_supervisor.suite);
+      ("prove", Test_prove.suite);
       ("fuzz", Test_fuzz.suite);
       ("cli", Test_cli.suite);
     ]

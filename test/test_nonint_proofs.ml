@@ -100,7 +100,7 @@ let test_across_seeds_reports_failing_seed () =
   in
   Alcotest.(check bool) "failure surfaces" false c.Proofs.holds;
   Alcotest.(check bool) "seed named in detail" true
-    (String.length c.Proofs.detail > 0)
+    (String.length (Proofs.detail_text c.Proofs.detail) > 0)
 
 let test_unwinding_holds_full () =
   let c =
@@ -115,8 +115,8 @@ let test_unwinding_names_component () =
   with
   | None -> Alcotest.fail "colour ablation must break the relation"
   | Some d ->
-    Alcotest.(check string) "the LLC partition is the broken component"
-      "llc-partition" d.Unwinding.component;
+    Alcotest.(check string) "the LLC partition lemma is the broken component"
+      "partition:llc" d.Unwinding.component;
     Alcotest.(check bool) "at a definite Lo step" true (d.Unwinding.lo_step >= 1)
 
 let test_lo_view_shape () =
@@ -124,7 +124,17 @@ let test_lo_view_shape () =
   let lo_dom = (List.hd run.Nonint.observers).Thread.dom in
   let view = Unwinding.lo_view run.Nonint.kernel ~lo_dom in
   Alcotest.(check (list string)) "view components"
-    [ "lo-threads"; "lo-observations"; "llc-partition"; "core-private"; "clock" ]
+    [
+      "lo-threads";
+      "lo-observations";
+      "flush:l1i0";
+      "flush:l1d0";
+      "flush:TLB";
+      "flush:branch predictor";
+      "flush:prefetcher";
+      "partition:llc";
+      "kernel:clock";
+    ]
     (List.map fst view)
 
 let test_execute_traces_observers () =

@@ -63,39 +63,39 @@ let test_compare_many () =
   | Some (1, _) -> ()
   | _ -> Alcotest.fail "expected divergence in second trace"
 
-(* ------------------------- Tlb_theorem ---------------------------- *)
+(* ----------------------- Lemma.Tlb_asid --------------------------- *)
 
 let test_consistency_definition () =
   let tlb = Tlb.create ~capacity:8 in
   let pt = Hashtbl.create 4 in
   Hashtbl.replace pt 1 100;
   Tlb.insert tlb ~asid:1 ~vpn:1 ~pfn:100;
-  Alcotest.(check bool) "consistent" true (Tlb_theorem.consistent tlb ~asid:1 pt);
+  Alcotest.(check bool) "consistent" true (Lemma.Tlb_asid.consistent tlb ~asid:1 pt);
   Hashtbl.replace pt 1 200;
   Alcotest.(check bool) "stale entry detected" false
-    (Tlb_theorem.consistent tlb ~asid:1 pt)
+    (Lemma.Tlb_asid.consistent tlb ~asid:1 pt)
 
 let test_apply_map_invalidate () =
   let tlb = Tlb.create ~capacity:8 in
   let pt = Hashtbl.create 4 in
-  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 30 });
-  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Touch 3);
+  Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Map { vpn = 3; pfn = 30 });
+  Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Touch 3);
   Alcotest.(check (option int)) "cached" (Some 30) (Tlb.peek tlb ~asid:1 ~vpn:3);
-  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 99 });
+  Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Map { vpn = 3; pfn = 99 });
   Alcotest.(check (option int)) "invalidated on remap" None
     (Tlb.peek tlb ~asid:1 ~vpn:3);
   Alcotest.(check bool) "still consistent" true
-    (Tlb_theorem.consistent tlb ~asid:1 pt)
+    (Lemma.Tlb_asid.consistent tlb ~asid:1 pt)
 
 let test_buggy_os_breaks_own () =
   let tlb = Tlb.create ~capacity:8 in
   let pt = Hashtbl.create 4 in
-  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Map { vpn = 3; pfn = 30 });
-  Tlb_theorem.apply tlb ~asid:1 pt (Tlb_theorem.Touch 3);
-  Tlb_theorem.apply ~invalidate_on_update:false tlb ~asid:1 pt
-    (Tlb_theorem.Map { vpn = 3; pfn = 99 });
+  Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Map { vpn = 3; pfn = 30 });
+  Lemma.Tlb_asid.apply tlb ~asid:1 pt (Lemma.Tlb_asid.Touch 3);
+  Lemma.Tlb_asid.apply ~invalidate_on_update:false tlb ~asid:1 pt
+    (Lemma.Tlb_asid.Map { vpn = 3; pfn = 99 });
   Alcotest.(check bool) "own consistency broken" false
-    (Tlb_theorem.consistent tlb ~asid:1 pt)
+    (Lemma.Tlb_asid.consistent tlb ~asid:1 pt)
 
 let prop_partition_theorem =
   QCheck.Test.make ~name:"ASID A ops preserve ASID B consistency" ~count:200
@@ -106,19 +106,19 @@ let prop_partition_theorem =
       let pt_a = Hashtbl.create 8 and pt_b = Hashtbl.create 8 in
       for vpn = 0 to 5 do
         Hashtbl.replace pt_b vpn (200 + vpn);
-        Tlb_theorem.apply tlb ~asid:2 pt_b (Tlb_theorem.Touch vpn)
+        Lemma.Tlb_asid.apply tlb ~asid:2 pt_b (Lemma.Tlb_asid.Touch vpn)
       done;
       let ops =
         List.map
           (fun (vpn, k) ->
             match k with
-            | 0 -> Tlb_theorem.Map { vpn; pfn = Rng.int rng 128 }
-            | 1 -> Tlb_theorem.Unmap vpn
-            | 2 -> Tlb_theorem.Touch vpn
-            | _ -> Tlb_theorem.Flush_asid)
+            | 0 -> Lemma.Tlb_asid.Map { vpn; pfn = Rng.int rng 128 }
+            | 1 -> Lemma.Tlb_asid.Unmap vpn
+            | 2 -> Lemma.Tlb_asid.Touch vpn
+            | _ -> Lemma.Tlb_asid.Flush_asid)
           raw_ops
       in
-      Tlb_theorem.partition_preserved tlb ~actor_asid:1 ~ops ~actor_pt:pt_a
+      Lemma.Tlb_asid.partition_preserved tlb ~actor_asid:1 ~ops ~actor_pt:pt_a
         ~other_asid:2 ~other_pt:pt_b)
 
 (* ------------------------- Invariant ------------------------------ *)
