@@ -39,6 +39,13 @@
    are bit-identical.  Written to BENCH_prove.json; runs in [--smoke]
    too.
 
+   Part 7 benchmarks the topology campaigns: generated N-domain/M-core
+   systems at three (max-domains, max-cores) bounds, timing the full
+   pairwise-oracle check per topology — topologies/sec and the cost per
+   ordered domain pair, written to BENCH_topology.json.  Runs in
+   [--smoke] too, and fails the run if a clean campaign reports any
+   pairwise violation.
+
    Flags: [-j N] pool size, [--seeds 0,1,...] trial seeds,
    [--json PATH] output path, [--supervisor-json PATH] supervision
    bench output, [--flatstate-json PATH] flat-state bench output,
@@ -59,6 +66,7 @@ let json_path = ref "BENCH_parallel.json"
 let sup_json_path = ref "BENCH_supervisor.json"
 let flat_json_path = ref "BENCH_flatstate.json"
 let prove_json_path = ref "BENCH_prove.json"
+let topo_json_path = ref "BENCH_topology.json"
 let budget_cache_digest_ns = ref 0.0
 let smoke = ref false
 
@@ -83,6 +91,9 @@ let () =
       ( "--prove-json",
         Arg.Set_string prove_json_path,
         "PATH  where to write the theorem-prover bench JSON" );
+      ( "--topology-json",
+        Arg.Set_string topo_json_path,
+        "PATH  where to write the topology-campaign bench JSON" );
       ( "--budget-cache-digest-ns",
         Arg.Set_float budget_cache_digest_ns,
         "N  fail the run if the incremental cache digest exceeds N ns/run \
@@ -733,6 +744,109 @@ let write_prove_json path b =
   close_out oc;
   Format.printf "wrote %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: topology campaigns (N-domain/M-core pairwise oracles)        *)
+
+type topo_shape = {
+  shape_label : string;
+  shape_trials : int;
+  shape_domains : int;  (** total domains drawn across the trials *)
+  shape_pairs : int;  (** total ordered (varied, observer) pairs checked *)
+  shape_seconds : float;
+  shape_violations : int;
+}
+
+type topo_bench = {
+  topo_shapes : topo_shape list;
+  topo_clean : bool;  (** zero violations across every shape *)
+}
+
+(* One shape = one (max_domains, max_cores) bound pair; the pairwise
+   oracle's cost is dominated by N+3 executions per topology plus the
+   N·(N-1) evidence comparisons, so the interesting fit is seconds
+   against the drawn pair count, not the trial count. *)
+let bench_topology () =
+  let trials = if !smoke then 4 else 12 in
+  let shapes =
+    List.map
+      (fun (max_domains, max_cores) ->
+        let label = Printf.sprintf "%dx%d" max_domains max_cores in
+        let topos =
+          List.init trials
+            (Tpro_fuzz.Topology.generate ~seed:42 ~max_domains ~max_cores)
+        in
+        let violations = ref 0 in
+        let _, dt =
+          time_wall (fun () ->
+              List.iter
+                (fun t ->
+                  match Tpro_fuzz.Oracle.check_topology t with
+                  | Tpro_fuzz.Oracle.Pass -> ()
+                  | Tpro_fuzz.Oracle.Fail _ -> incr violations)
+                topos)
+        in
+        {
+          shape_label = label;
+          shape_trials = trials;
+          shape_domains =
+            List.fold_left
+              (fun acc t -> acc + Tpro_fuzz.Topology.n_domains t)
+              0 topos;
+          shape_pairs =
+            List.fold_left
+              (fun acc t ->
+                acc + List.length (Tpro_fuzz.Topology.pairs t))
+              0 topos;
+          shape_seconds = dt;
+          shape_violations = !violations;
+        })
+      [ (2, 1); (4, 2); (8, 4) ]
+  in
+  {
+    topo_shapes = shapes;
+    topo_clean = List.for_all (fun s -> s.shape_violations = 0) shapes;
+  }
+
+let print_topo_bench b =
+  Format.printf
+    "=== Topology campaigns: pairwise oracle cost vs. N.M ===@.@.";
+  Format.printf "  %-8s %7s %8s %7s %10s %11s %10s@." "bound" "trials"
+    "domains" "pairs" "seconds" "topo/sec" "ms/pair";
+  List.iter
+    (fun s ->
+      Format.printf "  %-8s %7d %8d %7d %10.3f %11.1f %10.2f@." s.shape_label
+        s.shape_trials s.shape_domains s.shape_pairs s.shape_seconds
+        (float_of_int s.shape_trials /. s.shape_seconds)
+        (1000.0 *. s.shape_seconds /. float_of_int s.shape_pairs))
+    b.topo_shapes;
+  Format.printf "  zero pairwise violations:    %b@.@." b.topo_clean
+
+let write_topo_json path b =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tpro-bench-topology/1\",\n";
+  p "  \"shapes\": {\n";
+  let n = List.length b.topo_shapes in
+  List.iteri
+    (fun i s ->
+      p
+        "    \"%s\": { \"trials\": %d, \"domains\": %d, \"pairs\": %d, \
+         \"seconds\": %.6f, \"topologies_per_second\": %.4f, \
+         \"ms_per_pair\": %.4f, \"violations\": %d }%s\n"
+        (json_escape s.shape_label) s.shape_trials s.shape_domains
+        s.shape_pairs s.shape_seconds
+        (float_of_int s.shape_trials /. s.shape_seconds)
+        (1000.0 *. s.shape_seconds /. float_of_int s.shape_pairs)
+        s.shape_violations
+        (if i = n - 1 then "" else ","))
+    b.topo_shapes;
+  p "  },\n";
+  p "  \"zero_pairwise_violations\": %b\n" b.topo_clean;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let () =
   if not !smoke then regenerate_tables ();
   let par, raw_tables = bench_parallel () in
@@ -748,10 +862,18 @@ let () =
   print_flat_bench flat;
   let prove = bench_prove () in
   print_prove_bench prove;
+  let topo = bench_topology () in
+  print_topo_bench topo;
   write_json !json_path par micro;
   write_sup_json !sup_json_path sup;
   write_flat_json !flat_json_path flat;
   write_prove_json !prove_json_path prove;
+  write_topo_json !topo_json_path topo;
+  if not topo.topo_clean then begin
+    Format.printf
+      "ERROR: clean topology campaign reported pairwise violations@.";
+    exit 1
+  end;
   if not prove.prove_identical then begin
     Format.printf
       "ERROR: parallel theorem derivation diverged from sequential output@.";

@@ -222,25 +222,38 @@ let run_prove preset all seeds secrets smoke jobs acknowledge json checkpoint
    security oracles, with shrunk counterexamples persisted for replay.
    The campaign runs under supervision: one bad task costs one result,
    the run completes, and the missing trials are reported (exit 2). *)
+(* One replay path for both fuzz and topo: the loader dispatches on the
+   file's format line, so either subcommand replays anything the tool
+   ever wrote (format-1 scenarios, format-2 topologies, and
+   pre-versioning scenario files with no format line). *)
+let run_replay path =
+  match Tpro_fuzz.Replay.load path with
+  | Error (Tpro_fuzz.Scenario.Io msg) ->
+    Printf.eprintf "cannot replay %s: %s\n" path msg;
+    exit 1
+  | Error (Tpro_fuzz.Scenario.Parse pe) ->
+    Format.eprintf "cannot replay %s: %a@." path
+      Tpro_fuzz.Scenario.pp_parse_error pe;
+    exit 124
+  | Ok (Tpro_fuzz.Replay.Scenario s) -> (
+    Format.printf "replaying %a@." Tpro_fuzz.Scenario.pp s;
+    match Tpro_fuzz.Oracle.check s with
+    | Tpro_fuzz.Oracle.Pass -> print_endline "replay: PASS"
+    | Tpro_fuzz.Oracle.Fail m ->
+      Printf.printf "replay: FAIL: %s\n" m;
+      exit 1)
+  | Ok (Tpro_fuzz.Replay.Topology t) -> (
+    Format.printf "replaying %a@." Tpro_fuzz.Topology.pp t;
+    match Tpro_fuzz.Oracle.check_topology t with
+    | Tpro_fuzz.Oracle.Pass -> print_endline "replay: PASS"
+    | Tpro_fuzz.Oracle.Fail m ->
+      Printf.printf "replay: FAIL: %s\n" m;
+      exit 1)
+
 let run_fuzz seed trials jobs mutant replay out checkpoint checkpoint_every
     resume =
   match replay with
-  | Some path -> (
-    match Tpro_fuzz.Scenario.load path with
-    | Error (Tpro_fuzz.Scenario.Io msg) ->
-      Printf.eprintf "cannot replay %s: %s\n" path msg;
-      exit 1
-    | Error (Tpro_fuzz.Scenario.Parse pe) ->
-      Format.eprintf "cannot replay %s: %a@." path
-        Tpro_fuzz.Scenario.pp_parse_error pe;
-      exit 124
-    | Ok s -> (
-      Format.printf "replaying %a@." Tpro_fuzz.Scenario.pp s;
-      match Tpro_fuzz.Oracle.check s with
-      | Tpro_fuzz.Oracle.Pass -> print_endline "replay: PASS"
-      | Tpro_fuzz.Oracle.Fail m ->
-        Printf.printf "replay: FAIL: %s\n" m;
-        exit 1))
+  | Some path -> run_replay path
   | None ->
     Supervisor.with_supervisor ~domains:jobs (fun sup ->
         let c =
@@ -268,6 +281,48 @@ let run_fuzz seed trials jobs mutant replay out checkpoint checkpoint_every
           Format.printf
             "shrunk counterexample written to %s (replay with: tpro fuzz \
              --replay %s)@."
+            out out;
+          exit 1)
+
+(* Topology campaigns: N-domain/M-core systems with the noninterference
+   and capacity oracles demanded pairwise across every (varied,
+   observer) domain pair.  Same supervision/checkpoint/exit-code
+   contract as `tpro fuzz`. *)
+let run_topo seed trials jobs mutant max_domains max_cores replay out
+    checkpoint checkpoint_every resume =
+  match replay with
+  | Some path -> run_replay path
+  | None ->
+    Supervisor.with_supervisor ~domains:jobs (fun sup ->
+        let c =
+          Tpro_fuzz.Driver.topo_campaign ~sup ~mutant
+            ?checkpoint:(checkpoint_path checkpoint resume)
+            ~checkpoint_every ~resume:(resume <> None) ~max_domains ~max_cores
+            ~seed ~trials ()
+        in
+        print_supervision_stderr sup c.Tpro_fuzz.Driver.topo_notes;
+        List.iter
+          (fun { Tpro_fuzz.Driver.trial; error } ->
+            Format.eprintf "trial %d lost: %s@." trial
+              (Supervisor.task_error_to_string error))
+          c.Tpro_fuzz.Driver.topo_task_failures;
+        let incomplete = c.Tpro_fuzz.Driver.topo_task_failures <> [] in
+        match c.Tpro_fuzz.Driver.topo_failures with
+        | [] ->
+          Format.printf
+            "topo: %d topologies (seed %d, <=%d domains, <=%d cores): zero \
+             pairwise violations@."
+            trials seed max_domains max_cores;
+          if incomplete then exit exit_incomplete
+        | f :: _ ->
+          Format.printf
+            "topo: %d violation(s) in %d topologies (seed %d)@.%a@."
+            (List.length c.Tpro_fuzz.Driver.topo_failures)
+            trials seed Tpro_fuzz.Driver.pp_topo_failure f;
+          Tpro_fuzz.Topology.save out f.Tpro_fuzz.Driver.topology;
+          Format.printf
+            "counterexample written to %s (replay with: tpro topo --replay \
+             %s)@."
             out out;
           exit 1)
 
@@ -470,9 +525,85 @@ let fuzz_cmd =
       const run_fuzz $ seed $ trials $ jobs_arg $ mutant $ replay $ out
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
+let topo_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~doc:"Root seed; every topology is derived from it.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~doc:"Number of generated topologies.")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Tpro_fuzz.Scenario.No_mutant);
+               ("skip-flush", Tpro_fuzz.Scenario.Skip_flush);
+               ("drop-padding", Tpro_fuzz.Scenario.Drop_padding);
+               ("miscolour", Tpro_fuzz.Scenario.Miscolour);
+             ])
+          Tpro_fuzz.Scenario.No_mutant
+      & info [ "mutant" ]
+          ~doc:
+            "Inject a defence bypass (skip-flush, drop-padding, miscolour) \
+             to validate that some domain pair's oracle catches it.")
+  in
+  let max_domains =
+    Arg.(
+      value & opt int 8
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Upper bound on drawn domain counts (clamped to 2-8).")
+  in
+  let max_cores =
+    Arg.(
+      value & opt int 4
+      & info [ "cores" ] ~docv:"M"
+          ~doc:"Upper bound on drawn core counts (clamped to 1-4).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-run one saved replay file instead of fuzzing; the format \
+             line dispatches, so both topology (format 2) and scenario \
+             (format 1) files are accepted.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "topo-counterexample.txt"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the failing topology on violation.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 50
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Topologies between checkpoint snapshots (default 50; a \
+             topology trial is roughly an order of magnitude heavier than \
+             a scenario trial).")
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Fuzz procedurally generated N-domain/M-core topologies, demanding \
+          noninterference pairwise from every domain's viewpoint")
+    Term.(
+      const run_topo $ seed $ trials $ jobs_arg $ mutant $ max_domains
+      $ max_cores $ replay $ out $ checkpoint_arg $ checkpoint_every
+      $ resume_arg)
+
 let () =
   let info =
-    Cmd.info "tpro" ~version:"1.5.0"
+    Cmd.info "tpro" ~version:"1.6.0"
       ~doc:"Time protection: executable model, attacks and proofs"
   in
   exit
@@ -480,5 +611,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; exp_cmd; all_cmd; verify_cmd; prove_cmd; trace_cmd;
-            protocol_cmd; matrix_cmd; fuzz_cmd;
+            protocol_cmd; matrix_cmd; fuzz_cmd; topo_cmd;
           ]))

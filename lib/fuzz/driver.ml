@@ -225,6 +225,224 @@ let campaign ~sup ?(mutant = Scenario.No_mutant) ?checkpoint
     notes = List.rev !notes;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Topology campaigns: the N-domain/M-core generalisation.
+
+   No shrinking: a topology's fields are deeply cross-dependent (every
+   schedule is a permutation of exactly that core's residents, IPC
+   endpoints are edge-list positions, the focus/capacity/miscolour
+   domains index the domain array), so field-local shrinking in the
+   {!Shrink} style almost never preserves well-formedness — and the
+   [(seed, idx)] pair plus the saved replay file is already a complete,
+   minimal reproducer. *)
+
+type topo_failure = { topology : Topology.t; topo_message : string }
+
+let check_one_topo t =
+  match Oracle.check_topology t with
+  | Oracle.Pass -> None
+  | Oracle.Fail m -> Some { topology = t; topo_message = m }
+
+let topo_run ?pool ?(mutant = Scenario.No_mutant) ?max_domains ?max_cores ~seed
+    ~trials () =
+  let f i =
+    check_one_topo (Topology.generate ~seed ~mutant ?max_domains ?max_cores i)
+  in
+  map_trials ?pool f (List.init trials Fun.id) |> List.filter_map Fun.id
+
+let topo_first_failure ?pool ?(mutant = Scenario.No_mutant) ?max_domains
+    ?max_cores ~seed ~budget () =
+  let block = match pool with Some p -> max 16 (4 * Pool.size p) | None -> 16 in
+  let f i =
+    check_one_topo (Topology.generate ~seed ~mutant ?max_domains ?max_cores i)
+  in
+  let rec go start =
+    if start >= budget then None
+    else begin
+      let n = min block (budget - start) in
+      let results = map_trials ?pool f (List.init n (fun i -> start + i)) in
+      let rec first i = function
+        | [] -> None
+        | Some fail :: _ -> Some (start + i + 1, fail)
+        | None :: rest -> first (i + 1) rest
+      in
+      match first 0 results with
+      | Some r -> Some r
+      | None -> go (start + n)
+    end
+  in
+  go 0
+
+type topo_campaign = {
+  topo_failures : topo_failure list;
+  topo_trials : int;
+  topo_resumed_from : int;
+  topo_task_failures : task_failure list;
+  topo_notes : string list;
+}
+
+let topo_state_payload ~seed ~mutant ~max_domains ~max_cores ~completed
+    ~failing =
+  String.concat "\n"
+    ([
+       "kind topo";
+       "seed " ^ string_of_int seed;
+       "mutant " ^ Scenario.mutant_to_string mutant;
+       "domains " ^ string_of_int max_domains;
+       "cores " ^ string_of_int max_cores;
+       "done " ^ string_of_int completed;
+     ]
+    @ List.map (fun i -> "fail " ^ string_of_int i) failing)
+  ^ "\n"
+
+let parse_topo_state ~seed ~mutant ~max_domains ~max_cores payload =
+  let kind = ref None
+  and pseed = ref None
+  and pmutant = ref None
+  and pdomains = ref None
+  and pcores = ref None
+  and completed = ref None
+  and fails = ref [] in
+  let bad = ref None in
+  List.iter
+    (fun line ->
+      if !bad = None && String.trim line <> "" then
+        match String.index_opt line ' ' with
+        | None -> bad := Some ("malformed state line: " ^ line)
+        | Some i -> (
+          let k = String.sub line 0 i
+          and v = String.sub line (i + 1) (String.length line - i - 1) in
+          let int_or k' =
+            match int_of_string_opt v with
+            | Some n -> Some n
+            | None ->
+              bad := Some (Printf.sprintf "state key `%s` wants an integer" k');
+              None
+          in
+          match k with
+          | "kind" -> kind := Some v
+          | "seed" -> pseed := int_or k
+          | "mutant" -> pmutant := Some v
+          | "domains" -> pdomains := int_or k
+          | "cores" -> pcores := int_or k
+          | "done" -> completed := int_or k
+          | "fail" -> (
+            match int_or k with
+            | Some n -> fails := n :: !fails
+            | None -> ())
+          | _ -> bad := Some ("unknown state key `" ^ k ^ "`")))
+    (String.split_on_char '\n' payload);
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    if !kind <> Some "topo" then Error "checkpoint is not a topology campaign"
+    else if !pseed <> Some seed then
+      Error "checkpoint was written for a different seed"
+    else if !pmutant <> Some (Scenario.mutant_to_string mutant) then
+      Error "checkpoint was written for a different mutant"
+    else if !pdomains <> Some max_domains then
+      Error "checkpoint was written for a different --domains bound"
+    else if !pcores <> Some max_cores then
+      Error "checkpoint was written for a different --cores bound"
+    else
+      match !completed with
+      | None -> Error "checkpoint has no `done` count"
+      | Some d -> Ok (d, List.rev !fails)
+
+let topo_campaign ~sup ?(mutant = Scenario.No_mutant) ?checkpoint
+    ?(checkpoint_every = 50) ?(resume = false) ?(max_domains = 8)
+    ?(max_cores = 4) ~seed ~trials () =
+  let notes = ref [] in
+  let note msg = notes := msg :: !notes in
+  let gen i = Topology.generate ~seed ~mutant ~max_domains ~max_cores i in
+  let start, failing0 =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+      match Checkpoint.load ~path with
+      | Error (Checkpoint.Io msg) ->
+        note
+          (Printf.sprintf "no checkpoint to resume (%s); starting from scratch"
+             msg);
+        (0, [])
+      | Error e ->
+        note
+          (Printf.sprintf
+             "checkpoint rejected (%s); restarting campaign from scratch"
+             (Checkpoint.error_to_string e));
+        (0, [])
+      | Ok payload -> (
+        match parse_topo_state ~seed ~mutant ~max_domains ~max_cores payload
+        with
+        | Error msg ->
+          note
+            (Printf.sprintf
+               "checkpoint rejected (%s); restarting campaign from scratch"
+               msg);
+          (0, [])
+        | Ok (d, _) when d > trials ->
+          note
+            (Printf.sprintf
+               "checkpoint covers %d trials but only %d were requested; \
+                restarting campaign from scratch"
+               d trials);
+          (0, [])
+        | Ok (d, fails) ->
+          note
+            (Printf.sprintf
+               "resumed at trial %d (%d violation%s already recorded)" d
+               (List.length fails)
+               (if List.length fails = 1 then "" else "s"));
+          (d, fails)))
+    | _ -> (0, [])
+  in
+  let failing = ref (List.rev failing0) (* newest first *) in
+  let task_failures = ref [] in
+  let pos = ref start in
+  let save_state () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      Supervisor.checkpoint_save sup ~path
+        (topo_state_payload ~seed ~mutant ~max_domains ~max_cores
+           ~completed:!pos ~failing:(List.rev !failing))
+  in
+  let every = max 1 checkpoint_every in
+  while !pos < trials do
+    let n = min every (trials - !pos) in
+    let idxs = List.init n (fun i -> !pos + i) in
+    let results =
+      Supervisor.run sup ~chunk:4 ~key:Fun.id
+        (fun ~fuel i ->
+          let t = gen i in
+          Supervisor.Fuel.burn ~amount:(Topology.size t) fuel;
+          Option.is_some (check_one_topo t))
+        idxs
+    in
+    List.iter2
+      (fun i -> function
+        | Ok false -> ()
+        | Ok true -> failing := i :: !failing
+        | Error error ->
+          task_failures := { trial = i; error } :: !task_failures)
+      idxs results;
+    pos := !pos + n;
+    save_state ()
+  done;
+  let failures = List.filter_map (fun i -> check_one_topo (gen i))
+      (List.rev !failing)
+  in
+  {
+    topo_failures = failures;
+    topo_trials = trials;
+    topo_resumed_from = start;
+    topo_task_failures = List.rev !task_failures;
+    topo_notes = List.rev !notes;
+  }
+
+let pp_topo_failure ppf f =
+  Format.fprintf ppf "@[<v>violation: %s@ topology: %a@]" f.topo_message
+    Topology.pp f.topology
+
 let pp_failure ppf f =
   Format.fprintf ppf "@[<v>violation: %s@ scenario: %a@ shrunk to: %a@ \
                       shrunk violation: %s@]"

@@ -75,3 +75,70 @@ val campaign :
     note and the campaign restarts cleanly from scratch. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {2 Topology campaigns}
+
+    The N-domain/M-core generalisation: each trial generates a
+    {!Topology} and runs {!Oracle.check_topology}'s pairwise sweep over
+    it.  Failures are not shrunk — a topology's fields are deeply
+    cross-dependent (schedules are permutations of per-core residents,
+    IPC endpoints are edge-list positions, the focus/capacity/miscolour
+    domains index the domain array), so field-local shrinking almost
+    never preserves well-formedness, and the [(seed, idx)] pair plus the
+    saved format-2 replay file is already a complete reproducer. *)
+
+type topo_failure = { topology : Topology.t; topo_message : string }
+
+val check_one_topo : Topology.t -> topo_failure option
+
+val topo_run :
+  ?pool:Tpro_engine.Pool.t ->
+  ?mutant:Scenario.mutant ->
+  ?max_domains:int ->
+  ?max_cores:int ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  topo_failure list
+(** Trials [0 .. trials-1]; empty list = zero pairwise violations. *)
+
+val topo_first_failure :
+  ?pool:Tpro_engine.Pool.t ->
+  ?mutant:Scenario.mutant ->
+  ?max_domains:int ->
+  ?max_cores:int ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  (int * topo_failure) option
+(** As {!first_failure}, for topologies. *)
+
+type topo_campaign = {
+  topo_failures : topo_failure list;  (** violations, trial order *)
+  topo_trials : int;
+  topo_resumed_from : int;
+  topo_task_failures : task_failure list;
+  topo_notes : string list;
+}
+
+val topo_campaign :
+  sup:Tpro_engine.Supervisor.t ->
+  ?mutant:Scenario.mutant ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?max_domains:int ->
+  ?max_cores:int ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  topo_campaign
+(** As {!campaign}, for topologies: crash-safe checkpoints (kind
+    [topo], default every 50 trials — a topology trial is roughly an
+    order of magnitude heavier than a scenario trial) recording only
+    trial indices, so a resumed campaign's report is bit-identical to
+    an uninterrupted one.  A checkpoint written for different
+    seed/mutant/[--domains]/[--cores] parameters is rejected with a
+    note and the campaign restarts from scratch. *)
+
+val pp_topo_failure : Format.formatter -> topo_failure -> unit

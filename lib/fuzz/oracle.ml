@@ -278,6 +278,226 @@ let check_capacity s =
   else Pass
 
 (* ------------------------------------------------------------------ *)
+(* Topology oracle.
+
+   One generated N-domain/M-core system, checked pairwise: every
+   ordered (varied, observer) domain pair must satisfy noninterference.
+   The workhorse trick is baseline sharing — [Topology.build t ~vary:v
+   ~secret:t.secret_a] is the same global system for every [v] — so the
+   whole check costs N+3 executions, not N·(N−1)·2:
+
+   - one deep unwinding sweep on the topology's focus pair (lockstep
+     Lo-view comparison at every boundary, lemma-attributed), whose
+     baseline run is reused as *the* baseline;
+   - one varied execution per remaining domain;
+   - two extra executions for the capacity probe.
+
+   Non-focus pairs are checked from recorded evidence (observation and
+   cost traces restricted to the observer domain via [Nonint.view_from],
+   plus the observer-coloured LLC digest); only a divergent pair is
+   re-swept to name the lemma it refutes.  Failure messages name the
+   pair: "pair (hi=v, lo=o): lemma L refuted ...". *)
+
+let pair_failf ~vary ~obs fmt =
+  Format.kasprintf
+    (fun m -> Fail (Printf.sprintf "pair (hi=%d, lo=%d): %s" vary obs m))
+    fmt
+
+(* Post-run flushable audit across two runs' machines, all cores: after
+   a final core-local flush, every flushable resource's digest must be
+   secret-independent.  Mutates both machines (flushes them) — call
+   after every digest-based comparison. *)
+let flushables_secret_independent ~vary ma mb =
+  let fail = ref Pass in
+  for core = 0 to Machine.n_cores ma - 1 do
+    let (_ : int) = Machine.flush_core_local ma ~core in
+    let (_ : int) = Machine.flush_core_local mb ~core in
+    if !fail = Pass then
+      List.iter2
+        (fun res_a res_b ->
+          if
+            !fail = Pass
+            && Resource.flushable res_a
+            && Resource.digest res_a <> Resource.digest res_b
+          then
+            fail :=
+              failf
+                "lemma flush:%s refuted (vary domain %d): core %d: %s \
+                 digest differs across secrets after a final flush \
+                 (un-reset flushable state)"
+                (Resource.name res_a) vary core (Resource.name res_a))
+        (Machine.core_resources ma ~core)
+        (Machine.core_resources mb ~core)
+  done;
+  !fail
+
+(* One (varied, observer) pair from recorded evidence; on divergence,
+   re-sweep the pair in isolation to name the refuted lemma. *)
+let check_topology_pair_runs (t : Topology.t) ~vary ~obs r_base r_v =
+  let rep =
+    Nonint.compare_runs
+      (Nonint.view_from r_base ~dom:obs)
+      (Nonint.view_from r_v ~dom:obs)
+  in
+  let ka = r_base.Nonint.kernel and kb = r_v.Nonint.kernel in
+  let partition_breached =
+    (Kernel.config ka).Kernel.colouring
+    && lo_llc_digest (Kernel.machine ka) (Kernel.domain ka obs)
+       <> lo_llc_digest (Kernel.machine kb) (Kernel.domain kb obs)
+  in
+  if Nonint.secure rep && not partition_breached then Pass
+  else begin
+    let sw =
+      Unwinding.sweep_pair
+        ~max_kernel_steps:(Topology.max_steps t)
+        ~lo_dom:obs
+        ~build:(Topology.build t ~vary)
+        ~secret1:t.Topology.secret_a ~secret2:t.Topology.secret_b ()
+    in
+    match blame_sweep sw with
+    | Some d ->
+      pair_failf ~vary ~obs
+        "lemma %s refuted (secrets %d vs %d): view component %s differs \
+         at step %d"
+        (lemma_of_component d.Unwinding.component)
+        t.Topology.secret_a t.Topology.secret_b d.Unwinding.component
+        d.Unwinding.lo_step
+    | None ->
+      if partition_breached then
+        pair_failf ~vary ~obs
+          "lemma partition:llc refuted: LLC digest over domain %d's \
+           colours differs across secrets (partition breached)"
+          obs
+      else
+        let lemma =
+          match rep with
+          | { Nonint.user_costs = Some _; _ } -> "kernel:user-step"
+          | { Nonint.trap_costs = Some _; _ } -> "kernel:trap"
+          | _ -> "kernel:noninterference"
+        in
+        pair_failf ~vary ~obs "lemma %s refuted: %a" lemma Nonint.pp_report
+          rep
+  end
+
+(* Re-execute the pair from scratch (two fresh runs): the entry point
+   for targeted pair checks in tests and replay diagnostics. *)
+let check_topology_pair (t : Topology.t) ~vary ~obs =
+  let r_base =
+    Nonint.execute
+      ~max_steps:(Topology.max_steps t)
+      (fun ~secret -> Topology.build t ~vary ~secret)
+      t.Topology.secret_a
+  in
+  let r_v =
+    Nonint.execute
+      ~max_steps:(Topology.max_steps t)
+      (fun ~secret -> Topology.build t ~vary ~secret)
+      t.Topology.secret_b
+  in
+  check_topology_pair_runs t ~vary ~obs r_base r_v
+
+(* Capacity probe: the per-topology end-to-end leakage bound.  Samples
+   map the varied domain's secret to a digest of the observer domain's
+   complete observation trace; under full protection the distribution
+   must carry 0 bits. *)
+let obs_symbol run ~obs =
+  let ths = Domain.threads (Kernel.domain run.Nonint.kernel obs) in
+  let s =
+    Format.asprintf "%a"
+      (Format.pp_print_list Observation.pp)
+      (Observation.of_threads ths)
+  in
+  Int64.to_int
+    (String.fold_left (fun acc c -> Rng.chain_int acc (Char.code c)) 7L s)
+  land max_int
+
+let check_topology (t : Topology.t) =
+  try
+    let n = Topology.n_domains t in
+    let fv = t.Topology.deep_hi and fo = t.Topology.deep_lo in
+    let ms = Topology.max_steps t in
+    let sw =
+      Unwinding.sweep_pair ~max_kernel_steps:ms ~lo_dom:fo
+        ~build:(Topology.build t ~vary:fv)
+        ~secret1:t.Topology.secret_a ~secret2:t.Topology.secret_b ()
+    in
+    match blame_sweep sw with
+    | Some d ->
+      pair_failf ~vary:fv ~obs:fo
+        "lemma %s refuted (secrets %d vs %d): view component %s differs \
+         at step %d"
+        (lemma_of_component d.Unwinding.component)
+        t.Topology.secret_a t.Topology.secret_b d.Unwinding.component
+        d.Unwinding.lo_step
+    | None ->
+      let r_base = sw.Unwinding.run_a in
+      let runs = Array.make n sw.Unwinding.run_b in
+      for v = 0 to n - 1 do
+        if v <> fv then
+          runs.(v) <-
+            Nonint.execute ~max_steps:ms
+              (fun ~secret -> Topology.build t ~vary:v ~secret)
+              t.Topology.secret_b
+      done;
+      let verdict = ref Pass in
+      List.iter
+        (fun (v, o) ->
+          if !verdict = Pass then
+            verdict := check_topology_pair_runs t ~vary:v ~obs:o r_base runs.(v))
+        (Topology.pairs t);
+      (* Machine-level flushable audit last: it flushes the machines, so
+         every digest-based comparison above must already be done.  The
+         baseline machine is flushed once per varied run — idempotent
+         after the first. *)
+      if !verdict = Pass && (Topology.kernel_config t).Kernel.flush_on_switch
+      then begin
+        let ma = Kernel.machine r_base.Nonint.kernel in
+        for v = 0 to n - 1 do
+          if !verdict = Pass then
+            verdict :=
+              flushables_secret_independent ~vary:v ma
+                (Kernel.machine runs.(v).Nonint.kernel)
+        done
+      end;
+      (* Capacity probe over four secrets of [cap_dom], reusing the
+         baseline and the cap domain's varied run for two of them. *)
+      if !verdict = Pass then begin
+        let c = t.Topology.cap_dom and o = t.Topology.cap_obs in
+        let extra s =
+          Nonint.execute ~max_steps:ms
+            (fun ~secret -> Topology.build t ~vary:c ~secret)
+            s
+        in
+        let s3 = (t.Topology.secret_a + 3) mod 8
+        and s4 = (t.Topology.secret_a + 5) mod 8 in
+        let samples =
+          [
+            (t.Topology.secret_a, obs_symbol r_base ~obs:o);
+            (t.Topology.secret_b, obs_symbol runs.(c) ~obs:o);
+            (s3, obs_symbol (extra s3) ~obs:o);
+            (s4, obs_symbol (extra s4) ~obs:o);
+          ]
+        in
+        let bits = Capacity.of_samples samples in
+        if bits > 1e-9 then
+          verdict :=
+            pair_failf ~vary:c ~obs:o
+              "capacity %.3f bits under full time protection (observation \
+               digest depends on the secret)"
+              bits
+      end;
+      !verdict
+  with
+  | Kernel.Uncovered_flushable name ->
+    failf "kernel flush-coverage audit: uncovered flushable resource %s" name
+  | Resource.Digest_divergence { resource; cached; fold } ->
+    failf
+      "incremental digest of %s diverged from its from-scratch fold \
+       (cached %Ld, fold %Ld)"
+      resource cached fold
+  | e -> failf "exception during trial: %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
 
 let check (s : Scenario.t) =
   try

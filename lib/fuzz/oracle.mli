@@ -18,6 +18,21 @@ val check_nonint : Scenario.t -> verdict
 val check_legacy : Scenario.t -> verdict
 val check_capacity : Scenario.t -> verdict
 
+val check_topology : Topology.t -> verdict
+(** The pairwise N-domain oracle: a deep unwinding sweep on the
+    topology's focus pair, evidence-based noninterference checks for
+    every other ordered (varied, observer) domain pair (sharing one
+    baseline execution, so the whole check costs N+3 executions), a
+    machine-level flushable audit across all cores, and a capacity probe
+    over four secrets of the topology's capacity domain.  Failures name
+    the pair and the refuted lemma: ["pair (hi=2, lo=0): lemma
+    partition:llc refuted ..."].  Exceptions are converted to [Fail]. *)
+
+val check_topology_pair : Topology.t -> vary:int -> obs:int -> verdict
+(** One ordered pair, re-executed from scratch — the entry point for
+    targeted pair checks (e.g. asserting that a planted miscolouring
+    leaks between exactly one pair). *)
+
 val lo_llc_digest : Machine.t -> Domain.t -> int64
 (** Digest of exactly the LLC sets whose colour belongs to the given
     domain — the partition-confinement projection the noninterference

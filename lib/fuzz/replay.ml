@@ -1,0 +1,53 @@
+(* Format dispatch for replay files.
+
+   A replay file's first [format] line says which generator wrote it:
+   format 1 is a two-domain {!Scenario}, format 2 an N-domain
+   {!Topology}.  Files written before the key existed have no [format]
+   line and are read as format 1 — the CLI's [--replay] accepts every
+   file it ever wrote. *)
+
+type t = Scenario of Scenario.t | Topology of Topology.t
+
+(* The declared format of the text: the integer of the first [format]
+   line, 1 if no such line exists (pre-versioning scenario files), or an
+   error if the line's value is not an integer. *)
+let declared_format s =
+  let lines = String.split_on_char '\n' s in
+  let rec go n = function
+    | [] -> Ok 1
+    | line :: rest -> (
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = "format" -> (
+        let v = String.sub line (i + 1) (String.length line - i - 1) in
+        match int_of_string_opt (String.trim v) with
+        | Some f -> Ok f
+        | None ->
+          Error
+            { Scenario.line = n; reason = "format: not an integer: " ^ v })
+      | _ -> go (n + 1) rest)
+  in
+  go 1 lines
+
+let of_string s =
+  match declared_format s with
+  | Error e -> Error e
+  | Ok 2 -> Result.map (fun t -> Topology t) (Topology.of_string s)
+  | Ok f when f = Scenario.format_version ->
+    Result.map (fun sc -> Scenario sc) (Scenario.of_string s)
+  | Ok f ->
+    Error
+      {
+        Scenario.line = 0;
+        reason =
+          Printf.sprintf
+            "unsupported replay format %d (this build reads formats %d and %d)"
+            f Scenario.format_version Topology.format_version;
+      }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error (Scenario.Io msg)
+  | contents -> (
+    match of_string contents with
+    | Ok t -> Ok t
+    | Error e -> Error (Scenario.Parse e))

@@ -1,0 +1,16 @@
+(** Format dispatch for replay files.
+
+    {!Scenario} writes format-1 files, {!Topology} format-2 files; both
+    start with a [format] line (absent in pre-versioning scenario files,
+    which read as format 1).  The CLI's [--replay] goes through this
+    module so one flag replays anything the tool ever wrote. *)
+
+type t = Scenario of Scenario.t | Topology of Topology.t
+
+val of_string : string -> (t, Scenario.parse_error) result
+(** Dispatch on the file's [format] line, then parse with the matching
+    reader.  A [format] value this build does not know is a typed
+    {!Scenario.parse_error} naming both supported versions.  Never
+    raises. *)
+
+val load : string -> (t, Scenario.load_error) result

@@ -1,9 +1,15 @@
 open Tpro_hw
 open Tpro_kernel
-open Tpro_secmodel
 open Tpro_channel
 module Presets = Time_protection.Presets
 module Wcet = Time_protection.Wcet
+module Ni_scenario = Time_protection.Ni_scenario
+
+(* Replay-file format version for {!to_string}/{!of_string}.  Version 1
+   is the flat two-domain scenario; version 2 is [Topology]'s N-domain
+   record.  [of_string] accepts files with no [format] line (pre-1.6
+   scenarios) as version 1. *)
+let format_version = 1
 
 type oracle = Nonint | Capacity | Legacy
 
@@ -147,35 +153,45 @@ let lo_program s =
 
 let pad_cycles s mc = Wcet.recommended_pad ~max_compute:64 mc + s.pad_extra
 
+(* Remap [victim]'s first page onto a frame of [thief]'s colour — the
+   allocator bug page colouring exists to rule out.  Shared with
+   [Topology], whose miscolour mutant plants the same bug between an
+   arbitrary domain pair. *)
+let miscolour_remap k ~victim ~thief ~vbase =
+  let victim = Kernel.domain k victim and thief = Kernel.domain k thief in
+  match thief.Domain.colours with
+  | lc :: _ -> (
+    match
+      Frame_alloc.alloc (Kernel.allocator k) ~owner:victim.Domain.did
+        ~colours:[ lc ]
+    with
+    | Some pfn ->
+      let vpn = vbase lsr Kernel.page_bits k in
+      Domain.unmap_page victim ~vpn;
+      Domain.map_page victim ~vpn ~pfn
+    | None -> ())
+  | [] -> ()
+
 let build_ni s ~secret =
   let mc = machine_config s in
-  let k = Kernel.create ~machine_config:mc (kernel_config s) in
   let pad = pad_cycles s mc in
-  let hi = Kernel.create_domain k ~slice:s.slice ~pad_cycles:pad () in
-  let lo = Kernel.create_domain k ~slice:s.slice ~pad_cycles:pad () in
-  Kernel.map_region k hi ~vbase:hi_buf ~pages:hi_pages;
-  Kernel.map_region k lo ~vbase:lo_buf ~pages:lo_pages;
-  Kernel.set_irq_owner k ~irq:1 ~dom:hi;
-  (match s.mutant with
-  | Miscolour -> (
-    (* remap Hi's first page onto a frame of Lo's colour — the allocator
-       bug page colouring exists to rule out *)
-    match lo.Domain.colours with
-    | lc :: _ -> (
-      match
-        Frame_alloc.alloc (Kernel.allocator k) ~owner:hi.Domain.did
-          ~colours:[ lc ]
-      with
-      | Some pfn ->
-        let vpn = hi_buf lsr Kernel.page_bits k in
-        Domain.unmap_page hi ~vpn;
-        Domain.map_page hi ~vpn ~pfn
-      | None -> ())
-    | [] -> ())
-  | No_mutant | Skip_flush | Drop_padding -> ());
-  ignore (Kernel.spawn k hi (hi_program s ~secret));
-  let lo_th = Kernel.spawn k lo (lo_program s) in
-  { Nonint.kernel = k; observers = [ lo_th ] }
+  let tweak =
+    match s.mutant with
+    | Miscolour ->
+      Some (fun k -> miscolour_remap k ~victim:0 ~thief:1 ~vbase:hi_buf)
+    | No_mutant | Skip_flush | Drop_padding -> None
+  in
+  Ni_scenario.build_spec
+    (Ni_scenario.spec ~machine:mc ~cfg:(kernel_config s) ?tweak
+       [
+         Ni_scenario.domain_spec ~slice:s.slice ~pad_cycles:pad
+           ~regions:[ (hi_buf, hi_pages) ]
+           ~programs:[ hi_program s ~secret ]
+           ~irqs:[ 1 ] ();
+         Ni_scenario.domain_spec ~slice:s.slice ~pad_cycles:pad
+           ~regions:[ (lo_buf, lo_pages) ]
+           ~programs:[ lo_program s ] ~observer:true ();
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic generation                                            *)
@@ -275,6 +291,7 @@ let int_fields s =
 let to_string s =
   String.concat "\n"
     ([
+       "format " ^ string_of_int format_version;
        "oracle " ^ oracle_to_string s.oracle;
        "mutant " ^ mutant_to_string s.mutant;
        "btb " ^ string_of_bool s.btb;
@@ -302,7 +319,7 @@ let int_keys =
     "channel"; "cap_seed"; "trace_steps";
   ]
 
-let known_keys = [ "oracle"; "mutant"; "btb" ] @ int_keys
+let known_keys = [ "format"; "oracle"; "mutant"; "btb" ] @ int_keys
 
 exception Bad of parse_error
 
@@ -336,6 +353,18 @@ let of_string str =
           if String.trim value = "" then
             fail (Printf.sprintf "missing value for key `%s`" key);
           (match key with
+          | "format" -> (
+            (* forward compatibility: name the version we cannot read *)
+            match int_of_string_opt value with
+            | Some v when v = format_version -> ()
+            | Some v ->
+              fail
+                (Printf.sprintf
+                   "unsupported replay format %d (this build reads format %d)"
+                   v format_version)
+            | None ->
+              fail (Printf.sprintf "key `format` wants an integer, got %S" value)
+            )
           | "oracle" ->
             if oracle_of_string value = None then
               fail (Printf.sprintf "unknown oracle %S" value)

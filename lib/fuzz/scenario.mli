@@ -81,9 +81,15 @@ val lo_program : t -> Program.t
 (** Lo's observer: clock reads, timed probes, traps, branches and filler
     per phase. *)
 
+val miscolour_remap : Kernel.t -> victim:int -> thief:int -> vbase:int -> unit
+(** Remap [victim]'s page at [vbase] onto a frame of [thief]'s first
+    colour — the allocator bug that page colouring exists to rule out.
+    Used as a {!Time_protection.Ni_scenario.spec} tweak by the
+    [Miscolour] mutant here and by [Topology]'s pair-targeted variant. *)
+
 val build_ni : t -> secret:int -> Nonint.run
 (** Boot a kernel for the scenario (applying the mutant) and spawn the
-    Hi/Lo pair. *)
+    Hi/Lo pair — now a two-domain {!Time_protection.Ni_scenario.spec}. *)
 
 val generate : seed:int -> ?mutant:mutant -> int -> t
 (** [generate ~seed idx] — deterministic: equal arguments give equal
@@ -110,6 +116,12 @@ type load_error = Io of string | Parse of parse_error
     code. *)
 
 val load_error_to_string : load_error -> string
+
+val format_version : int
+(** Replay-file format version written by {!to_string} (currently 1).
+    Files with no [format] line — written before the key existed — are
+    read as version 1; a different version is a {!parse_error} naming
+    both versions. *)
 
 val to_string : t -> string
 val of_string : string -> (t, parse_error) result

@@ -158,6 +158,34 @@ let create_domain t ?(core = 0) ?(n_colours = 1) ~slice ~pad_cycles () =
   | Some s -> cs.sched <- Some (Sched.create (Array.append (Sched.order s) [| did |])));
   dom
 
+(* Install a custom per-core scheduler order (replacing the default
+   creation-order round-robin that [create_domain] accumulates).  The
+   order is validated through [Sched.make] — empty or out-of-range
+   orders are typed errors, caught at installation rather than mid-run —
+   and every listed domain must actually be hosted on [core], since the
+   switch path executes the incoming domain's threads on this core's
+   clock. *)
+let set_schedule t ~core order =
+  if core < 0 || core >= Machine.n_cores t.m then
+    invalid_arg "Kernel.set_schedule: core out of range";
+  match Sched.make ~n_domains:(Array.length t.doms) order with
+  | Error _ as e -> e
+  | Ok s ->
+    Array.iter
+      (fun did ->
+        if t.doms.(did).Domain.core <> core then
+          invalid_arg
+            (Printf.sprintf
+               "Kernel.set_schedule: domain %d lives on core %d, not %d" did
+               t.doms.(did).Domain.core core))
+      order;
+    let cs = t.per_core.(core) in
+    cs.sched <- Some s;
+    cs.current_dom <- Sched.current s;
+    cs.slice_start <- Machine.now t.m ~core;
+    cs.rr <- 0;
+    Ok ()
+
 let map_region t (dom : Domain.t) ~vbase ~pages =
   let pb = page_bits t in
   if vbase land ((1 lsl pb) - 1) <> 0 then

@@ -78,6 +78,16 @@ val create_domain :
     [kernel_clone] is configured, a private kernel image in those colours.
     With colouring off it may use every colour. *)
 
+val set_schedule : t -> core:int -> int array -> (unit, Sched.error) result
+(** Replace [core]'s scheduler order (by default, domains run in
+    creation order).  The order is validated with {!Sched.make} — an
+    empty order or an out-of-range domain index is a typed error — and
+    every listed domain must be hosted on [core] (raises
+    [Invalid_argument] otherwise, as does a [core] out of range).  The
+    core's current domain becomes the order's head and its slice restarts
+    at the core's current time; install schedules at boot, before
+    threads run. *)
+
 val map_region : t -> Domain.t -> vbase:int -> pages:int -> unit
 (** Back a virtual region with freshly allocated frames of the domain's
     colours.  [vbase] must be page-aligned. *)

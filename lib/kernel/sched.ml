@@ -1,5 +1,27 @@
 type t = { order : int array; mutable idx : int }
 
+type error =
+  | Empty_order
+  | Out_of_range of { index : int; n_domains : int }
+
+let error_to_string = function
+  | Empty_order -> "empty schedule"
+  | Out_of_range { index; n_domains } ->
+    Printf.sprintf "domain index %d out of range (system has %d domain%s)"
+      index n_domains
+      (if n_domains = 1 then "" else "s")
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let make ~n_domains order =
+  if Array.length order = 0 then Error Empty_order
+  else
+    match
+      Array.find_opt (fun did -> did < 0 || did >= n_domains) order
+    with
+    | Some index -> Error (Out_of_range { index; n_domains })
+    | None -> Ok { order = Array.copy order; idx = 0 }
+
 let create order =
   if Array.length order = 0 then invalid_arg "Sched.create: empty schedule";
   { order; idx = 0 }

@@ -6,9 +6,29 @@
 
 type t
 
+type error =
+  | Empty_order
+  | Out_of_range of { index : int; n_domains : int }
+      (** the offending domain index and how many domains exist *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val make : n_domains:int -> int array -> (t, error) result
+(** [make ~n_domains order] validates [order] against the number of
+    domains in the system: an empty order or an entry outside
+    [0, n_domains) is rejected with a typed error *at construction
+    time*, rather than surfacing later as an array access deep inside a
+    switch.  The order is copied, so later mutation of the argument
+    cannot corrupt the schedule.  This is the entry point the
+    multi-core topology campaigns install generated scheduler orders
+    through ({!Kernel.set_schedule}). *)
+
 val create : int array -> t
 (** [create order] with [order] the cyclic sequence of domain indices to
-    run on this core. *)
+    run on this core.  Raises [Invalid_argument] on an empty order; it
+    cannot check domain indices (it does not know how many domains
+    exist) — use {!make} for full validation. *)
 
 val order : t -> int array
 val current : t -> int

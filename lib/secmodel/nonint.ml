@@ -10,6 +10,13 @@ type divergence_report = {
 
 let secure r = r.obs = None && r.user_costs = None && r.trap_costs = None
 
+(* The same run, seen from one domain: the observer list restricted to
+   [dom]'s threads (in domain thread order).  [compare_runs] on two such
+   views is the pairwise noninterference check of an N-domain topology —
+   nothing about the comparison itself is Hi/Lo specific. *)
+let view_from run ~dom =
+  { run with observers = Domain.threads (Kernel.domain run.kernel dom) }
+
 let execute ?(max_steps = 1_000_000) build secret =
   let run = build ~secret in
   List.iter (fun th -> Thread.set_traced th true) run.observers;

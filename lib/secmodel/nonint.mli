@@ -30,6 +30,12 @@ type divergence_report = {
 
 val secure : divergence_report -> bool
 
+val view_from : run -> dom:int -> run
+(** The same run seen from one domain: observers restricted to [dom]'s
+    threads (in domain thread order).  [compare_runs] over two such views
+    is the (vary, observer) pairwise noninterference check of an N-domain
+    topology — the comparison itself is not Hi/Lo specific. *)
+
 val execute : ?max_steps:int -> (secret:int -> run) -> int -> run
 (** Build the scenario for one secret, enable cost tracing on the
     observers, and run to quiescence. *)

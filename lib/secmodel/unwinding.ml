@@ -168,16 +168,26 @@ let lo_view ?memo k ~lo_dom =
   :: resources
   @ [ ("kernel:clock", Int64.of_int (Machine.now m ~core)) ]
 
-let lo_count (run : Nonint.run) =
+(* Pacing: "Lo instruction boundary [k]" means the nominated observer
+   domain has completed [k] instructions.  Only [lo_dom]'s threads are
+   counted — an N-domain run's observer list spans every non-varied
+   domain across all cores, and a cut placed by a *global* count lands
+   at secret-dependent per-core positions (cross-core interleaving
+   shifts inside the varied domain's slices), which would make even a
+   leak-free topology's view sample mid-stream state at misaligned
+   points.  In the legacy Hi/Lo runs every observer thread belongs to
+   [lo_dom], so the filtered count is identical to the old global one. *)
+let lo_count (run : Nonint.run) ~lo_dom =
   List.fold_left
-    (fun acc th -> acc + Thread.cost_count th)
+    (fun acc th ->
+      if th.Thread.dom = lo_dom then acc + Thread.cost_count th else acc)
     0 run.Nonint.observers
 
 (* Advance one run until Lo has completed [target] instructions; [false]
    if the system quiesced first. *)
-let advance (run : Nonint.run) ~target =
+let advance (run : Nonint.run) ~lo_dom ~target =
   let rec go () =
-    if lo_count run >= target then true
+    if lo_count run ~lo_dom >= target then true
     else if Kernel.step run.Nonint.kernel then go ()
     else false
   in
@@ -188,20 +198,28 @@ let prepare build secret =
   List.iter (fun th -> Thread.set_traced th true) run.Nonint.observers;
   run
 
-let check_pair ?(max_lo_steps = 20_000) ~build ~secret1 ~secret2 () =
+(* The observer domain whose view the sweep compares: any domain of the
+   run can be nominated (the pairwise topology campaigns evaluate every
+   domain pair); by default it is the first observer thread's domain —
+   the legacy Hi/Lo behaviour. *)
+let observer_dom ~who lo_dom (run : Nonint.run) =
+  match lo_dom with
+  | Some d -> d
+  | None -> (
+    match run.Nonint.observers with
+    | th :: _ -> th.Thread.dom
+    | [] -> invalid_arg (who ^ ": no observers"))
+
+let check_pair ?(max_lo_steps = 20_000) ?lo_dom ~build ~secret1 ~secret2 () =
   let a = prepare build secret1 in
   let b = prepare build secret2 in
-  let lo_dom =
-    match a.Nonint.observers with
-    | th :: _ -> th.Thread.dom
-    | [] -> invalid_arg "Unwinding.check_pair: no observers"
-  in
+  let lo_dom = observer_dom ~who:"Unwinding.check_pair" lo_dom a in
   let memo_a = obs_memo () and memo_b = obs_memo () in
   let rec go k =
     if k > max_lo_steps then None
     else begin
-      let a_live = advance a ~target:k in
-      let b_live = advance b ~target:k in
+      let a_live = advance a ~lo_dom ~target:k in
+      let b_live = advance b ~lo_dom ~target:k in
       if a_live <> b_live then
         Some { lo_step = k; component = "lo-progress" }
       else if not a_live then None
@@ -241,15 +259,11 @@ type sweep = {
   boundaries : int;
 }
 
-let sweep_pair ?(max_lo_steps = 20_000) ?max_kernel_steps ~build ~secret1
-    ~secret2 () =
+let sweep_pair ?(max_lo_steps = 20_000) ?max_kernel_steps ?lo_dom ~build
+    ~secret1 ~secret2 () =
   let a = prepare build secret1 in
   let b = prepare build secret2 in
-  let lo_dom =
-    match a.Nonint.observers with
-    | th :: _ -> th.Thread.dom
-    | [] -> invalid_arg "Unwinding.sweep_pair: no observers"
-  in
+  let lo_dom = observer_dom ~who:"Unwinding.sweep_pair" lo_dom a in
   let memo_a = obs_memo () and memo_b = obs_memo () in
   let budget_a = ref (Option.value max_kernel_steps ~default:max_int) in
   let budget_b = ref (Option.value max_kernel_steps ~default:max_int) in
@@ -257,7 +271,7 @@ let sweep_pair ?(max_lo_steps = 20_000) ?max_kernel_steps ~build ~secret1
      fuzz oracle can cap runaway scenarios *)
   let advance_b run budget ~target =
     let rec go () =
-      if lo_count run >= target then true
+      if lo_count run ~lo_dom >= target then true
       else if !budget > 0 && Kernel.step run.Nonint.kernel then begin
         decr budget;
         go ()

@@ -47,13 +47,18 @@ val lo_view : ?memo:obs_memo -> Kernel.t -> lo_dom:int -> (string * int64) list
 
 val check_pair :
   ?max_lo_steps:int ->
+  ?lo_dom:int ->
   build:(secret:int -> Nonint.run) ->
   secret1:int ->
   secret2:int ->
   unit ->
   divergence option
 (** Lockstep comparison; [None] means the unwinding relation held at
-    every Lo boundary reached by both runs. *)
+    every Lo boundary reached by both runs.  [lo_dom] nominates the
+    observer domain whose view is compared — any domain of the run, so
+    the same machinery evaluates every domain pair of an N-domain
+    topology; the default (the first observer thread's domain) is the
+    legacy Hi/Lo behaviour. *)
 
 type sweep = {
   run_a : Nonint.run;
@@ -78,13 +83,15 @@ type sweep = {
 val sweep_pair :
   ?max_lo_steps:int ->
   ?max_kernel_steps:int ->
+  ?lo_dom:int ->
   build:(secret:int -> Nonint.run) ->
   secret1:int ->
   secret2:int ->
   unit ->
   sweep
 (** [max_kernel_steps] bounds each run's total kernel steps (the fuzz
-    oracle's runaway cap); default unbounded. *)
+    oracle's runaway cap); default unbounded.  [lo_dom] as in
+    {!check_pair}. *)
 
 val first_divergence :
   diverged:(string * int) list -> progress:int option -> divergence option

@@ -171,6 +171,46 @@ let test_prove_checkpoint_resume () =
       Alcotest.(check string) "fully-resumed stdout is byte-identical"
         (read_file ref_out) (read_file res_out))
 
+(* `tpro topo` mirrors `tpro fuzz`'s exit semantics over topology
+   campaigns: 0 on a clean pairwise sweep, 1 on a violation (writing a
+   format-2 counterexample that replays to the same verdict), 124 on
+   parse errors. *)
+let test_topo_exit_codes () =
+  check_exit "small clean topo run exits 0" 0
+    [ "topo"; "--trials"; "6"; "--seed"; "5"; "-j"; "2" ];
+  check_exit "bad --domains" 124 [ "topo"; "--domains"; "x" ];
+  check_exit "bad --mutant" 124 [ "topo"; "--mutant"; "wat" ];
+  check_exit "missing replay file exits 1" 1
+    [ "topo"; "--replay"; "/nonexistent/topo-replay" ]
+
+let test_topo_mutant_run_and_replay () =
+  let out = Filename.temp_file "tpro-cli-topo-cex" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      check_exit "mutant topo run exits 1" 1
+        [
+          "topo"; "--trials"; "40"; "--seed"; "42"; "--mutant"; "skip-flush";
+          "-j"; "2"; "--out"; out;
+        ];
+      Alcotest.(check bool) "counterexample file written" true
+        (Sys.file_exists out);
+      (match Tpro_fuzz.Replay.load out with
+      | Ok (Tpro_fuzz.Replay.Topology t) ->
+        Alcotest.(check bool) "saved topology carries the mutant" true
+          (t.Tpro_fuzz.Topology.mutant = Tpro_fuzz.Scenario.Skip_flush)
+      | Ok (Tpro_fuzz.Replay.Scenario _) ->
+        Alcotest.fail "topo counterexample parsed as a scenario"
+      | Error e ->
+        Alcotest.failf "counterexample unreadable: %s"
+          (Tpro_fuzz.Scenario.load_error_to_string e));
+      check_exit "replaying the counterexample exits 1" 1
+        [ "topo"; "--replay"; out ];
+      (* the fuzz subcommand reads format-2 files too — Replay
+         dispatches on the declared version *)
+      check_exit "fuzz --replay reads a topology file" 1
+        [ "fuzz"; "--replay"; out ])
+
 let suite =
   [
     Alcotest.test_case "cmdliner parse errors exit 124" `Quick
@@ -189,4 +229,7 @@ let suite =
       test_prove_json_artifact;
     Alcotest.test_case "prove checkpoint/resume stdout is byte-identical"
       `Quick test_prove_checkpoint_resume;
+    Alcotest.test_case "topo exit codes" `Quick test_topo_exit_codes;
+    Alcotest.test_case "topo mutant run writes a replayable counterexample"
+      `Quick test_topo_mutant_run_and_replay;
   ]

@@ -210,6 +210,290 @@ let test_pool_matches_sequential () =
   Alcotest.(check int) "same failure count" (List.length seq)
     (List.length par)
 
+(* ------------------------------------------------------------------ *)
+(* Topology campaigns: the N-domain/M-core generalisation.             *)
+
+let topology = Alcotest.testable Topology.pp ( = )
+
+let test_topology_deterministic () =
+  for idx = 0 to 29 do
+    Alcotest.check topology
+      (Printf.sprintf "generate ~seed:7 %d is stable" idx)
+      (Topology.generate ~seed:7 idx)
+      (Topology.generate ~seed:7 idx)
+  done;
+  Alcotest.(check bool) "different indices differ" true
+    (Topology.generate ~seed:7 0 <> Topology.generate ~seed:7 1);
+  Alcotest.(check bool) "different seeds differ" true
+    (Topology.generate ~seed:7 0 <> Topology.generate ~seed:8 0)
+
+(* The generator must actually draw multi-core, SMT, TDMA and IPC
+   shapes — the whole point of the refactor. *)
+let test_topology_coverage () =
+  let topos = List.init 200 (Topology.generate ~seed:42) in
+  let some name p =
+    Alcotest.(check bool) (name ^ " drawn") true (List.exists p topos)
+  in
+  some "single-core" (fun t -> t.Topology.n_cores = 1);
+  some "four-core" (fun t -> t.Topology.n_cores = 4);
+  some "smt" (fun t -> t.Topology.smt);
+  some "tdma bus" (fun t -> t.Topology.bus_slot > 0);
+  some "ipc edges" (fun t -> t.Topology.ipc <> []);
+  some "8 domains" (fun t -> Topology.n_domains t = 8);
+  some "2 domains" (fun t -> Topology.n_domains t = 2)
+
+let test_topology_roundtrip () =
+  List.iter
+    (fun mutant ->
+      for idx = 0 to 19 do
+        let t = Topology.generate ~seed:3 ~mutant idx in
+        match Topology.of_string (Topology.to_string t) with
+        | Ok t' -> Alcotest.check topology "to_string/of_string" t t'
+        | Error e ->
+          Alcotest.failf "of_string failed: %a" Scenario.pp_parse_error e
+      done)
+    [ Scenario.No_mutant; Scenario.Skip_flush; Scenario.Drop_padding;
+      Scenario.Miscolour ]
+
+(* Forward compatibility: scenario files are format 1 and still parse
+   when the [format] line is absent (files written before the key
+   existed); a format this build does not know is a typed error naming
+   both versions; and the [Replay] loader dispatches on the line. *)
+let test_format_versioning () =
+  let s = Scenario.generate ~seed:11 4 in
+  let text = Scenario.to_string s in
+  Alcotest.(check bool) "scenario files declare format 1" true
+    (contains "format 1\n" text);
+  let without_format =
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (contains "format" l))
+         (String.split_on_char '\n' text))
+  in
+  (match Scenario.of_string without_format with
+  | Ok s' -> Alcotest.check scenario "pre-versioning file still parses" s s'
+  | Error e ->
+    Alcotest.failf "pre-versioning scenario rejected: %a"
+      Scenario.pp_parse_error e);
+  (match Scenario.of_string ("format 9\n" ^ without_format) with
+  | Ok _ -> Alcotest.fail "alien format version parsed as a scenario"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "alien version error names versions: %s"
+         e.Scenario.reason)
+      true
+      (contains "unsupported replay format 9" e.Scenario.reason));
+  let t = Topology.generate ~seed:11 4 in
+  Alcotest.(check bool) "topology files declare format 2" true
+    (contains "format 2\n" (Topology.to_string t));
+  (match Replay.of_string text with
+  | Ok (Replay.Scenario s') ->
+    Alcotest.check scenario "replay dispatch: scenario" s s'
+  | Ok (Replay.Topology _) -> Alcotest.fail "scenario dispatched as topology"
+  | Error e ->
+    Alcotest.failf "replay dispatch failed: %a" Scenario.pp_parse_error e);
+  (match Replay.of_string (Topology.to_string t) with
+  | Ok (Replay.Topology t') ->
+    Alcotest.check topology "replay dispatch: topology" t t'
+  | Ok (Replay.Scenario _) -> Alcotest.fail "topology dispatched as scenario"
+  | Error e ->
+    Alcotest.failf "replay dispatch failed: %a" Scenario.pp_parse_error e);
+  match Replay.of_string ("format 3\nseed 0\n") with
+  | Ok _ -> Alcotest.fail "unknown format dispatched"
+  | Error e ->
+    Alcotest.(check bool) "dispatch error names supported versions" true
+      (contains "formats 1 and 2" e.Scenario.reason)
+
+let test_topology_file_roundtrip () =
+  let t = Topology.generate ~seed:5 ~mutant:Scenario.Miscolour 2 in
+  let path = Filename.temp_file "tpro-topo" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topology.save path t;
+      match Topology.load path with
+      | Ok t' -> Alcotest.check topology "save/load" t t'
+      | Error e ->
+        Alcotest.failf "load failed: %s" (Scenario.load_error_to_string e))
+
+(* Acceptance criterion: generated topologies under the full preset show
+   zero pairwise violations from any observer domain's viewpoint. *)
+let test_topologies_no_violation () =
+  match
+    Tpro_engine.Pool.with_pool (fun pool ->
+        Driver.topo_run ~pool ~seed:42 ~trials:150 ())
+  with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "pairwise violation without a mutant:@.%a"
+      Driver.pp_topo_failure f
+
+(* Each mutant must be killed on some domain pair within the budget,
+   with the matching lemma named in the pair-tagged message. *)
+let check_topo_mutant_killed mutant ~expect =
+  match Driver.topo_first_failure ~mutant ~seed:42 ~budget:1_000 () with
+  | None ->
+    Alcotest.failf "%s mutant survived 1000 topologies"
+      (Scenario.mutant_to_string mutant)
+  | Some (used, f) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s killed within budget (used %d)"
+         (Scenario.mutant_to_string mutant)
+         used)
+      true (used <= 1_000);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s kill names the pair: %s"
+         (Scenario.mutant_to_string mutant)
+         f.Driver.topo_message)
+      true
+      (contains "pair (hi=" f.Driver.topo_message);
+    let lemma = expect f.Driver.topology in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s kill blames %s: %s"
+         (Scenario.mutant_to_string mutant)
+         lemma f.Driver.topo_message)
+      true
+      (contains ("lemma " ^ lemma ^ " refuted") f.Driver.topo_message);
+    (* the saved file reproduces the violation through the dispatcher *)
+    let path = Filename.temp_file "tpro-topo-kill" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Topology.save path f.Driver.topology;
+        match Replay.load path with
+        | Ok (Replay.Topology t) -> (
+          match Oracle.check_topology t with
+          | Oracle.Fail _ -> ()
+          | Oracle.Pass -> Alcotest.fail "replayed topology no longer fails")
+        | Ok (Replay.Scenario _) ->
+          Alcotest.fail "topology replay dispatched as scenario"
+        | Error e ->
+          Alcotest.failf "replay load failed: %s"
+            (Scenario.load_error_to_string e))
+
+let test_topo_kill_skip_flush () =
+  check_topo_mutant_killed Scenario.Skip_flush ~expect:(fun t ->
+      "flush:" ^ Topology.skip_target t)
+
+let test_topo_kill_drop_padding () =
+  check_topo_mutant_killed Scenario.Drop_padding ~expect:(fun _ ->
+      "kernel:padded-switch")
+
+let test_topo_kill_miscolour () =
+  match Driver.topo_first_failure ~mutant:Scenario.Miscolour ~seed:42
+          ~budget:1_000 ()
+  with
+  | None -> Alcotest.fail "miscolour mutant survived 1000 topologies"
+  | Some (_, f) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "miscolour kill names a pair: %s" f.Driver.topo_message)
+      true
+      (contains "pair (hi=" f.Driver.topo_message)
+
+(* Satellite: a hand-built 4-domain/2-core topology in which the planted
+   miscolouring (domain 0's page remapped into a frame of domain 2's
+   colour) leaks between exactly that domain pair.  The planted
+   direction (vary 0, observer 2) is a state-level breach of 2's slice
+   — the violation names the pair and the [partition:llc] lemma.  The
+   reverse direction may also fail, as timing: 0's accesses to its
+   miscoloured page hit sets shared with 2's lines, whose digests feed
+   the latency jitter — a miscoloured mapping breaks isolation both
+   ways, which is physically faithful.  What the test pins down is that
+   no pair *not* involving both 0 and 2 leaks anything. *)
+let test_miscolour_leaks_one_pair () =
+  let dom core wseed workload =
+    {
+      Topology.d_core = core;
+      d_colours = 1;
+      d_pages = 1;
+      d_workload = workload;
+      d_wseed = wseed;
+      d_slice = 3_000;
+    }
+  in
+  let t =
+    {
+      Topology.seed = 0;
+      idx = 0;
+      mutant = Scenario.Miscolour;
+      n_cores = 2;
+      smt = false;
+      btb = false;
+      lat_seed = 0;
+      secret_a = 1;
+      secret_b = 5;
+      bus_slot = 64;
+      pad_extra = 0;
+      domains = [| dom 0 3 0; dom 0 7 1; dom 1 11 2; dom 1 13 3 |];
+      scheds = [ (0, [| 0; 1 |]); (1, [| 2; 3 |]) ];
+      ipc = [];
+      deep_hi = 0;
+      deep_lo = 2;
+      cap_dom = 1;
+      cap_obs = 3;
+      skip_idx = 0;
+      mis_src = 0;
+      mis_dst = 2;
+    }
+  in
+  (match Oracle.check_topology_pair t ~vary:0 ~obs:2 with
+  | Oracle.Pass -> Alcotest.fail "planted pair (0,2) did not leak"
+  | Oracle.Fail m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "violation names the planted pair: %s" m)
+      true
+      (contains "pair (hi=0, lo=2)" m);
+    Alcotest.(check bool)
+      (Printf.sprintf "violation blames partition:llc: %s" m)
+      true
+      (contains "partition:llc" m));
+  (* The full pairwise sweep reports the planted pair: (0,1) is clean,
+     so (0,2) is the first violation in vary-major order. *)
+  (match Oracle.check_topology t with
+  | Oracle.Pass -> Alcotest.fail "full sweep missed the planted pair"
+  | Oracle.Fail m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "full sweep names the planted pair: %s" m)
+      true
+      (contains "pair (hi=0, lo=2)" m);
+    Alcotest.(check bool)
+      (Printf.sprintf "full sweep blames partition:llc: %s" m)
+      true
+      (contains "partition:llc" m));
+  List.iter
+    (fun (v, o) ->
+      if (v, o) <> (0, 2) && (v, o) <> (2, 0) then
+        match Oracle.check_topology_pair t ~vary:v ~obs:o with
+        | Oracle.Pass -> ()
+        | Oracle.Fail m ->
+          Alcotest.failf "pair (%d,%d) unexpectedly leaks: %s" v o m)
+    (Topology.pairs t)
+
+(* Topology fan-out must not change verdicts either. *)
+let test_topo_pool_matches_sequential () =
+  let seq = Driver.topo_run ~seed:9 ~trials:24 () in
+  let par =
+    Tpro_engine.Pool.with_pool (fun pool ->
+        Driver.topo_run ~pool ~seed:9 ~trials:24 ())
+  in
+  Alcotest.(check int) "same failure count" (List.length seq)
+    (List.length par)
+
+(* The hardwired two-domain scenario is the trivial topology instance:
+   a 2-domain/1-core draw executes, quiesces and passes the same
+   pairwise oracle. *)
+let test_two_domain_instance () =
+  let t = Topology.generate ~seed:1 ~max_domains:2 ~max_cores:1 0 in
+  Alcotest.(check int) "two domains" 2 (Topology.n_domains t);
+  Alcotest.(check int) "one core" 1 t.Topology.n_cores;
+  Alcotest.(check (list (pair int int)))
+    "two ordered pairs"
+    [ (0, 1); (1, 0) ]
+    (Topology.pairs t);
+  match Oracle.check_topology t with
+  | Oracle.Pass -> ()
+  | Oracle.Fail m -> Alcotest.failf "2-domain instance fails: %s" m
+
 let suite =
   [
     Alcotest.test_case "generation is deterministic" `Quick
@@ -233,4 +517,28 @@ let suite =
       test_lemma_miscolour;
     Alcotest.test_case "pool fan-out matches sequential" `Quick
       test_pool_matches_sequential;
+    Alcotest.test_case "topology generation is deterministic" `Quick
+      test_topology_deterministic;
+    Alcotest.test_case "topology generator covers the space" `Quick
+      test_topology_coverage;
+    Alcotest.test_case "topology format-2 round-trip" `Quick
+      test_topology_roundtrip;
+    Alcotest.test_case "replay format versioning and dispatch" `Quick
+      test_format_versioning;
+    Alcotest.test_case "topology save/load round-trip" `Quick
+      test_topology_file_roundtrip;
+    Alcotest.test_case "150 topologies, zero pairwise violations" `Slow
+      test_topologies_no_violation;
+    Alcotest.test_case "topo skip-flush killed, flush:<target> blamed" `Quick
+      test_topo_kill_skip_flush;
+    Alcotest.test_case "topo drop-padding killed, padded-switch blamed"
+      `Quick test_topo_kill_drop_padding;
+    Alcotest.test_case "topo miscolour killed on a named pair" `Quick
+      test_topo_kill_miscolour;
+    Alcotest.test_case "miscolour leaks between exactly one pair" `Quick
+      test_miscolour_leaks_one_pair;
+    Alcotest.test_case "topology pool fan-out matches sequential" `Quick
+      test_topo_pool_matches_sequential;
+    Alcotest.test_case "2-domain topology is the legacy instance" `Quick
+      test_two_domain_instance;
   ]

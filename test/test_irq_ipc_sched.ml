@@ -80,6 +80,61 @@ let test_sched_empty () =
     (Invalid_argument "Sched.create: empty schedule") (fun () ->
       ignore (Sched.create [||]))
 
+(* Satellite: [Sched.make] validates orders at construction time with
+   typed errors, instead of surfacing as array accesses deep inside a
+   switch. *)
+let test_sched_make_valid () =
+  match Sched.make ~n_domains:5 [| 3; 1; 4 |] with
+  | Error e -> Alcotest.failf "valid order rejected: %s" (Sched.error_to_string e)
+  | Ok s ->
+    Alcotest.(check int) "starts at first" 3 (Sched.current s);
+    Alcotest.(check int) "advance" 1 (Sched.advance s)
+
+let test_sched_make_empty () =
+  match Sched.make ~n_domains:4 [||] with
+  | Error Sched.Empty_order -> ()
+  | Error e ->
+    Alcotest.failf "wrong error for empty order: %s" (Sched.error_to_string e)
+  | Ok _ -> Alcotest.fail "empty order accepted"
+
+let test_sched_make_out_of_range () =
+  (match Sched.make ~n_domains:3 [| 0; 3; 1 |] with
+  | Error (Sched.Out_of_range { index; n_domains }) ->
+    Alcotest.(check int) "offending index" 3 index;
+    Alcotest.(check int) "domain count" 3 n_domains
+  | Error e ->
+    Alcotest.failf "wrong error for out-of-range: %s" (Sched.error_to_string e)
+  | Ok _ -> Alcotest.fail "out-of-range index accepted");
+  match Sched.make ~n_domains:3 [| -1 |] with
+  | Error (Sched.Out_of_range { index = -1; n_domains = 3 }) -> ()
+  | _ -> Alcotest.fail "negative index accepted"
+
+let test_sched_make_copies () =
+  let order = [| 0; 1; 2 |] in
+  match Sched.make ~n_domains:3 order with
+  | Error e -> Alcotest.failf "valid order rejected: %s" (Sched.error_to_string e)
+  | Ok s ->
+    order.(0) <- 9;
+    Alcotest.(check int) "mutation of argument cannot corrupt the schedule" 0
+      (Sched.current s)
+
+(* QCheck: make's verdict always agrees with a direct check of the
+   order, and an accepted schedule replays the order verbatim. *)
+let prop_sched_make_agrees =
+  QCheck.Test.make ~name:"make accepts exactly the in-range non-empty orders"
+    ~count:500
+    QCheck.(pair (int_range 1 8) (array (int_range (-2) 9)))
+    (fun (n_domains, order) ->
+      match Sched.make ~n_domains order with
+      | Ok s ->
+        Array.length order > 0
+        && Array.for_all (fun d -> d >= 0 && d < n_domains) order
+        && Sched.order s = order
+      | Error Sched.Empty_order -> Array.length order = 0
+      | Error (Sched.Out_of_range { index; n_domains = n }) ->
+        n = n_domains && (index < 0 || index >= n_domains)
+        && Array.exists (fun d -> d = index) order)
+
 let test_sched_static_order () =
   (* the schedule never depends on anything dynamic: 10 rounds repeat
      exactly *)
@@ -128,6 +183,12 @@ let suite =
     Alcotest.test_case "ipc endpoint bounds" `Quick test_ipc_endpoint_bounds;
     Alcotest.test_case "sched cycle" `Quick test_sched_cycle;
     Alcotest.test_case "sched empty" `Quick test_sched_empty;
+    Alcotest.test_case "sched make valid" `Quick test_sched_make_valid;
+    Alcotest.test_case "sched make empty" `Quick test_sched_make_empty;
+    Alcotest.test_case "sched make out of range" `Quick
+      test_sched_make_out_of_range;
+    Alcotest.test_case "sched make copies order" `Quick test_sched_make_copies;
+    QCheck_alcotest.to_alcotest prop_sched_make_agrees;
     Alcotest.test_case "sched static order" `Quick test_sched_static_order;
     Alcotest.test_case "event switch duration" `Quick test_event_switch_duration;
     Alcotest.test_case "event pp smoke" `Quick test_event_pp_smoke;
