@@ -3,11 +3,19 @@
    Part 1 regenerates every experiment table of DESIGN.md (the rows the
    paper reproduction reports) and prints them.
 
-   Part 2 benchmarks the parallel trial engine: the full experiment
-   suite sequentially vs. fanned out over a domain pool ([-j N]), checks
-   the outputs are bit-identical, prints a pretty comparison and writes
-   a machine-readable BENCH_parallel.json so the perf trajectory is
-   trackable across PRs.
+   Part 2 (with part 8 folded in) benchmarks the work-stealing trial
+   engine: the full experiment suite sequentially vs. fanned out over
+   the *calibrated* pool (the configuration a flagless user gets — 1
+   domain on a 1-core container, so the headline speedup must sit at
+   ~1.0 there), per-table sequential and parallel times, a forced
+   -j 1/2/4 scaling curve with steal counts, and the calibration
+   decision itself (cores detected, domains chosen, minor-heap
+   sizing).  Every run is checked bit-identical to sequential and the
+   whole thing is written as BENCH_parallel.json schema v2 so perf
+   regressions are attributable across PRs.
+   [--require-speedup-1core T] makes the run fail when calibration
+   reports 1 core and the calibrated speedup falls below T (the CI
+   oversubscription guard).
 
    Part 3 is a Bechamel suite: one [Test.make] per experiment table
    (measuring the cost of regenerating it with a reduced trial count)
@@ -68,6 +76,7 @@ let flat_json_path = ref "BENCH_flatstate.json"
 let prove_json_path = ref "BENCH_prove.json"
 let topo_json_path = ref "BENCH_topology.json"
 let budget_cache_digest_ns = ref 0.0
+let require_speedup_1core = ref 0.0
 let smoke = ref false
 
 let parse_seeds s =
@@ -98,6 +107,10 @@ let () =
         Arg.Set_float budget_cache_digest_ns,
         "N  fail the run if the incremental cache digest exceeds N ns/run \
          (0 disables; the CI perf-regression guard)" );
+      ( "--require-speedup-1core",
+        Arg.Set_float require_speedup_1core,
+        "T  fail the run if calibration reports 1 core and the calibrated \
+         speedup falls below T (0 disables; the CI oversubscription guard)" );
       ("--smoke", Arg.Set smoke, "  reduced run for CI (skips part 1 and 3)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -120,58 +133,129 @@ let time_wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-type par_bench = {
-  cores : int;
-  domains : int;
-  bench_seeds : int list;
-  seq_seconds : float;
-  par_seconds : float;
-  speedup : float;
-  identical : bool;
-  per_table_seq : (string * float) list;
+(* One forced pool size on the scaling curve (part 8). *)
+type curve_point = {
+  cp_j : int;
+  cp_seconds : float;
+  cp_speedup : float;
+  cp_steals : int;
+  cp_executed : int;
+  cp_identical : bool;
 }
 
+type par_bench = {
+  cores : int;  (** cores the calibration probe detected *)
+  domains : int;  (** calibrated domain count, used for the headline run *)
+  minor_heap_words : int;
+  probe_note : string;
+  bench_seeds : int list;
+  seq_seconds : float;
+  par_seconds : float;  (** full suite over the calibrated pool *)
+  speedup : float;
+  identical : bool;  (** headline run and every curve point vs sequential *)
+  per_table_seq : (string * float) list;
+  per_table_par : (string * float) list;
+  curve : curve_point list;
+  steals : int;
+  executed : int;
+  injected : int;
+  chunk_estimates : (string * float * int) list;
+}
+
+(* The headline numbers use the *calibrated* pool — the configuration a
+   user gets without flags.  On a 1-core container calibration picks 1
+   domain, the pool runs sequentially, and the speedup must sit at
+   ~1.0 (PR 1's committed 0.17 was a 4-domain pool fighting one core).
+   The forced -j 1/2/4 curve shows what oversubscription costs and
+   what real cores buy, with steal counts for attribution. *)
 let bench_parallel () =
-  let seeds = !seeds and domains = max 1 !jobs in
-  let per_table_seq =
+  let seeds = !seeds in
+  let host = Tpro_engine.Calibrate.host () in
+  let tables_seq, seq_seconds =
+    time_wall (fun () -> Time_protection.Experiments.all ~seeds ())
+  in
+  let pool = Tpro_engine.Pool.create () in
+  let tables_par, par_seconds =
+    time_wall (fun () -> Time_protection.Experiments.all_par ~seeds ~pool ())
+  in
+  let per_table =
     List.filter_map
       (fun id ->
         match Time_protection.Experiments.by_id id with
         | None -> None
         | Some f ->
-          let _, dt = time_wall (fun () -> f ~seeds ()) in
-          Some (id, dt))
+          let _, dseq = time_wall (fun () -> f ~seeds ()) in
+          let _, dpar = time_wall (fun () -> f ~seeds ~pool ()) in
+          Some (id, dseq, dpar))
       Time_protection.Experiments.ids
   in
-  let tables_seq, seq_seconds =
-    time_wall (fun () -> Time_protection.Experiments.all ~seeds ())
+  let stats = Tpro_engine.Pool.stats pool in
+  let chunk_estimates =
+    Tpro_engine.Cost_model.snapshot (Tpro_engine.Pool.cost_model pool)
   in
-  let tables_par, par_seconds =
-    time_wall (fun () ->
-        Time_protection.Experiments.all_par ~seeds ~domains ())
+  Tpro_engine.Pool.shutdown pool;
+  let curve =
+    List.map
+      (fun j ->
+        let p = Tpro_engine.Pool.create ~domains:j () in
+        let tabs, dt =
+          time_wall (fun () ->
+              Time_protection.Experiments.all_par ~seeds ~pool:p ())
+        in
+        let st = Tpro_engine.Pool.stats p in
+        Tpro_engine.Pool.shutdown p;
+        {
+          cp_j = j;
+          cp_seconds = dt;
+          cp_speedup = seq_seconds /. dt;
+          cp_steals = st.Tpro_engine.Pool.steals;
+          cp_executed = st.Tpro_engine.Pool.tasks_executed;
+          cp_identical = tabs = tables_seq;
+        })
+      [ 1; 2; 4 ]
   in
   ( {
-      cores = Tpro_engine.Pool.recommended ();
-      domains;
+      cores = host.Tpro_engine.Calibrate.cores_detected;
+      domains = host.Tpro_engine.Calibrate.recommended;
+      minor_heap_words = host.Tpro_engine.Calibrate.minor_heap_words;
+      probe_note = host.Tpro_engine.Calibrate.probe_note;
       bench_seeds = seeds;
       seq_seconds;
       par_seconds;
       speedup = seq_seconds /. par_seconds;
-      identical = tables_seq = tables_par;
-      per_table_seq;
+      identical =
+        tables_seq = tables_par
+        && List.for_all (fun c -> c.cp_identical) curve;
+      per_table_seq = List.map (fun (id, s, _) -> (id, s)) per_table;
+      per_table_par = List.map (fun (id, _, p) -> (id, p)) per_table;
+      curve;
+      steals = stats.Tpro_engine.Pool.steals;
+      executed = stats.Tpro_engine.Pool.tasks_executed;
+      injected = stats.Tpro_engine.Pool.tasks_injected;
+      chunk_estimates;
     },
     tables_par )
 
 let print_par_bench b =
   Format.printf
     "=== Parallel trial engine: full suite, seq vs. par ===@.@.";
-  Format.printf "  recommended domains (cores): %d@." b.cores;
-  Format.printf "  pool size (-j):              %d@." b.domains;
+  Format.printf "  cores detected:              %d@." b.cores;
+  Format.printf "  calibrated domains:          %d  (%s)@." b.domains
+    b.probe_note;
+  Format.printf "  minor heap (words):          %d@." b.minor_heap_words;
   Format.printf "  seeds:                       [%s]@."
     (String.concat "," (List.map string_of_int b.bench_seeds));
   Format.printf "  sequential:                  %.3f s@." b.seq_seconds;
-  Format.printf "  parallel:                    %.3f s@." b.par_seconds;
+  Format.printf "  parallel (calibrated):       %.3f s@." b.par_seconds;
   Format.printf "  speedup:                     %.2fx@." b.speedup;
+  Format.printf "  steals/executed/injected:    %d/%d/%d@." b.steals
+    b.executed b.injected;
+  List.iter
+    (fun c ->
+      Format.printf
+        "  forced -j %d:                 %.3f s (%.2fx, %d steals)@." c.cp_j
+        c.cp_seconds c.cp_speedup c.cp_steals)
+    b.curve;
   Format.printf "  outputs bit-identical:       %b@.@." b.identical
 
 (* ------------------------------------------------------------------ *)
@@ -194,20 +278,56 @@ let write_json path b micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"tpro-bench-parallel/1\",\n";
-  p "  \"cores\": %d,\n" b.cores;
-  p "  \"domains\": %d,\n" b.domains;
+  p "  \"schema\": \"tpro-bench-parallel/2\",\n";
+  p "  \"calibration\": {\n";
+  p "    \"cores_detected\": %d,\n" b.cores;
+  p "    \"domains_chosen\": %d,\n" b.domains;
+  p "    \"minor_heap_words\": %d,\n" b.minor_heap_words;
+  p "    \"probe_note\": \"%s\"\n" (json_escape b.probe_note);
+  p "  },\n";
   p "  \"seeds\": [%s],\n"
     (String.concat ", " (List.map string_of_int b.bench_seeds));
   p "  \"sequential_seconds\": %.6f,\n" b.seq_seconds;
   p "  \"parallel_seconds\": %.6f,\n" b.par_seconds;
   p "  \"speedup\": %.4f,\n" b.speedup;
   p "  \"outputs_bit_identical\": %b,\n" b.identical;
-  p "  \"per_table_sequential_seconds\": {\n";
+  p "  \"scheduler\": {\n";
+  p "    \"steals\": %d,\n" b.steals;
+  p "    \"tasks_executed\": %d,\n" b.executed;
+  p "    \"tasks_injected\": %d,\n" b.injected;
+  p "    \"chunk_estimates_ns_per_item\": {\n";
+  let n = List.length b.chunk_estimates in
+  List.iteri
+    (fun i (label, ns, samples) ->
+      p "      \"%s\": { \"ns\": %.2f, \"samples\": %d }%s\n"
+        (json_escape label) ns samples
+        (if i = n - 1 then "" else ","))
+    b.chunk_estimates;
+  p "    }\n";
+  p "  },\n";
+  p "  \"scaling_curve\": {\n";
+  let n = List.length b.curve in
+  List.iteri
+    (fun i c ->
+      p
+        "    \"j%d\": { \"seconds\": %.6f, \"speedup\": %.4f, \"steals\": \
+         %d, \"tasks_executed\": %d, \"identical\": %b }%s\n"
+        c.cp_j c.cp_seconds c.cp_speedup c.cp_steals c.cp_executed
+        c.cp_identical
+        (if i = n - 1 then "" else ","))
+    b.curve;
+  p "  },\n";
+  p "  \"per_table_seconds\": {\n";
   let n = List.length b.per_table_seq in
   List.iteri
-    (fun i (id, dt) ->
-      p "    \"%s\": %.6f%s\n" (json_escape id) dt
+    (fun i (id, dseq) ->
+      let dpar =
+        Option.value (List.assoc_opt id b.per_table_par) ~default:nan
+      in
+      p
+        "    \"%s\": { \"sequential\": %.6f, \"parallel\": %.6f, \
+         \"speedup\": %.4f }%s\n"
+        (json_escape id) dseq dpar (dseq /. dpar)
         (if i = n - 1 then "" else ","))
     b.per_table_seq;
   p "  },\n";
@@ -888,6 +1008,19 @@ let () =
     Format.printf
       "ERROR: supervised sweep diverged from raw fan-out output@.";
     exit 1
+  end;
+  let floor = !require_speedup_1core in
+  if floor > 0.0 && par.cores = 1 then begin
+    if par.speedup < floor then begin
+      Format.printf
+        "ERROR: calibrated 1-core speedup %.2f < required %.2f \
+         (oversubscription regression)@."
+        par.speedup floor;
+      exit 1
+    end
+    else
+      Format.printf "1-core speedup guard ok: %.2f >= %.2f@." par.speedup
+        floor
   end;
   let budget = !budget_cache_digest_ns in
   if budget > 0.0 then begin

@@ -341,8 +341,9 @@ let jobs_arg =
     & info [ "j"; "jobs" ]
         ~doc:
           "Number of domains for the parallel trial engine (default: the \
-           runtime's recommended domain count).  Results are bit-identical \
-           for any value.")
+           calibrated domain count for this host — 1 on a single-core or \
+           CPU-quota'd container, where fan-out would only add overhead).  \
+           Results are bit-identical for any value.")
 
 let checkpoint_arg =
   Arg.(
@@ -374,6 +375,29 @@ let resume_arg =
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids")
     Term.(const list_experiments $ const ())
+
+(* What would the engine do on this host, and why?  `--fresh` re-probes
+   instead of using the cached answer, for checking a quota change
+   without restarting anything. *)
+let run_calibrate fresh =
+  let h =
+    if fresh then Tpro_engine.Calibrate.probe ()
+    else Tpro_engine.Calibrate.host ()
+  in
+  Format.printf "%a@." Tpro_engine.Calibrate.pp_host h
+
+let calibrate_cmd =
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ] ~doc:"Re-run the probe instead of using the cache.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Probe the host and report the calibrated domain count the engine \
+          will use")
+    Term.(const run_calibrate $ fresh)
 
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -603,7 +627,7 @@ let topo_cmd =
 
 let () =
   let info =
-    Cmd.info "tpro" ~version:"1.6.0"
+    Cmd.info "tpro" ~version:"1.7.0"
       ~doc:"Time protection: executable model, attacks and proofs"
   in
   exit
@@ -611,5 +635,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; exp_cmd; all_cmd; verify_cmd; prove_cmd; trace_cmd;
-            protocol_cmd; matrix_cmd; fuzz_cmd; topo_cmd;
+            protocol_cmd; matrix_cmd; fuzz_cmd; topo_cmd; calibrate_cmd;
           ]))

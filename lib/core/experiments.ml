@@ -986,7 +986,7 @@ let run_supervised ?(seeds = default_seeds) ~sup ?checkpoint
         | None -> (
           let r =
             match
-              Supervisor.run sup
+              Supervisor.run sup ~label:"experiment-table"
                 ~key:(fun _ -> i)
                 (fun ~fuel () ->
                   Supervisor.Fuel.burn fuel;

@@ -222,7 +222,7 @@ let run ~sup ?checkpoint ?(checkpoint_every = 1) ?(resume = false)
       in
       let batch, rest = take every batch_src in
       let results =
-        Supervisor.run sup ~chunk:1 ~key:Fun.id
+        Supervisor.run sup ~label:"prove-evidence" ~key:Fun.id
           (fun ~fuel i ->
             Supervisor.Fuel.burn fuel;
             collect_task ~cfg:(task_cfg i) ~seed:(task_seed i) ~secrets)

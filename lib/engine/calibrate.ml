@@ -1,0 +1,162 @@
+type host = {
+  cores_detected : int;
+  recommended : int;
+  minor_heap_words : int;
+  parallel_efficiency : float;
+  probe_note : string;
+}
+
+let default_minor_heap_words = 262_144
+let parallel_minor_heap_words = 1_048_576
+
+(* Below this measured 2-domain speedup the "cores" are time-slicing
+   one another (CPU quota, busy host): parallelism is a net loss, so
+   degrade to sequential.  A genuinely idle 2-core host measures close
+   to 2.0 on the spin kernel. *)
+let concurrency_threshold = 1.2
+
+(* A busy-loop kernel that the compiler cannot elide and that does not
+   allocate, so the probe measures CPU concurrency rather than
+   GC behaviour. *)
+let spin iters =
+  let acc = ref 0 in
+  for i = 1 to iters do
+    acc := (!acc * 31) + i
+  done;
+  Sys.opaque_identity !acc
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let _ = f () in
+  Unix.gettimeofday () -. t0
+
+(* Size the kernel to a few milliseconds so the probe is fast but well
+   above scheduler noise. *)
+let probe_iters = 4_000_000
+
+let measure_efficiency () =
+  (* Warm up, then take the best of a few attempts for each side —
+     min-of-k is robust against one-off scheduler preemptions. *)
+  let _ = spin probe_iters in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let d = time f in
+      if d < !b then b := d
+    done;
+    !b
+  in
+  let seq = best (fun () -> spin (2 * probe_iters)) in
+  let par =
+    best (fun () ->
+        let d = Domain.spawn (fun () -> spin probe_iters) in
+        let _ = spin probe_iters in
+        Domain.join d)
+  in
+  if par <= 0. then 1.0 else seq /. par
+
+let probe ?force_cores () =
+  let cores, forced =
+    match force_cores with
+    | Some c -> (max 1 c, true)
+    | None -> (Domain.recommended_domain_count (), false)
+  in
+  if cores <= 1 then
+    {
+      cores_detected = cores;
+      recommended = 1;
+      minor_heap_words = default_minor_heap_words;
+      parallel_efficiency = 1.0;
+      probe_note =
+        "1 core detected; running sequentially (no worker domains)";
+    }
+  else if forced then
+    {
+      cores_detected = cores;
+      recommended = cores;
+      minor_heap_words = parallel_minor_heap_words;
+      parallel_efficiency = 1.0;
+      probe_note = Printf.sprintf "forced %d cores (probe skipped)" cores;
+    }
+  else
+    let eff = measure_efficiency () in
+    if eff < concurrency_threshold then
+      {
+        cores_detected = cores;
+        recommended = 1;
+        minor_heap_words = default_minor_heap_words;
+        parallel_efficiency = eff;
+        probe_note =
+          Printf.sprintf
+            "%d cores reported but 2-domain probe speedup %.2f < %.2f \
+             (CPU quota?); running sequentially"
+            cores eff concurrency_threshold;
+      }
+    else
+      {
+        cores_detected = cores;
+        recommended = cores;
+        minor_heap_words = parallel_minor_heap_words;
+        parallel_efficiency = eff;
+        probe_note =
+          Printf.sprintf "%d cores, 2-domain probe speedup %.2f" cores eff;
+      }
+
+(* The cache and the override share one mutex so tests that flip the
+   override from the main domain race neither the probe nor each
+   other. *)
+let lock = Mutex.create ()
+let cached : host option ref = ref None
+let override : host option ref = ref None
+
+let host () =
+  Mutex.lock lock;
+  let o = !override in
+  Mutex.unlock lock;
+  match o with
+  | Some h -> h
+  | None -> (
+    Mutex.lock lock;
+    let c = !cached in
+    Mutex.unlock lock;
+    match c with
+    | Some h -> h
+    | None ->
+      let h = probe () in
+      Mutex.lock lock;
+      let h = match !cached with Some h' -> h' | None -> cached := Some h; h in
+      Mutex.unlock lock;
+      h)
+
+let recommended () = (host ()).recommended
+
+let set_override h =
+  Mutex.lock lock;
+  override := h;
+  Mutex.unlock lock
+
+let with_override h f =
+  Mutex.lock lock;
+  let prev = !override in
+  override := Some h;
+  Mutex.unlock lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock lock;
+      override := prev;
+      Mutex.unlock lock)
+    f
+
+let apply_minor_heap words =
+  try
+    let g = Gc.get () in
+    if g.Gc.minor_heap_size <> words then
+      Gc.set { g with Gc.minor_heap_size = words }
+  with _ -> ()
+
+let pp_host ppf h =
+  Format.fprintf ppf
+    "@[<v>cores detected:      %d@,domains recommended: %d@,\
+     minor heap (words):  %d@,parallel efficiency: %.2f@,note: %s@]"
+    h.cores_detected h.recommended h.minor_heap_words h.parallel_efficiency
+    h.probe_note

@@ -1,0 +1,62 @@
+(** Host calibration: decide how many domains a pool should use.
+
+    [Domain.recommended_domain_count] alone is not enough — a 1-core
+    container (or a cgroup CPU quota that the runtime cannot see)
+    turns domain fan-out into pure overhead: the committed PR 1 bench
+    measured parallel 6× {e slower} than sequential on such a host.
+    [probe] combines the runtime's count with a short measured
+    parallel-speedup probe and degrades to a single domain whenever
+    extra domains do not actually run concurrently. *)
+
+type host = {
+  cores_detected : int;
+      (** [Domain.recommended_domain_count] at probe time. *)
+  recommended : int;
+      (** Domain count a default pool should use ([>= 1]).  [1] means
+          "run sequentially; spawn no worker domains". *)
+  minor_heap_words : int;
+      (** Per-domain minor-heap size (words) worker domains should
+          adopt when running in parallel. *)
+  parallel_efficiency : float;
+      (** Measured 2-domain speedup over sequential for the probe
+          kernel ([1.0] when no probe ran, e.g. on a 1-core host). *)
+  probe_note : string;  (** Human-readable summary of the decision. *)
+}
+
+val default_minor_heap_words : int
+(** The runtime default (what sequential runs keep). *)
+
+val parallel_minor_heap_words : int
+(** Enlarged per-domain minor heap used for parallel pools, to space
+    out stop-the-world minor collections. *)
+
+val probe : ?force_cores:int -> unit -> host
+(** Measure the host and pick a domain count.  On a 1-core host (or
+    [~force_cores:1]) no measurement runs: the answer is immediately
+    sequential.  On a multicore host a ~10 ms two-domain spin kernel
+    is timed against its sequential twin; if the measured speedup is
+    below the concurrency threshold (the domains are time-slicing,
+    not running in parallel — typical of CPU quotas) the host is
+    treated as 1-core.  [force_cores] substitutes the detected core
+    count (for tests) and skips the measurement. *)
+
+val host : unit -> host
+(** Cached [probe ()] (first call probes; later calls are free),
+    unless overridden with [set_override]/[with_override]. *)
+
+val recommended : unit -> int
+(** [(host ()).recommended]. *)
+
+val set_override : host option -> unit
+(** Test hook: force the result of [host]/[recommended]. *)
+
+val with_override : host -> (unit -> 'a) -> 'a
+(** Run a thunk with [host ()] forced to the given value, restoring
+    the previous override afterwards (even on exceptions). *)
+
+val apply_minor_heap : int -> unit
+(** [apply_minor_heap words] resizes the calling domain's minor heap
+    if it differs from [words]; failures are ignored (sizing is a
+    performance policy, never a correctness requirement). *)
+
+val pp_host : Format.formatter -> host -> unit

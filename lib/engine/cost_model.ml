@@ -1,0 +1,61 @@
+type entry = { mutable est_ns : float; mutable samples : int }
+
+type t = {
+  target_ns : float;
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+}
+
+let create ?(target_ns = 1_000_000.) () =
+  { target_ns; lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+(* Keep most of the history but adapt within a few observations: the
+   first campaigns after a label appears are the ones a bad static
+   chunk would hurt. *)
+let decay = 0.7
+
+let observe t ~label ~items ~seconds =
+  if items > 0 && seconds >= 0. then begin
+    let per = seconds *. 1e9 /. float_of_int items in
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt t.tbl label with
+    | Some e ->
+      e.est_ns <- (decay *. e.est_ns) +. ((1. -. decay) *. per);
+      e.samples <- e.samples + 1
+    | None -> Hashtbl.add t.tbl label { est_ns = per; samples = 1 });
+    Mutex.unlock t.lock
+  end
+
+let estimate_ns t ~label =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl label with
+    | Some e -> Some e.est_ns
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let chunk t ~label ~items ~workers =
+  if items <= 1 then 1
+  else begin
+    let workers = max 1 workers in
+    (* At least two chunks per worker, so late-started workers still
+       find something to steal. *)
+    let max_chunk = max 1 (items / (2 * workers)) in
+    match estimate_ns t ~label with
+    | None -> min max_chunk 8
+    | Some ns ->
+      let ideal =
+        int_of_float (Float.round (t.target_ns /. Float.max ns 1.))
+      in
+      max 1 (min max_chunk ideal)
+  end
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let xs =
+    Hashtbl.fold (fun k e acc -> (k, e.est_ns, e.samples) :: acc) t.tbl []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) xs

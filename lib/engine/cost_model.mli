@@ -1,0 +1,36 @@
+(** Per-label task-cost estimates driving adaptive chunk sizes.
+
+    The experiment tables span ~6 orders of magnitude per item (an E7
+    trial costs ~0.75 s, an E10 row ~1 µs), so no static chunk size
+    works for both: chunks sized for E10 starve the pool on E7, and
+    chunks sized for E7 drown E10 in per-task overhead.  Each fan-out
+    call labels its workload; the model keeps an exponentially
+    weighted moving average of nanoseconds per item under that label
+    and sizes chunks so each task costs about [target_ns] while still
+    leaving at least two chunks per worker to steal.
+
+    Chunking affects scheduling only — results are reassembled in
+    input order regardless, so estimates may be arbitrarily wrong
+    without affecting outputs. *)
+
+type t
+
+val create : ?target_ns:float -> unit -> t
+(** [target_ns] is the intended duration of one chunk (default 1 ms). *)
+
+val observe : t -> label:string -> items:int -> seconds:float -> unit
+(** Record that [items] items under [label] took [seconds] of
+    (estimated CPU) time.  Thread-safe. *)
+
+val estimate_ns : t -> label:string -> float option
+(** Current ns/item estimate for [label], if any observation exists. *)
+
+val chunk : t -> label:string -> items:int -> workers:int -> int
+(** Chunk size for a fan-out of [items] items over [workers] workers:
+    [clamp (target_ns / estimate) 1 (max 1 (items / (2 * workers)))].
+    Unlabelled (never-observed) workloads get a small default batch so
+    the first run is neither starved nor swamped. *)
+
+val snapshot : t -> (string * float * int) list
+(** [(label, ns_per_item, samples)] for every observed label, sorted
+    by label — for bench attribution. *)

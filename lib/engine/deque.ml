@@ -1,0 +1,109 @@
+(* Chase–Lev work-stealing deque on a growable circular array.
+
+   Invariants:
+   - [top <= bottom + 1]; the logical contents are indices
+     [top .. bottom - 1].
+   - [top] only ever increases (CAS by thieves, or by the owner when
+     racing for the last element), so a successful CAS really did
+     claim the index read — no ABA.
+   - The live array is published via [Atomic.set arr]; a grow copies
+     the logical window into a fresh array before publishing, and the
+     old array is never mutated afterwards, so a thief holding a stale
+     array still reads valid values for any index it can win.
+   - Slots are cleared (set to [None]) only by the owner, and only for
+     indices the owner has claimed, so a thief that wins the CAS for
+     index [t] always finds the value it read beforehand. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  arr : 'a option array Atomic.t;
+}
+
+type 'a steal_result = Empty | Retry | Stolen of 'a
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 64) () =
+  let cap = pow2 (max 2 capacity) 2 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    arr = Atomic.make (Array.make cap None);
+  }
+
+let slot a i = i land (Array.length a - 1)
+
+(* Owner only: double the array, copying the window [t, b). *)
+let grow q t b =
+  let old = Atomic.get q.arr in
+  let a = Array.make (2 * Array.length old) None in
+  for i = t to b - 1 do
+    a.(slot a i) <- old.(slot old i)
+  done;
+  Atomic.set q.arr a;
+  a
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let a = Atomic.get q.arr in
+  let a = if b - t >= Array.length a then grow q t b else a in
+  a.(slot a b) <- Some x;
+  (* The atomic store publishes the plain slot write to thieves. *)
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let a = Atomic.get q.arr in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty: restore bottom. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then begin
+    (* More than one element: the owner takes the bottom uncontended. *)
+    let x = a.(slot a b) in
+    a.(slot a b) <- None;
+    x
+  end
+  else begin
+    (* Exactly one element: race thieves for it via CAS on top. *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then begin
+      let x = a.(slot a b) in
+      a.(slot a b) <- None;
+      x
+    end
+    else None
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    (* Read the array and candidate value before claiming the index;
+       a successful CAS proves nobody else took index [t], and the
+       publication order (slot write before the bottom store we just
+       observed) makes the read value the real element. *)
+    let a = Atomic.get q.arr in
+    let x = a.(slot a t) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match x with
+      | Some v -> Stolen v
+      | None -> assert false (* see invariants above *)
+    else Retry
+  end
+
+let rec steal_opt q =
+  match steal q with
+  | Empty -> None
+  | Stolen v -> Some v
+  | Retry -> steal_opt q
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+let is_empty q = size q = 0

@@ -1,0 +1,47 @@
+(** Chase–Lev work-stealing deque.
+
+    One domain — the {e owner} — pushes and pops at the bottom in LIFO
+    order; any number of {e thief} domains steal from the top in FIFO
+    order.  [push] and [pop] must only ever be called from the owning
+    domain; [steal] is safe from anywhere.
+
+    The implementation is the classic growable circular-array design:
+    [top] and [bottom] are sequentially consistent atomics, the array
+    is published through an atomic reference so thieves never observe
+    a torn resize, and the owner/thief race on the last element is
+    resolved by a compare-and-set on [top].  Indices increase
+    monotonically, so there is no ABA hazard. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty deque.  [capacity] (default 64, rounded up
+    to a power of two) is only the initial array size; the deque grows
+    without bound. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Pop the most recently pushed element, or [None] if
+    the deque is empty (a thief may win the race for the last
+    element). *)
+
+type 'a steal_result =
+  | Empty  (** nothing to take at the time of the attempt *)
+  | Retry  (** lost a race with the owner or another thief; work may remain *)
+  | Stolen of 'a
+
+val steal : 'a t -> 'a steal_result
+(** Any domain.  Take the oldest element.  [Retry] means the
+    compare-and-set on [top] failed — somebody else took index [top]
+    — and the caller should either retry or move to another victim. *)
+
+val steal_opt : 'a t -> 'a option
+(** [steal] retried until it returns [Empty] or [Stolen]. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the number of elements; exact when quiescent. *)
+
+val is_empty : 'a t -> bool
+(** [size t = 0] (same racy caveat). *)

@@ -1,180 +1,403 @@
-(* Fixed-size domain pool: a closure queue guarded by a mutex/condition
-   pair, drained by [size - 1] worker domains plus the calling domain.
+(* Adaptive work-stealing domain pool.
 
-   [map] submits one job per element; each job records its result (or the
-   exception it raised) into a slot of a per-call array, so results come
-   back in input order no matter which domain ran what.  The caller helps
-   drain the queue and then blocks on the call's own condition until the
-   last job has settled. *)
+   Topology: [size - 1] worker domains, each owning a Chase–Lev
+   [Deque.t] (owner pushes/pops LIFO at the bottom; thieves steal FIFO
+   at the top), plus a mutex-guarded injector queue for submissions
+   from domains outside the pool (the usual case: [map] called from
+   the main domain).  The calling domain always helps drain its own
+   call, so a pool is never idle while its owner waits — and a pool
+   whose workers are gone (size 1, or after [shutdown]) degrades to
+   plain in-order [List.map].
 
-type t = {
-  size : int;
-  queue : (unit -> unit) Queue.t;
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  mutable stop : bool;
-  mutable workers : unit Domain.t array;
+   Task acquisition order: own deque (LIFO, cache-warm), then the
+   injector, then steal attempts over the other workers starting from
+   a random victim.  A failed steal CAS ([Retry]) means somebody else
+   is making progress on that deque, so the scanner spins rather than
+   parks.
+
+   Parking uses an eventcount to avoid lost wakeups: [epoch] is bumped
+   (under the mutex) on every submission batch and at shutdown, and a
+   worker only blocks on the condition variable if the epoch still
+   equals what it read before its last full scan — any submission in
+   between forces a rescan.
+
+   Determinism: each [map]/[map_chunks]/[map_auto] call allocates a
+   slot array; task [k] writes slot [k] and decrements an atomic
+   countdown, and the caller assembles slots in index order once the
+   countdown hits zero.  Steal order therefore never affects results,
+   only timing.  The atomic countdown also publishes the plain slot
+   writes to the assembling domain (release/acquire through the RMW
+   chain).
+
+   Failure semantics: a chunk task catches the exception of its first
+   failing element; after all tasks settle, the lowest-indexed failure
+   is re-raised — exactly the exception a sequential left-to-right map
+   over the same chunking would have raised first. *)
+
+type task = unit -> unit
+
+type worker = {
+  w_index : int;
+  w_deque : task Deque.t;
+  mutable w_steals : int;
+  mutable w_executed : int;
 }
 
-let recommended () = Domain.recommended_domain_count ()
+type t = {
+  id : int;
+  size : int;
+  injector : task Queue.t;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  epoch : int Atomic.t;
+  mutable sleepers : int;
+  mutable stop : bool;
+  workers_state : worker array;
+  mutable workers : unit Domain.t array;
+  foreign_steals : int Atomic.t;
+  foreign_executed : int Atomic.t;
+  injected : int Atomic.t;
+  minor_heap_words : int option;
+  cost : Cost_model.t;
+}
 
-(* Workers drain the queue even after [stop] is set, so shutdown never
-   drops submitted work. *)
-let rec worker_loop pool =
-  Mutex.lock pool.mutex;
-  while Queue.is_empty pool.queue && not pool.stop do
-    Condition.wait pool.nonempty pool.mutex
-  done;
-  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+type stats = {
+  pool_size : int;
+  spawned_domains : int;
+  steals : int;
+  tasks_executed : int;
+  tasks_injected : int;
+  minor_heap_words : int option;
+}
+
+let next_id = Atomic.make 0
+
+(* Which pool's worker is this domain?  Keyed by pool id so a nested
+   [map] on a *different* pool is correctly treated as foreign. *)
+let dls_key : (int * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_worker pool =
+  match Domain.DLS.get dls_key with
+  | Some (id, w) when id = pool.id -> Some w
+  | _ -> None
+
+let recommended () = Calibrate.recommended ()
+
+(* Cheap xorshift for victim selection; only steal fairness depends on
+   it, never results. *)
+let rand_next r =
+  let x = !r in
+  let x = if x = 0 then 0x2545F4914F6CDD1D else x in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  r := x;
+  x
+
+type got = Got of task | Contended | Nothing
+
+let try_injector pool =
+  (* Racy emptiness peek: keeps the common empty case lock-free.  A
+     stale "empty" answer is caught by the eventcount rescan. *)
+  if Queue.is_empty pool.injector then None
   else begin
-    let job = Queue.pop pool.queue in
+    Mutex.lock pool.mutex;
+    let r =
+      if Queue.is_empty pool.injector then None
+      else Some (Queue.pop pool.injector)
+    in
     Mutex.unlock pool.mutex;
-    job ();
-    worker_loop pool
+    r
   end
 
-(* Spawn [n] workers, or clean up whatever was spawned before the
+let try_steal pool self rr =
+  let n = Array.length pool.workers_state in
+  if n = 0 then Nothing
+  else begin
+    let start = rand_next rr mod n in
+    let contended = ref false in
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i < n do
+      let v = pool.workers_state.((start + !i) mod n) in
+      let skip = match self with Some w -> w == v | None -> false in
+      (if not skip then
+         match Deque.steal v.w_deque with
+         | Deque.Stolen task -> found := Some task
+         | Deque.Retry -> contended := true
+         | Deque.Empty -> ());
+      incr i
+    done;
+    match !found with
+    | Some task ->
+      (match self with
+      | Some w -> w.w_steals <- w.w_steals + 1
+      | None -> Atomic.incr pool.foreign_steals);
+      Got task
+    | None -> if !contended then Contended else Nothing
+  end
+
+let try_get pool self rr =
+  match
+    match self with Some w -> Deque.pop w.w_deque | None -> None
+  with
+  | Some task -> Got task
+  | None -> (
+    match try_injector pool with
+    | Some task -> Got task
+    | None -> try_steal pool self rr)
+
+(* Bump the eventcount and wake sleepers; callers must have made the
+   new work reachable (deque push / injector add) beforehand. *)
+let signal pool =
+  Mutex.lock pool.mutex;
+  Atomic.incr pool.epoch;
+  if pool.sleepers > 0 then Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex
+
+let submit_batch pool self tasks =
+  match self with
+  | Some w ->
+    List.iter (fun task -> Deque.push w.w_deque task) tasks;
+    signal pool
+  | None ->
+    Mutex.lock pool.mutex;
+    List.iter
+      (fun task ->
+        Queue.add task pool.injector;
+        Atomic.incr pool.injected)
+      tasks;
+    Atomic.incr pool.epoch;
+    if pool.sleepers > 0 then Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex
+
+let worker_loop (pool : t) w =
+  (match pool.minor_heap_words with
+  | Some words -> Calibrate.apply_minor_heap words
+  | None -> ());
+  Domain.DLS.set dls_key (Some (pool.id, w));
+  let rr = ref (0x9E3779B9 + w.w_index) in
+  let rec loop () =
+    let seen = Atomic.get pool.epoch in
+    match try_get pool (Some w) rr with
+    | Got task ->
+      w.w_executed <- w.w_executed + 1;
+      task ();
+      loop ()
+    | Contended ->
+      Domain.cpu_relax ();
+      loop ()
+    | Nothing ->
+      Mutex.lock pool.mutex;
+      if Atomic.get pool.epoch <> seen then begin
+        (* Work arrived between scan and lock: rescan. *)
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+      else if pool.stop then
+        (* Epoch unchanged since a full empty scan, so nothing is left
+           to drain (any submission bumps the epoch): exit. *)
+        Mutex.unlock pool.mutex
+      else begin
+        pool.sleepers <- pool.sleepers + 1;
+        Condition.wait pool.wake pool.mutex;
+        pool.sleepers <- pool.sleepers - 1;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+  in
+  loop ();
+  Domain.DLS.set dls_key None
+
+(* Spawn all workers, or clean up whatever was spawned before the
    failure: a half-built pool must not leak running domains. *)
-let spawn_workers pool n =
+let spawn_workers pool =
   let spawned = ref [] in
   match
-    for _ = 1 to n do
-      spawned := Domain.spawn (fun () -> worker_loop pool) :: !spawned
-    done
+    Array.iter
+      (fun w -> spawned := Domain.spawn (fun () -> worker_loop pool w) :: !spawned)
+      pool.workers_state
   with
   | () -> Ok (Array.of_list !spawned)
   | exception e ->
     Mutex.lock pool.mutex;
     pool.stop <- true;
-    Condition.broadcast pool.nonempty;
+    Atomic.incr pool.epoch;
+    Condition.broadcast pool.wake;
     Mutex.unlock pool.mutex;
     List.iter Domain.join !spawned;
     Error (Printexc.to_string e)
 
-let fresh size =
+let fresh ?minor_heap_words size =
   {
+    id = Atomic.fetch_and_add next_id 1;
     size;
-    queue = Queue.create ();
+    injector = Queue.create ();
     mutex = Mutex.create ();
-    nonempty = Condition.create ();
+    wake = Condition.create ();
+    epoch = Atomic.make 0;
+    sleepers = 0;
     stop = false;
+    workers_state =
+      Array.init (max 0 (size - 1)) (fun i ->
+          { w_index = i; w_deque = Deque.create (); w_steals = 0; w_executed = 0 });
     workers = [||];
+    foreign_steals = Atomic.make 0;
+    foreign_executed = Atomic.make 0;
+    injected = Atomic.make 0;
+    minor_heap_words;
+    cost = Cost_model.create ();
   }
 
-let create ?domains () =
-  let size =
-    match domains with None -> recommended () | Some d -> max 1 d
-  in
-  let pool = fresh size in
+(* Default sizing is calibrated; an explicit [~domains] is honoured
+   verbatim (tests rely on forcing 4 domains on a 1-core host) and
+   leaves the minor heap alone unless asked. *)
+let resolve ?domains ?minor_heap_words () =
+  match domains with
+  | Some d -> (max 1 d, minor_heap_words)
+  | None ->
+    let h = Calibrate.host () in
+    let mh =
+      match minor_heap_words with
+      | Some _ -> minor_heap_words
+      | None ->
+        if h.Calibrate.recommended > 1 then Some h.Calibrate.minor_heap_words
+        else None
+    in
+    (h.Calibrate.recommended, mh)
+
+let create ?domains ?minor_heap_words () =
+  let size, mh = resolve ?domains ?minor_heap_words () in
+  let pool = fresh ?minor_heap_words:mh size in
   if size > 1 then begin
-    match spawn_workers pool (size - 1) with
+    match spawn_workers pool with
     | Ok ws -> pool.workers <- ws
     | Error msg -> failwith ("Pool.create: cannot spawn workers: " ^ msg)
   end;
   pool
 
-let create_opt ?domains () =
-  let size =
-    match domains with None -> recommended () | Some d -> max 1 d
-  in
-  let pool = fresh size in
+let create_opt ?domains ?minor_heap_words () =
+  let size, mh = resolve ?domains ?minor_heap_words () in
+  let pool = fresh ?minor_heap_words:mh size in
   if size <= 1 then Ok pool
   else
-    match spawn_workers pool (size - 1) with
+    match spawn_workers pool with
     | Ok ws ->
       pool.workers <- ws;
       Ok pool
     | Error msg -> Error msg
 
 let size t = t.size
+let parallel_available pool = Array.length pool.workers > 0
 
-(* Pop-and-run until the shared queue is empty.  Used by the caller of
-   [map]; it may execute jobs submitted by concurrent maps, which is
-   harmless — every job carries its own completion state. *)
-let rec help_drain pool =
-  Mutex.lock pool.mutex;
-  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
-  else begin
-    let job = Queue.pop pool.queue in
-    Mutex.unlock pool.mutex;
-    job ();
-    help_drain pool
-  end
-
-let map_seq f xs =
-  (* In-order sequential map with the same first-failure semantics as the
-     parallel path. *)
-  List.map f xs
-
-let map pool f xs =
-  if Array.length pool.workers = 0 then map_seq f xs
-  else
-    match xs with
-    | [] -> []
-    | _ ->
-      let arr = Array.of_list xs in
-      let n = Array.length arr in
-      let results = Array.make n None in
-      let call_mutex = Mutex.create () in
-      let call_done = Condition.create () in
-      let remaining = ref n in
-      let run i =
-        let r = try Ok (f arr.(i)) with e -> Error e in
+(* Help run tasks until this call's countdown hits zero.  The caller
+   never blocks while any task is reachable (own deque, injector, or
+   stealable), so every pending task is always either running or
+   acquirable by somebody — the final decrement's broadcast is the
+   only wakeup the wait needs. *)
+let help_until pool self remaining call_mutex call_done =
+  let rr = ref (match self with Some w -> 31 * (w.w_index + 1) | None -> 7) in
+  let rec go () =
+    if Atomic.get remaining > 0 then
+      match try_get pool self rr with
+      | Got task ->
+        (match self with
+        | Some w -> w.w_executed <- w.w_executed + 1
+        | None -> Atomic.incr pool.foreign_executed);
+        task ();
+        go ()
+      | Contended ->
+        Domain.cpu_relax ();
+        go ()
+      | Nothing ->
         Mutex.lock call_mutex;
-        results.(i) <- Some r;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast call_done;
-        Mutex.unlock call_mutex
-      in
-      Mutex.lock pool.mutex;
-      for i = 0 to n - 1 do
-        Queue.add (fun () -> run i) pool.queue
-      done;
-      Condition.broadcast pool.nonempty;
-      Mutex.unlock pool.mutex;
-      help_drain pool;
-      Mutex.lock call_mutex;
-      while !remaining > 0 do
-        Condition.wait call_done call_mutex
-      done;
-      Mutex.unlock call_mutex;
-      (* Re-raise the lowest-indexed failure: exactly the exception a
-         sequential left-to-right map would have raised first. *)
-      Array.iter
-        (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
-        results;
-      Array.to_list
-        (Array.map
-           (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
-           results)
+        if Atomic.get remaining > 0 then Condition.wait call_done call_mutex;
+        Mutex.unlock call_mutex;
+        go ()
+  in
+  go ()
 
-(* Chunked map: one queue job per [chunk] consecutive elements instead of
-   one per element, so very cheap per-element work (a fuzz trial on a tiny
-   scenario) is not dominated by queue locking.  Results are flattened
-   back in input order; failure semantics match [map] because the chunks
-   themselves are mapped in order. *)
+let map_chunked pool ~chunk f xs =
+  match xs with
+  | [] -> []
+  | _ when not (parallel_available pool) ->
+    (* Sequential fallback: left-to-right, first failure raises —
+       byte-identical results to the parallel path. *)
+    List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let chunk = max 1 (min chunk n) in
+    let nchunks = (n + chunk - 1) / chunk in
+    let slots = Array.make nchunks None in
+    let remaining = Atomic.make nchunks in
+    let call_mutex = Mutex.create () in
+    let call_done = Condition.create () in
+    let self = current_worker pool in
+    let run_chunk k () =
+      let lo = k * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      let r =
+        try
+          let out = ref [] in
+          for i = lo to hi do
+            out := f arr.(i) :: !out
+          done;
+          Ok (List.rev !out)
+        with e -> Error e
+      in
+      slots.(k) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock call_mutex;
+        Condition.broadcast call_done;
+        Mutex.unlock call_mutex
+      end
+    in
+    submit_batch pool self (List.init nchunks run_chunk);
+    help_until pool self remaining call_mutex call_done;
+    (* Re-raise the lowest-indexed failure: exactly the exception a
+       sequential left-to-right map would have raised first. *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      slots;
+    let out = ref [] in
+    for k = nchunks - 1 downto 0 do
+      match slots.(k) with
+      | Some (Ok vs) -> out := vs @ !out
+      | Some (Error _) | None -> assert false
+    done;
+    !out
+
+let map pool f xs = map_chunked pool ~chunk:1 f xs
+
 let map_chunks pool ~chunk f xs =
   if chunk <= 0 then invalid_arg "Pool.map_chunks: chunk must be positive";
-  let rec split xs =
-    match xs with
-    | [] -> []
-    | _ ->
-      let rec take n acc rest =
-        match (n, rest) with
-        | 0, _ | _, [] -> (List.rev acc, rest)
-        | n, x :: rest -> take (n - 1) (x :: acc) rest
-      in
-      let c, rest = take chunk [] xs in
-      c :: split rest
-  in
-  List.concat (map pool (List.map f) (split xs))
+  map_chunked pool ~chunk f xs
+
+let map_auto ?(label = "default") pool f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let n = List.length xs in
+    let chunk = Cost_model.chunk pool.cost ~label ~items:n ~workers:pool.size in
+    let t0 = Unix.gettimeofday () in
+    let r = map_chunked pool ~chunk f xs in
+    let dt = Unix.gettimeofday () -. t0 in
+    (* Wall-clock under parallel execution undercounts per-item CPU
+       cost by up to the pool size; scale so the estimate stays an
+       upper bound and chunks stay conservatively small. *)
+    let eff = if parallel_available pool then float_of_int pool.size else 1. in
+    Cost_model.observe pool.cost ~label ~items:n ~seconds:(dt *. eff);
+    r
 
 let shutdown pool =
   Mutex.lock pool.mutex;
   if pool.stop then Mutex.unlock pool.mutex
   else begin
     pool.stop <- true;
-    Condition.broadcast pool.nonempty;
+    Atomic.incr pool.epoch;
+    Condition.broadcast pool.wake;
     Mutex.unlock pool.mutex;
     Array.iter Domain.join pool.workers;
     pool.workers <- [||]
@@ -183,3 +406,25 @@ let shutdown pool =
 let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let stats (pool : t) =
+  let ws = pool.workers_state in
+  let steals =
+    Array.fold_left (fun a w -> a + w.w_steals) (Atomic.get pool.foreign_steals) ws
+  in
+  let executed =
+    Array.fold_left
+      (fun a w -> a + w.w_executed)
+      (Atomic.get pool.foreign_executed)
+      ws
+  in
+  {
+    pool_size = pool.size;
+    spawned_domains = Array.length pool.workers;
+    steals;
+    tasks_executed = executed;
+    tasks_injected = Atomic.get pool.injected;
+    minor_heap_words = pool.minor_heap_words;
+  }
+
+let cost_model t = t.cost

@@ -1,34 +1,52 @@
-(** A fixed-size domain pool for fanning out independent trials.
+(** An adaptive work-stealing domain pool for fanning out independent
+    trials.
 
     The experiment suite is embarrassingly parallel: every (secret, seed)
     trial builds its own fresh kernel and shares no mutable state with any
     other trial, and the experiment tables themselves are independent of
     one another.  This pool turns that independence into wall-clock
-    speedup on OCaml 5 multicore without any external dependency: a work
-    queue guarded by a [Mutex.t]/[Condition.t] pair, drained by
-    [domains - 1] worker domains plus the calling domain itself.
+    speedup on OCaml 5 multicore without any external dependency.
 
-    Determinism guarantee: {!map} returns results in input order, and
-    because every submitted function is pure (no shared state), the
-    result list is bit-identical to [List.map] regardless of the pool
-    size or scheduling.  Parallelism never changes reported capacities.
+    Scheduling: each worker domain owns a Chase–Lev {!Deque} it pushes
+    and pops locally (LIFO, cache-friendly); idle workers steal the
+    oldest task from a random victim (lock-free); submissions from
+    domains outside the pool go through a small mutex-guarded injector
+    queue.  Workers park on a condition variable through an eventcount
+    (epoch counter) protocol, so an idle pool burns no CPU and a
+    submission can never be missed.
 
-    A pool of size 1 spawns no domains at all and degrades to plain
-    in-order [List.map] — the sequential path and the parallel path are
-    the same code. *)
+    Sizing: the default domain count comes from {!Calibrate} — a
+    1-core container (or a CPU-quota'd host whose probe shows no real
+    concurrency) gets a pool of size 1, which spawns no domains at all
+    and degrades to plain in-order [List.map].  Calibrated parallel
+    pools also enlarge each worker's minor heap to space out
+    stop-the-world minor collections.  An explicit [~domains] is
+    always honoured verbatim.
+
+    Determinism guarantee: {!map}, {!map_chunks} and {!map_auto}
+    return results in input order — every task writes a dedicated slot
+    of a per-call array — and because every submitted function is pure
+    (no shared state), the result list is bit-identical to [List.map]
+    regardless of pool size, chunking, or steal order.  Parallelism
+    never changes reported capacities. *)
 
 type t
 
 val recommended : unit -> int
-(** [Domain.recommended_domain_count ()] — the hardware parallelism the
-    runtime suggests (1 on a single-core container). *)
+(** The calibrated domain count for this host
+    ({!Calibrate.recommended}): the runtime's suggested parallelism,
+    degraded to 1 when a measured probe shows the "cores" do not
+    actually run concurrently (1-core container, CPU quota). *)
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?minor_heap_words:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains (the caller
     is the remaining one).  [domains] defaults to {!recommended}; values
-    [< 1] are clamped to 1. *)
+    [< 1] are clamped to 1.  [minor_heap_words] sets each worker
+    domain's minor-heap size; it defaults to the {!Calibrate} policy
+    when [domains] is defaulted and to "leave it alone" when [domains]
+    is explicit. *)
 
-val create_opt : ?domains:int -> unit -> (t, string) result
+val create_opt : ?domains:int -> ?minor_heap_words:int -> unit -> (t, string) result
 (** Like {!create}, but a worker-spawn failure (the runtime refusing
     more domains, resource exhaustion) returns [Error message] instead
     of raising, after joining any domains already spawned — nothing
@@ -41,7 +59,7 @@ val size : t -> int
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element of [xs], distributing
     the work across the pool, and returns the results in input order.
-    The caller participates in draining the queue, so a pool is never
+    The caller participates in draining the work, so a pool is never
     idle while its owner waits.  If one or more applications raise, the
     exception of the {e lowest-indexed} failing element is re-raised
     after all submitted work has settled — deterministically, matching
@@ -49,9 +67,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_chunks : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_chunks pool ~chunk f xs] is [map pool f xs] submitting [chunk]
-    consecutive elements per queue job, for workloads where [f] is cheap
-    enough that per-job queue traffic would dominate.  Results keep input
-    order and the lowest-indexed failure is re-raised, like {!map}. *)
+    consecutive elements per task, for workloads where [f] is cheap
+    enough that per-task scheduling traffic would dominate.  Results
+    keep input order and the lowest-indexed failure is re-raised, like
+    {!map}. *)
+
+val map_auto : ?label:string -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_auto ~label pool f xs] is {!map_chunks} with the chunk size
+    chosen by the pool's {!Cost_model} from past observations of
+    [label] (E7-scale trials get chunk 1; E10-scale rows get hundreds
+    per chunk), and the run's timing fed back into the model.
+    Chunking affects scheduling only, never results. *)
 
 val shutdown : t -> unit
 (** Graceful shutdown: signals the workers, lets them drain any jobs
@@ -61,3 +87,22 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] over a fresh pool and shuts it down
     afterwards, whether [f] returns or raises. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  pool_size : int;  (** {!size}: workers + the calling domain *)
+  spawned_domains : int;  (** worker domains currently running *)
+  steals : int;  (** tasks taken from another worker's deque *)
+  tasks_executed : int;  (** tasks run by workers or helping callers *)
+  tasks_injected : int;  (** tasks submitted from outside the pool *)
+  minor_heap_words : int option;
+      (** per-worker minor-heap sizing in force, if any *)
+}
+
+val stats : t -> stats
+(** Scheduling counters since creation.  Counter reads are racy while
+    work is in flight; exact when the pool is quiescent. *)
+
+val cost_model : t -> Cost_model.t
+(** The pool's chunk-size model ({!map_auto} feeds and consults it). *)

@@ -91,8 +91,21 @@ let locked t f =
 let warn t msg = t.s_warnings <- msg :: t.s_warnings
 
 let create ?domains ?(retries = 1) ?fuel ?(fault = No_fault) () =
-  let domains =
-    match domains with None -> Pool.recommended () | Some d -> max 1 d
+  let domains, calibration_note =
+    match domains with
+    | Some d -> (max 1 d, None)
+    | None ->
+      (* Calibrated default: on a 1-core (or CPU-quota'd) host the
+         answer is 1 — sequential, zero worker domains — and the
+         decision is recorded as a warning so campaign summaries say
+         why no parallelism happened. *)
+      let h = Calibrate.host () in
+      let note =
+        if h.Calibrate.recommended <= 1 then
+          Some ("calibration: " ^ h.Calibrate.probe_note)
+        else None
+      in
+      (h.Calibrate.recommended, note)
   in
   let fuel =
     (* the hang fault spins on the fuel gauge: give it a gauge even if
@@ -119,7 +132,10 @@ let create ?domains ?(retries = 1) ?fuel ?(fault = No_fault) () =
       s_warnings = [];
     }
   in
-  if domains <= 1 then t
+  if domains <= 1 then begin
+    Option.iter (warn t) calibration_note;
+    t
+  end
   else begin
     let spawn_result =
       match fault with
@@ -234,7 +250,7 @@ let exec t ~key f x =
 
 type 'a slot = Run of int * 'a | Dup of int
 
-let run (type a b) (t : t) ?(chunk = 1) ~(key : a -> int)
+let run (type a b) (t : t) ?chunk ?label ~(key : a -> int)
     (f : fuel:Fuel.t -> a -> b) (xs : a list) :
     (b, task_error) result list =
   let tagged = List.map (fun x -> (key x, x)) xs in
@@ -268,7 +284,12 @@ let run (type a b) (t : t) ?(chunk = 1) ~(key : a -> int)
   let job_results =
     let go (k, x) = exec t ~key:k f x in
     match t.pool with
-    | Some p when Pool.size p > 1 -> Pool.map_chunks p ~chunk go jobs
+    | Some p when Pool.size p > 1 -> (
+      (* An explicit [chunk] is honoured; otherwise the pool's cost
+         model sizes chunks from past observations of [label]. *)
+      match chunk with
+      | Some chunk -> Pool.map_chunks p ~chunk go jobs
+      | None -> Pool.map_auto ?label p go jobs)
     | Some _ | None -> List.map go jobs
   in
   let results = Hashtbl.create (List.length jobs) in

@@ -83,12 +83,13 @@ type t
 
 val create :
   ?domains:int -> ?retries:int -> ?fuel:int -> ?fault:fault -> unit -> t
-(** [create ~domains ~retries ~fuel ()] — [domains] defaults to
-    {!Pool.recommended} (values [<= 1] mean sequential); [retries]
-    (default 1) is the number of {e additional} attempts after a raise;
-    [fuel] (default unlimited) is the per-attempt watchdog budget.
-    Worker-spawn failure degrades to sequential execution instead of
-    raising. *)
+(** [create ~domains ~retries ~fuel ()] — [domains] defaults to the
+    calibrated {!Pool.recommended} (values [<= 1] mean sequential; a
+    calibrated-sequential host is recorded as a warning in the
+    summary); [retries] (default 1) is the number of {e additional}
+    attempts after a raise; [fuel] (default unlimited) is the
+    per-attempt watchdog budget.  Worker-spawn failure degrades to
+    sequential execution instead of raising. *)
 
 val with_supervisor :
   ?domains:int ->
@@ -102,6 +103,7 @@ val with_supervisor :
 val run :
   t ->
   ?chunk:int ->
+  ?label:string ->
   key:('a -> int) ->
   (fuel:Fuel.t -> 'a -> 'b) ->
   'a list ->
@@ -111,8 +113,11 @@ val run :
     result per input element, in input order.  [key] must be injective
     over the call's genuinely distinct tasks — equal keys are treated
     as accidental resubmission and every occurrence after the first is
-    rejected.  [chunk] batches queue jobs as in {!Pool.map_chunks}.
-    Never raises on task failure. *)
+    rejected.  An explicit [chunk] batches tasks as in
+    {!Pool.map_chunks}; when omitted, the chunk size is chosen
+    adaptively by the pool's cost model under [label] (see
+    {!Pool.map_auto}).  Chunking never affects results.  Never raises
+    on task failure. *)
 
 val summary : t -> summary
 (** Cumulative over every {!run} call on this supervisor. *)

@@ -21,9 +21,12 @@ let shrink_failure (s, m) =
   in
   { scenario = s; message = m; shrunk; shrunk_message }
 
-let map_trials ?pool f idxs =
+(* Chunk sizes are chosen by the pool's cost model per label: fuzz
+   trials and topology trials have very different per-item costs, and
+   both drift with trial size, so no static chunk fits. *)
+let map_trials ?pool ?(label = "fuzz-trial") f idxs =
   match pool with
-  | Some p when Pool.size p > 1 -> Pool.map_chunks p ~chunk:8 f idxs
+  | Some p when Pool.size p > 1 -> Pool.map_auto ~label p f idxs
   | Some _ | None -> List.map f idxs
 
 let run ?pool ?(mutant = Scenario.No_mutant) ~seed ~trials () =
@@ -193,7 +196,7 @@ let campaign ~sup ?(mutant = Scenario.No_mutant) ?checkpoint
     let n = min every (trials - !pos) in
     let idxs = List.init n (fun i -> !pos + i) in
     let results =
-      Supervisor.run sup ~chunk:8 ~key:Fun.id
+      Supervisor.run sup ~label:"fuzz-trial" ~key:Fun.id
         (fun ~fuel i ->
           let s = Scenario.generate ~seed ~mutant i in
           Supervisor.Fuel.burn ~amount:(Scenario.size s) fuel;
@@ -248,7 +251,8 @@ let topo_run ?pool ?(mutant = Scenario.No_mutant) ?max_domains ?max_cores ~seed
   let f i =
     check_one_topo (Topology.generate ~seed ~mutant ?max_domains ?max_cores i)
   in
-  map_trials ?pool f (List.init trials Fun.id) |> List.filter_map Fun.id
+  map_trials ?pool ~label:"topo-trial" f (List.init trials Fun.id)
+  |> List.filter_map Fun.id
 
 let topo_first_failure ?pool ?(mutant = Scenario.No_mutant) ?max_domains
     ?max_cores ~seed ~budget () =
@@ -260,7 +264,10 @@ let topo_first_failure ?pool ?(mutant = Scenario.No_mutant) ?max_domains
     if start >= budget then None
     else begin
       let n = min block (budget - start) in
-      let results = map_trials ?pool f (List.init n (fun i -> start + i)) in
+      let results =
+        map_trials ?pool ~label:"topo-trial" f
+          (List.init n (fun i -> start + i))
+      in
       let rec first i = function
         | [] -> None
         | Some fail :: _ -> Some (start + i + 1, fail)
@@ -411,7 +418,7 @@ let topo_campaign ~sup ?(mutant = Scenario.No_mutant) ?checkpoint
     let n = min every (trials - !pos) in
     let idxs = List.init n (fun i -> !pos + i) in
     let results =
-      Supervisor.run sup ~chunk:4 ~key:Fun.id
+      Supervisor.run sup ~label:"topo-trial" ~key:Fun.id
         (fun ~fuel i ->
           let t = gen i in
           Supervisor.Fuel.burn ~amount:(Topology.size t) fuel;

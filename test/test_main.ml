@@ -29,6 +29,7 @@ let () =
       ("side-channel", Test_side_channel.suite);
       ("more-properties", Test_more_properties.suite);
       ("engine-edges", Test_engine_edges.suite);
+      ("scheduler", Test_scheduler.suite);
       ("parallel-engine", Test_parallel.suite);
       ("supervisor", Test_supervisor.suite);
       ("prove", Test_prove.suite);

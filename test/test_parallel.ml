@@ -222,6 +222,161 @@ let test_check_par_matches_check () =
       ("full", Time_protection.Presets.full);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler determinism regressions: the adaptive work-stealing pool
+   must leave every user-facing report byte-identical whatever the
+   fan-out — campaign, prove and topology sweeps at -j 1, -j 4 and
+   pool-less sequential, on two seeds, including runs resumed from a
+   checkpoint written under a *different* fan-out. *)
+
+let with_tmp f =
+  let path = Filename.temp_file "tpro-par-ck" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let render_failure_list fs =
+  String.concat "\n---\n"
+    (List.map (Format.asprintf "%a" Tpro_fuzz.Driver.pp_failure) fs)
+
+let render_campaign c = render_failure_list c.Tpro_fuzz.Driver.failures
+
+let campaign_at ?checkpoint ?resume ~domains ~seed ~trials () =
+  Supervisor.with_supervisor ~domains (fun sup ->
+      Tpro_fuzz.Driver.campaign ~sup ~mutant:Tpro_fuzz.Scenario.Drop_padding
+        ?checkpoint ?resume ~checkpoint_every:2 ~seed ~trials ())
+
+let test_campaign_identical_across_j () =
+  List.iter
+    (fun seed ->
+      (* pool-less Driver.run is the sequential reference *)
+      let reference =
+        Tpro_fuzz.Driver.run ~mutant:Tpro_fuzz.Scenario.Drop_padding ~seed
+          ~trials:6 ()
+      in
+      let seq = render_failure_list reference in
+      let j1 = campaign_at ~domains:1 ~seed ~trials:6 () in
+      let j4 = campaign_at ~domains:4 ~seed ~trials:6 () in
+      if seed = 42 then
+        Alcotest.(check bool) "the mutant produces violations" true
+          (j4.Tpro_fuzz.Driver.failures <> []);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: -j 1 == sequential" seed)
+        seq (render_campaign j1);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: -j 4 == sequential" seed)
+        seq (render_campaign j4))
+    [ 42; 7 ]
+
+let test_campaign_resume_across_j () =
+  (* checkpoint written under -j 1, resumed under -j 4: the fan-out of
+     either half must not leak into the report *)
+  let uninterrupted = campaign_at ~domains:1 ~seed:42 ~trials:6 () in
+  with_tmp (fun path ->
+      Sys.remove path;
+      let partial = campaign_at ~checkpoint:path ~domains:1 ~seed:42 ~trials:3 () in
+      Alcotest.(check int) "partial run started fresh" 0
+        partial.Tpro_fuzz.Driver.resumed_from;
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
+      let resumed =
+        campaign_at ~checkpoint:path ~resume:true ~domains:4 ~seed:42
+          ~trials:6 ()
+      in
+      Alcotest.(check int) "resumed from the -j 1 checkpoint" 3
+        resumed.Tpro_fuzz.Driver.resumed_from;
+      Alcotest.(check string)
+        "-j 4 resume byte-identical to -j 1 uninterrupted"
+        (render_campaign uninterrupted)
+        (render_campaign resumed))
+
+let prove_presets =
+  [ ("full", Time_protection.Presets.full);
+    ("none", Time_protection.Presets.none) ]
+
+let prove_at ?checkpoint ?resume ~domains () =
+  Supervisor.with_supervisor ~domains (fun sup ->
+      Time_protection.Prove.run ~sup ?checkpoint ?resume
+        ~acknowledge:[ "memory interconnect" ] ~seeds:[ 0 ] ~secrets:[ 0; 1 ]
+        ~presets:prove_presets ())
+
+let render_prove (o : Time_protection.Prove.outcome) =
+  Time_protection.Prove.to_json o.Time_protection.Prove.reports
+  ^ "\n"
+  ^ String.concat "\n"
+      (List.map
+         (Format.asprintf "%a" Time_protection.Prove.pp_report)
+         o.Time_protection.Prove.reports)
+
+let test_prove_identical_across_j () =
+  let j1 = prove_at ~domains:1 () in
+  let j4 = prove_at ~domains:4 () in
+  Alcotest.(check string)
+    "prove: -j 4 lemma table and reports == -j 1"
+    (render_prove j1) (render_prove j4)
+
+let test_prove_resume_across_j () =
+  (* evidence checkpointed under -j 4, recomposed from the checkpoint
+     under -j 1: same theorem, bit for bit *)
+  with_tmp (fun path ->
+      Sys.remove path;
+      let reference = prove_at ~checkpoint:path ~domains:4 () in
+      let resumed = prove_at ~checkpoint:path ~resume:true ~domains:1 () in
+      Alcotest.(check bool) "tasks reused from the checkpoint" true
+        (resumed.Time_protection.Prove.resumed_tasks > 0);
+      Alcotest.(check string)
+        "resumed -j 1 report == uninterrupted -j 4 report"
+        (render_prove reference) (render_prove resumed))
+
+let render_topo_list fs =
+  String.concat "\n---\n"
+    (List.map (Format.asprintf "%a" Tpro_fuzz.Driver.pp_topo_failure) fs)
+
+let test_topo_identical_across_j () =
+  List.iter
+    (fun seed ->
+      let run ?pool () =
+        Tpro_fuzz.Driver.topo_run ?pool
+          ~mutant:Tpro_fuzz.Scenario.Drop_padding ~max_domains:3 ~max_cores:2
+          ~seed ~trials:8 ()
+      in
+      let seq = render_topo_list (run ()) in
+      let j1 =
+        Pool.with_pool ~domains:1 (fun pool -> render_topo_list (run ~pool ()))
+      in
+      let j4 =
+        Pool.with_pool ~domains:4 (fun pool -> render_topo_list (run ~pool ()))
+      in
+      if seed = 42 then
+        Alcotest.(check bool) "the mutant kills some topology" true (seq <> "");
+      Alcotest.(check string)
+        (Printf.sprintf "topo seed %d: -j 1 == sequential" seed)
+        seq j1;
+      Alcotest.(check string)
+        (Printf.sprintf "topo seed %d: -j 4 == sequential" seed)
+        seq j4)
+    [ 42; 7 ]
+
+let topo_campaign_at ?checkpoint ?resume ~domains ~trials () =
+  Supervisor.with_supervisor ~domains (fun sup ->
+      Tpro_fuzz.Driver.topo_campaign ~sup
+        ~mutant:Tpro_fuzz.Scenario.Drop_padding ?checkpoint ?resume
+        ~checkpoint_every:2 ~max_domains:3 ~max_cores:2 ~seed:42 ~trials ())
+
+let test_topo_campaign_resume_across_j () =
+  let uninterrupted = topo_campaign_at ~domains:4 ~trials:6 () in
+  with_tmp (fun path ->
+      Sys.remove path;
+      let _partial = topo_campaign_at ~checkpoint:path ~domains:4 ~trials:3 () in
+      let resumed =
+        topo_campaign_at ~checkpoint:path ~resume:true ~domains:1 ~trials:6 ()
+      in
+      Alcotest.(check bool) "resumed from the -j 4 checkpoint" true
+        (resumed.Tpro_fuzz.Driver.topo_resumed_from > 0);
+      Alcotest.(check string)
+        "topo -j 1 resume byte-identical to -j 4 uninterrupted"
+        (render_topo_list uninterrupted.Tpro_fuzz.Driver.topo_failures)
+        (render_topo_list resumed.Tpro_fuzz.Driver.topo_failures))
+
 let suite =
   [
     Alcotest.test_case "pool: map preserves order" `Quick test_map_ordering;
@@ -247,4 +402,16 @@ let suite =
       test_experiment_table_par;
     Alcotest.test_case "exhaustive check_par == check" `Quick
       test_check_par_matches_check;
+    Alcotest.test_case "campaign identical across -j, two seeds" `Quick
+      test_campaign_identical_across_j;
+    Alcotest.test_case "campaign resumed across -j stays identical" `Quick
+      test_campaign_resume_across_j;
+    Alcotest.test_case "prove identical across -j" `Quick
+      test_prove_identical_across_j;
+    Alcotest.test_case "prove resumed across -j stays identical" `Quick
+      test_prove_resume_across_j;
+    Alcotest.test_case "topology sweep identical across -j, two seeds" `Quick
+      test_topo_identical_across_j;
+    Alcotest.test_case "topo campaign resumed across -j stays identical" `Quick
+      test_topo_campaign_resume_across_j;
   ]
