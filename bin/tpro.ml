@@ -326,6 +326,148 @@ let run_topo seed trials jobs mutant max_domains max_cores replay out
             out out;
           exit 1)
 
+(* The campaign daemon and its client.  `tpro serve` owns a Unix-domain
+   socket, journals every accepted job before acknowledging it, and
+   multiplexes all tenants over one supervised pool; `tpro client`
+   submits jobs and survives the server being killed and restarted
+   (reconnect + idempotent resubmission).  Exit codes: serve exits 0 on
+   a clean shutdown and 1 when an injected fault crashed it; client
+   exits 0 when every job settled, 1 when a submitted job failed, 2
+   when the campaign could not be completed. *)
+let run_serve socket journal resume jobs queue_max deadline retries batch
+    outq_limit fault =
+  let open Tpro_serve.Server in
+  let cfg =
+    {
+      (default_config ~socket) with
+      journal;
+      resume;
+      domains = jobs;
+      queue_max;
+      default_deadline = deadline;
+      retries;
+      batch;
+      outq_limit;
+      fault;
+    }
+  in
+  Format.eprintf "serve: listening on %s%s@." socket
+    (match journal with
+    | Some j -> Printf.sprintf " (journal %s%s)" j (if resume then ", resumed" else "")
+    | None -> " (no journal: accepted jobs are not crash-safe)");
+  let stats = run cfg in
+  List.iter (fun n -> Format.eprintf "note: %s@." n) stats.notes;
+  Format.eprintf
+    "serve: accepted %d, completed %d (%d failed), busy %d, idempotent %d, \
+     executed %d, tenants %d, recovered %d jobs + %d results%s@."
+    stats.accepted stats.completed stats.failed stats.busy_rejections
+    stats.idempotent_hits stats.executed stats.tenants stats.recovered_jobs
+    stats.recovered_results
+    (if stats.degraded then " [degraded]" else "");
+  if fault = Torn_journal_crash then exit 1
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_client socket tenant stats shutdown bench count kind deadline window
+    json dump id_prefix specs =
+  let module Client = Tpro_serve.Client in
+  let module Job = Tpro_serve.Job in
+  if stats then (
+    match Client.server_stats ~socket with
+    | Ok kvs -> List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) kvs
+    | Error e ->
+      Printf.eprintf "client: %s\n" e;
+      exit 1)
+  else if shutdown then (
+    match Client.shutdown_server ~socket with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "client: %s\n" e;
+      exit 1)
+  else begin
+    let mk spec =
+      match Job.bench_kind spec with
+      | Ok f -> f
+      | Error e ->
+        Printf.eprintf "client: %s\n" e;
+        exit 124
+    in
+    let jobs =
+      if bench then
+        let f = mk kind in
+        List.init count (fun i ->
+            { Job.id = Printf.sprintf "%s-%06d" id_prefix i; deadline; kind = f i })
+      else if specs = [] then begin
+        Printf.eprintf
+          "client: nothing to do (give job specs, or --bench/--stats/--shutdown)\n";
+        exit 124
+      end
+      else
+        List.mapi
+          (fun i spec ->
+            {
+              Job.id = Printf.sprintf "%s-%06d" id_prefix i;
+              deadline;
+              kind = (mk spec) i;
+            })
+          specs
+    in
+    let progress =
+      if bench then
+        Some
+          (fun ~done_ ~total ->
+            if done_ mod 1000 = 0 || done_ = total then
+              Printf.eprintf "client: %d/%d\n%!" done_ total)
+      else None
+    in
+    match Client.run_jobs ~socket ~tenant ~window ?progress jobs with
+    | Error e ->
+      Printf.eprintf "client: %s\n" e;
+      exit exit_incomplete
+    | Ok report ->
+      (match dump with
+      | Some path -> write_file path (Client.dump_results report)
+      | None -> ());
+      (match json with
+      | Some path ->
+        write_file path
+          (Client.bench_json ~kind ~jobs:(List.length jobs) report)
+      | None -> ());
+      let failed =
+        List.length (List.filter (fun (_, o) -> Result.is_error o) report.results)
+      in
+      if bench then begin
+        let lat = Array.copy report.Client.latencies in
+        Array.sort compare lat;
+        Printf.printf
+          "client: %d jobs in %.2fs (%.0f jobs/s), p50 %.2fms p99 %.2fms, \
+           failed %d, busy retries %d, reconnects %d, duplicates dropped %d\n"
+          report.Client.total report.Client.duration
+          (if report.Client.duration > 0. then
+             float_of_int report.Client.total /. report.Client.duration
+           else 0.)
+          (Client.percentile lat 50. *. 1000.)
+          (Client.percentile lat 99. *. 1000.)
+          failed report.Client.busy_retries report.Client.reconnects
+          report.Client.duplicate_deliveries
+      end
+      else begin
+        List.iter
+          (fun (id, outcome) ->
+            match outcome with
+            | Ok payload -> Printf.printf "%s: ok: %s\n" id payload
+            | Error (code, detail) ->
+              Printf.printf "%s: failed (%s): %s\n" id
+                (Tpro_serve.Wire.failure_code_to_string code)
+                detail)
+          report.Client.results;
+        if failed > 0 then exit 1
+      end
+  end
+
 open Cmdliner
 
 let seeds_arg =
@@ -625,9 +767,212 @@ let topo_cmd =
       $ max_cores $ replay $ out $ checkpoint_arg $ checkpoint_every
       $ resume_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "tpro.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append-only job journal.  Every accepted job is fsynced here \
+             before it is acknowledged, so a killed daemon restarted with \
+             $(b,--resume) loses zero accepted jobs and re-runs none whose \
+             completion was recorded.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the journal on startup: re-queue unfinished jobs, \
+             re-cache finished results.  A torn journal tail (the crash \
+             case) is dropped with a note.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the shared pool (default: the calibrated \
+             count for this host).")
+  in
+  let queue_max =
+    Arg.(
+      value & opt int 65536
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Bound on queued jobs; past it submissions get a typed busy \
+             rejection with a retry-after hint instead of an unbounded \
+             queue.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt int 50_000_000
+      & info [ "deadline" ] ~docv:"FUEL"
+          ~doc:
+            "Default per-job fuel budget for jobs submitted with deadline 0; \
+             a job that burns past its budget settles as a typed deadline \
+             failure.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Additional attempts for a job that raises (deterministic \
+             exponential backoff between attempts).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Jobs per scheduling pass; tenants are drained round-robin, one \
+             job per tenant per pass.")
+  in
+  let outq_limit =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "outq-limit" ] ~docv:"BYTES"
+          ~doc:
+            "Per-connection write-queue cap; a slow reader's further \
+             results are parked until it drains (backpressure), never \
+             blocking other tenants.")
+  in
+  let fault =
+    let open Tpro_serve.Server in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", No_fault);
+               ("torn-result", Torn_result_frame);
+               ("drop-after-accept", Drop_after_accept);
+               ("torn-journal-crash", Torn_journal_crash);
+               ("spawn-failure", Spawn_failure);
+             ])
+          No_fault
+      & info [ "fault" ]
+          ~doc:
+            "Inject one server-side fault (torn-result, drop-after-accept, \
+             torn-journal-crash, spawn-failure) to exercise the recovery \
+             paths.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: multi-tenant job streams over a \
+          Unix-domain socket, journaled crash-safe, executed on one shared \
+          supervised pool")
+    Term.(
+      const run_serve $ socket_arg $ journal $ resume $ jobs $ queue_max
+      $ deadline $ retries $ batch $ outq_limit $ fault)
+
+let client_cmd =
+  let tenant =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant name: the server's fairness and re-attach key.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the server's counters and exit.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Load-generator mode: submit $(b,--count) jobs of $(b,--kind) \
+             and report throughput and latency percentiles.")
+  in
+  let count =
+    Arg.(
+      value & opt int 10000
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Jobs to submit in bench mode.")
+  in
+  let kind =
+    Arg.(
+      value & opt string "spin:50"
+      & info [ "kind" ] ~docv:"SPEC"
+          ~doc:
+            "Bench job kind: $(b,ping), $(b,spin:N), $(b,fuzz:SEED) or \
+             $(b,topo:SEED).")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline" ] ~docv:"FUEL"
+          ~doc:"Per-job fuel budget (0 = the server's default).")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Unacknowledged submissions in flight at once.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the bench report (BENCH_serve.json shape) to $(docv).")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:
+            "Write every result, one wire payload line per job in \
+             submission order, for bit-identity diffing between runs.")
+  in
+  let id_prefix =
+    Arg.(
+      value & opt string "job"
+      & info [ "id-prefix" ] ~docv:"STR"
+          ~doc:
+            "Job-id prefix; ids are $(docv)-000000..  Ids are idempotency \
+             keys — reusing them against a live journal replays cached \
+             results instead of re-running.")
+  in
+  let specs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SPEC"
+          ~doc:"Job specs to submit outside bench mode (same syntax as \
+                $(b,--kind)).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit campaign jobs to a running daemon; survives server \
+          restarts by reconnecting and resubmitting idempotent job ids")
+    Term.(
+      const run_client $ socket_arg $ tenant $ stats $ shutdown $ bench
+      $ count $ kind $ deadline $ window $ json $ dump $ id_prefix $ specs)
+
 let () =
   let info =
-    Cmd.info "tpro" ~version:"1.7.0"
+    Cmd.info "tpro" ~version:"1.8.0"
       ~doc:"Time protection: executable model, attacks and proofs"
   in
   exit
@@ -636,4 +981,5 @@ let () =
           [
             list_cmd; exp_cmd; all_cmd; verify_cmd; prove_cmd; trace_cmd;
             protocol_cmd; matrix_cmd; fuzz_cmd; topo_cmd; calibrate_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -1,13 +1,15 @@
 (* Crash-safe campaign checkpoints.
 
-   A checkpoint is a small text file: a versioned header carrying a
-   CRC-32 and the exact byte length of the payload, then the payload
-   itself.  Writes go to a sibling [.tmp] file which is fsynced and then
-   atomically renamed over the destination, so a crash at any point
-   leaves either the previous checkpoint or the new one — never a torn
-   file — unless the storage itself lies, which is exactly what the
-   [`Torn] fault injection simulates and what the CRC/length checks on
-   load are there to catch. *)
+   A checkpoint is one {!Frame}: a versioned header carrying a CRC-32
+   and the exact byte length of the payload, then the payload itself.
+   Writes go to a sibling tmp file (suffixed with the writer's pid so
+   two concurrent savers never tear each other's tmp) which is fsynced
+   and then atomically renamed over the destination; the containing
+   directory is fsynced afterwards so the rename itself survives power
+   loss.  A crash at any point leaves either the previous checkpoint or
+   the new one — never a torn file — unless the storage itself lies,
+   which is exactly what the [`Torn] fault injection simulates and what
+   the CRC/length checks on load are there to catch. *)
 
 let magic = "tpro-checkpoint"
 let version = 1
@@ -31,99 +33,35 @@ let error_to_string = function
     Printf.sprintf "payload CRC mismatch: header says %08lx, payload is %08lx"
       expected got
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3), table-driven                                    *)
+let crc32 = Frame.crc32
+let escape = Frame.escape
+let unescape = Frame.unescape
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let i =
-        Int32.to_int
-          (Int32.logand
-             (Int32.logxor !c (Int32.of_int (Char.code ch)))
-             0xFFl)
-      in
-      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
-
-(* ------------------------------------------------------------------ *)
-(* Line escaping, for embedding multi-line strings as one payload line  *)
-
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let unescape s =
-  let buf = Buffer.create (String.length s) in
-  let n = String.length s in
-  let rec go i =
-    if i >= n then Some (Buffer.contents buf)
-    else if s.[i] <> '\\' then begin
-      Buffer.add_char buf s.[i];
-      go (i + 1)
-    end
-    else if i + 1 >= n then None
-    else begin
-      (match s.[i + 1] with
-      | '\\' -> Buffer.add_char buf '\\'
-      | 'n' -> Buffer.add_char buf '\n'
-      | 't' -> Buffer.add_char buf '\t'
-      | _ -> ());
-      if s.[i + 1] = '\\' || s.[i + 1] = 'n' || s.[i + 1] = 't' then
-        go (i + 2)
-      else None
-    end
-  in
-  go 0
-
-(* ------------------------------------------------------------------ *)
-(* Save / load                                                          *)
-
-let header payload =
-  Printf.sprintf "%s %d\ncrc %lu\nlen %d\n" magic version (crc32 payload)
-    (String.length payload)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let save ?fault ~path payload =
-  let tmp = path ^ ".tmp" in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (header payload);
       (* [`Torn] models a crash window the rename cannot protect against
          (storage acknowledging a write it never completed): the payload
          is cut mid-stream but the header promises the full length. *)
-      (match fault with
-      | Some `Torn ->
-        output_string oc
-          (String.sub payload 0 (String.length payload / 2))
-      | None -> output_string oc payload);
+      output_string oc
+        (match fault with
+        | Some `Torn -> Frame.encode_torn ~magic ~version payload
+        | None -> Frame.encode ~magic ~version payload);
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp path
-
-exception Reject of error
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let load ~path =
   match
@@ -134,39 +72,11 @@ let load ~path =
   with
   | exception Sys_error e -> Error (Io e)
   | contents -> (
-    let line_end from =
-      match String.index_from_opt contents from '\n' with
-      | Some i -> (String.sub contents from (i - from), i + 1)
-      | None -> raise (Reject (Truncated { expected = 0; got = 0 }))
-    in
-    let field prefix l =
-      match String.split_on_char ' ' l with
-      | [ k; v ] when k = prefix -> (
-        match Int64.of_string_opt v with
-        | Some n -> n
-        | None -> raise (Reject Bad_magic))
-      | _ -> raise (Reject Bad_magic)
-    in
-    try
-      let l1, p1 = line_end 0 in
-      (match String.split_on_char ' ' l1 with
-      | [ m; v ] when m = magic -> (
-        match int_of_string_opt v with
-        | None -> raise (Reject Bad_magic)
-        | Some v when v <> version -> raise (Reject (Bad_version v))
-        | Some _ -> ())
-      | _ -> raise (Reject Bad_magic));
-      let l2, p2 = line_end p1 in
-      let l3, p3 = line_end p2 in
-      let expected_crc = Int64.to_int32 (field "crc" l2) in
-      let expected_len = Int64.to_int (field "len" l3) in
-      let payload = String.sub contents p3 (String.length contents - p3) in
-      if String.length payload <> expected_len then
-        Error
-          (Truncated { expected = expected_len; got = String.length payload })
-      else
-        let got = crc32 payload in
-        if got <> expected_crc then
-          Error (Bad_crc { expected = expected_crc; got })
-        else Ok payload
-    with Reject e -> Error e)
+    match Frame.decode ~magic ~version contents with
+    | Ok payload -> Ok payload
+    | Error (Frame.Bad_magic | Frame.Oversized _) -> Error Bad_magic
+    | Error (Frame.Bad_version v) -> Error (Bad_version v)
+    | Error (Frame.Truncated { expected; got }) ->
+      Error (Truncated { expected; got })
+    | Error (Frame.Bad_crc { expected; got }) ->
+      Error (Bad_crc { expected; got }))

@@ -4,11 +4,16 @@
     periodically persist their progress through this module so a killed
     process resumes from the last completed chunk instead of starting
     over.  The write protocol is the classic crash-safe sequence: write
-    a sibling [.tmp] file, [fsync] it, then atomically rename it over
-    the destination.  A reader therefore sees either the previous
-    snapshot or the new one, never a torn mixture.
+    a sibling [.tmp.<pid>] file (the pid suffix keeps two concurrent
+    savers from tearing each other's tmp), [fsync] it, atomically
+    rename it over the destination, then [fsync] the containing
+    directory so the rename itself is durable across power loss.  A
+    reader therefore sees either the previous snapshot or the new one,
+    never a torn mixture.
 
-    The on-disk format is deliberately inspectable text:
+    The on-disk format is one {!Frame} (the framing layer was factored
+    out of this module and is byte-identical to the historical
+    checkpoint format), deliberately inspectable text:
     {v
     tpro-checkpoint 1
     crc <decimal CRC-32 of the payload>
@@ -38,7 +43,8 @@ val error_to_string : error -> string
 
 val save : ?fault:[ `Torn ] -> path:string -> string -> unit
 (** [save ~path payload] writes the checkpoint crash-safely
-    (tmp + fsync + rename).  [~fault:`Torn] simulates storage that
+    (tmp + fsync + rename + directory fsync).  [~fault:`Torn] simulates
+    storage that
     acknowledged a write it never completed: the renamed file carries
     only half the payload, which a subsequent {!load} must reject with
     {!Truncated} or {!Bad_crc} — the engine-level fault matrix uses
@@ -56,3 +62,9 @@ val escape : string -> string
 
 val unescape : string -> string option
 (** Inverse of {!escape}; [None] on a malformed escape sequence. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so a rename or append inside it survives power
+    loss; errors are ignored (some filesystems refuse directory
+    fsync — durability degrades, correctness does not).  Shared with
+    the serve daemon's journal. *)

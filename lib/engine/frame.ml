@@ -1,0 +1,248 @@
+(* Shared length-framed CRC-32 message framing.
+
+   Factored out of [Checkpoint] so the serve daemon's journal and wire
+   protocol reuse the exact header format (and fault-injection
+   behaviour) the checkpoint files already proved out.  The byte format
+   is unchanged: checkpoint files written through [encode] are
+   byte-identical to the pre-extraction ones. *)
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Truncated of { expected : int; got : int }
+  | Bad_crc of { expected : int32; got : int32 }
+  | Oversized of { limit : int; got : int }
+
+let error_to_string = function
+  | Bad_magic -> "not a frame (bad magic)"
+  | Bad_version v -> Printf.sprintf "stale frame version %d" v
+  | Truncated { expected; got } ->
+    Printf.sprintf "truncated payload: expected %d bytes, found %d" expected
+      got
+  | Bad_crc { expected; got } ->
+    Printf.sprintf "payload CRC mismatch: header says %08lx, payload is %08lx"
+      expected got
+  | Oversized { limit; got } ->
+    Printf.sprintf "frame payload of %d bytes exceeds the %d-byte limit" got
+      limit
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven                                    *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand
+             (Int32.logxor !c (Int32.of_int (Char.code ch)))
+             0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Line escaping, for embedding multi-line strings as one payload line  *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] <> '\\' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 1 >= n then None
+    else begin
+      (match s.[i + 1] with
+      | '\\' -> Buffer.add_char buf '\\'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | _ -> ());
+      if s.[i + 1] = '\\' || s.[i + 1] = 'n' || s.[i + 1] = 't' then
+        go (i + 2)
+      else None
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+
+let header ~magic ~version payload =
+  Printf.sprintf "%s %d\ncrc %lu\nlen %d\n" magic version (crc32 payload)
+    (String.length payload)
+
+let encode ~magic ~version payload = header ~magic ~version payload ^ payload
+
+let encode_torn ~magic ~version payload =
+  header ~magic ~version payload
+  ^ String.sub payload 0 (String.length payload / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+
+exception Reject of error
+
+(* Parse the three header lines starting at [pos]; returns
+   [`Header (crc, len, payload_start)], [`Incomplete] when the buffer
+   ends before the third newline, or raises [Reject].  A header is at
+   most a few dozen bytes, so a long newline-free prefix is garbage,
+   not an incomplete header. *)
+let max_header_len = 256
+
+let parse_header ~magic ~version ~pos s =
+  let n = String.length s in
+  let line_end from =
+    match String.index_from_opt s from '\n' with
+    | Some i when i - pos <= max_header_len ->
+      Some (String.sub s from (i - from), i + 1)
+    | Some _ -> raise (Reject Bad_magic)
+    | None ->
+      if n - pos > max_header_len then raise (Reject Bad_magic) else None
+  in
+  match line_end pos with
+  | None -> `Incomplete
+  | Some (l1, p1) -> (
+    (match String.split_on_char ' ' l1 with
+    | [ m; v ] when m = magic -> (
+      match int_of_string_opt v with
+      | None -> raise (Reject Bad_magic)
+      | Some v when v <> version -> raise (Reject (Bad_version v))
+      | Some _ -> ())
+    | _ -> raise (Reject Bad_magic));
+    let field prefix l =
+      match String.split_on_char ' ' l with
+      | [ k; v ] when k = prefix -> (
+        match Int64.of_string_opt v with
+        | Some n -> n
+        | None -> raise (Reject Bad_magic))
+      | _ -> raise (Reject Bad_magic)
+    in
+    match line_end p1 with
+    | None -> `Incomplete
+    | Some (l2, p2) -> (
+      match line_end p2 with
+      | None -> `Incomplete
+      | Some (l3, p3) ->
+        let crc = Int64.to_int32 (field "crc" l2) in
+        let len = Int64.to_int (field "len" l3) in
+        if len < 0 then raise (Reject Bad_magic);
+        `Header (crc, len, p3)))
+
+let check_payload ~expected_crc payload =
+  let got = crc32 payload in
+  if got <> expected_crc then raise (Reject (Bad_crc { expected = expected_crc; got }))
+
+let decode ~magic ~version s =
+  try
+    match parse_header ~magic ~version ~pos:0 s with
+    | `Incomplete -> Error (Truncated { expected = 0; got = 0 })
+    | `Header (expected_crc, expected_len, p) ->
+      let payload = String.sub s p (String.length s - p) in
+      if String.length payload <> expected_len then
+        Error
+          (Truncated { expected = expected_len; got = String.length payload })
+      else begin
+        check_payload ~expected_crc payload;
+        Ok payload
+      end
+  with Reject e -> Error e
+
+let decode_prefix ~magic ~version ~pos s =
+  try
+    match parse_header ~magic ~version ~pos s with
+    | `Incomplete -> `Incomplete
+    | `Header (expected_crc, expected_len, p) ->
+      if String.length s - p < expected_len then `Incomplete
+      else begin
+        let payload = String.sub s p expected_len in
+        check_payload ~expected_crc payload;
+        `Frame (payload, p + expected_len)
+      end
+  with Reject e -> `Error e
+
+(* ------------------------------------------------------------------ *)
+(* Incremental stream decoder                                           *)
+
+module Decoder = struct
+  type t = {
+    magic : string;
+    version : int;
+    max_payload : int;
+    mutable buf : string;  (* unconsumed suffix of the stream *)
+    mutable start : int;  (* parse position within [buf] *)
+    mutable err : error option;  (* sticky *)
+  }
+
+  let create ?(max_payload = 64 * 1024 * 1024) ~magic ~version () =
+    { magic; version; max_payload; buf = ""; start = 0; err = None }
+
+  let compact t =
+    if t.start > 0 then begin
+      t.buf <- String.sub t.buf t.start (String.length t.buf - t.start);
+      t.start <- 0
+    end
+
+  let feed t s =
+    if t.err = None && String.length s > 0 then begin
+      compact t;
+      t.buf <- (if t.buf = "" then s else t.buf ^ s)
+    end
+
+  let pop t =
+    match t.err with
+    | Some e -> Error e
+    | None -> (
+      match
+        parse_header ~magic:t.magic ~version:t.version ~pos:t.start t.buf
+      with
+      | exception Reject e ->
+        t.err <- Some e;
+        Error e
+      | `Incomplete -> Ok None
+      | `Header (_, len, _) when len > t.max_payload ->
+        let e = Oversized { limit = t.max_payload; got = len } in
+        t.err <- Some e;
+        Error e
+      | `Header _ -> (
+        match
+          decode_prefix ~magic:t.magic ~version:t.version ~pos:t.start t.buf
+        with
+        | `Incomplete -> Ok None
+        | `Error e ->
+          t.err <- Some e;
+          Error e
+        | `Frame (payload, next) ->
+          t.start <- next;
+          if t.start > 65536 then compact t;
+          Ok (Some payload)))
+
+  let pending t = t.err = None && String.length t.buf - t.start > 0
+end

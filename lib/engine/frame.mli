@@ -1,0 +1,98 @@
+(** Length-framed, CRC-32-checked message framing.
+
+    One frame is an inspectable text header followed by an arbitrary
+    binary payload:
+
+    {v
+    <magic> <version>
+    crc <decimal CRC-32 of the payload>
+    len <payload length in bytes>
+    <payload>
+    v}
+
+    The format began life as {!Checkpoint}'s on-disk header and is now
+    shared by every layer that needs torn-write/torn-read detection: the
+    checkpoint files themselves ([magic = "tpro-checkpoint"]), the serve
+    daemon's job journal, and the client/server wire protocol, which
+    streams concatenated frames over a Unix-domain socket and feeds them
+    through a {!Decoder}.  Checkpoint files written through this module
+    are byte-identical to the pre-extraction format (asserted by a
+    golden fixture test). *)
+
+type error =
+  | Bad_magic  (** wrong magic, or an unparseable header *)
+  | Bad_version of int  (** a frame from another format version *)
+  | Truncated of { expected : int; got : int }
+      (** the payload is shorter (or longer) than the header promises *)
+  | Bad_crc of { expected : int32; got : int32 }
+      (** right length, corrupted bytes *)
+  | Oversized of { limit : int; got : int }
+      (** the header promises a payload larger than the decoder's
+          limit — a flooded or garbage stream, rejected before
+          buffering it *)
+
+val error_to_string : error -> string
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of a string. *)
+
+val escape : string -> string
+(** Escape backslash, newline and tab so an arbitrary string fits on
+    one payload line. *)
+
+val unescape : string -> string option
+(** Inverse of {!escape}; [None] on a malformed escape sequence. *)
+
+val header : magic:string -> version:int -> string -> string
+(** The three header lines for a payload (magic/version, crc, len). *)
+
+val encode : magic:string -> version:int -> string -> string
+(** [header ^ payload]: one complete frame. *)
+
+val encode_torn : magic:string -> version:int -> string -> string
+(** Fault injection: a frame whose header promises the full payload but
+    carries only the first half — storage (or a peer) acknowledging a
+    write it never completed.  Decoders must reject it with
+    {!Truncated} or {!Bad_crc}. *)
+
+val decode : magic:string -> version:int -> string -> (string, error) result
+(** Decode a string holding exactly one frame.  Trailing bytes beyond
+    the promised length are an error ({!Truncated}), matching
+    {!Checkpoint}'s historical whole-file semantics. *)
+
+val decode_prefix :
+  magic:string ->
+  version:int ->
+  pos:int ->
+  string ->
+  [ `Frame of string * int  (** payload, position after the frame *)
+  | `Incomplete  (** a valid prefix; more bytes may complete it *)
+  | `Error of error ]
+(** Decode one frame starting at [pos] in a buffer that may hold many
+    concatenated frames (a journal file, a socket stream).  Unlike
+    {!decode}, trailing bytes are expected — the frame ends exactly
+    where its header says. *)
+
+(** Incremental decoding of a byte stream into frames, for socket
+    readers: feed whatever [read] returned, pop complete frames.
+    Errors are sticky — a corrupt stream yields the same error on
+    every subsequent {!Decoder.pop}, and the connection should be
+    dropped. *)
+module Decoder : sig
+  type t
+
+  val create : ?max_payload:int -> magic:string -> version:int -> unit -> t
+  (** [max_payload] (default 64 MiB) bounds what a single header may
+      promise; larger frames fail with {!Oversized}. *)
+
+  val feed : t -> string -> unit
+
+  val pop : t -> (string option, error) result
+  (** [Ok (Some payload)]: one complete frame consumed.  [Ok None]:
+      nothing complete yet.  [Error _]: the stream is corrupt (torn
+      frame, bad CRC, garbage). *)
+
+  val pending : t -> bool
+  (** Bytes are buffered but do not yet form a complete frame — after
+      EOF this means the peer died mid-frame. *)
+end

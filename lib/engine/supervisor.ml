@@ -66,10 +66,19 @@ type summary = {
   warnings : string list;
 }
 
+(* Deterministic exponential backoff before retry [attempt] (1-based):
+   base * 2^(attempt-1), capped.  A pure function of the attempt
+   number, so retried schedules are reproducible and results stay
+   bit-identical with or without backoff. *)
+let backoff_delay ~base ~cap attempt =
+  let d = base *. (2. ** float_of_int (max 0 (attempt - 1))) in
+  Float.min cap (Float.max 0. d)
+
 type t = {
   pool : Pool.t option;
   domains : int;
   retries : int;
+  backoff : (float * float) option;
   fuel_budget : int option;
   fault : fault;
   mutex : Mutex.t;
@@ -90,7 +99,7 @@ let locked t f =
 
 let warn t msg = t.s_warnings <- msg :: t.s_warnings
 
-let create ?domains ?(retries = 1) ?fuel ?(fault = No_fault) () =
+let create ?domains ?(retries = 1) ?backoff ?fuel ?(fault = No_fault) () =
   let domains, calibration_note =
     match domains with
     | Some d -> (max 1 d, None)
@@ -119,6 +128,7 @@ let create ?domains ?(retries = 1) ?fuel ?(fault = No_fault) () =
       pool = None;
       domains;
       retries = max 0 retries;
+      backoff;
       fuel_budget = fuel;
       fault;
       mutex = Mutex.create ();
@@ -160,8 +170,8 @@ let fault t = t.fault
 
 let shutdown t = Option.iter Pool.shutdown t.pool
 
-let with_supervisor ?domains ?retries ?fuel ?fault f =
-  let t = create ?domains ?retries ?fuel ?fault () in
+let with_supervisor ?domains ?retries ?backoff ?fuel ?fault f =
+  let t = create ?domains ?retries ?backoff ?fuel ?fault () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let summary t =
@@ -230,7 +240,18 @@ let exec t ~key f x =
       (* deterministic tasks would only spin again: no retry *)
       Error (Fuel_exhausted { key; budget })
     | exception e ->
-      if n <= t.retries then attempt (n + 1)
+      if n <= t.retries then begin
+        (* Back off before retrying: transient failures (a peer
+           restarting, a descriptor limit) deserve breathing room, and
+           the deterministic schedule keeps retried runs reproducible.
+           Tasks are pure, so the delay can never change a result. *)
+        (match t.backoff with
+        | Some (base, cap) ->
+          let d = backoff_delay ~base ~cap n in
+          if d > 0. then Unix.sleepf d
+        | None -> ());
+        attempt (n + 1)
+      end
       else
         Error
           (Task_raised { key; attempts = n; message = Printexc.to_string e })

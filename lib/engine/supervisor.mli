@@ -82,18 +82,35 @@ type summary = {
 type t
 
 val create :
-  ?domains:int -> ?retries:int -> ?fuel:int -> ?fault:fault -> unit -> t
+  ?domains:int ->
+  ?retries:int ->
+  ?backoff:float * float ->
+  ?fuel:int ->
+  ?fault:fault ->
+  unit ->
+  t
 (** [create ~domains ~retries ~fuel ()] — [domains] defaults to the
     calibrated {!Pool.recommended} (values [<= 1] mean sequential; a
     calibrated-sequential host is recorded as a warning in the
     summary); [retries] (default 1) is the number of {e additional}
-    attempts after a raise; [fuel] (default unlimited) is the
-    per-attempt watchdog budget.  Worker-spawn failure degrades to
+    attempts after a raise; [backoff] is an optional
+    [(base_seconds, cap_seconds)] pair — before retry [n] the worker
+    sleeps {!backoff_delay}[ ~base ~cap n], a deterministic capped
+    exponential, so a flapping dependency is not hammered and retried
+    results stay bit-identical to an unbacked-off run (tasks are pure;
+    the delay only spaces attempts out); [fuel] (default unlimited) is
+    the per-attempt watchdog budget.  Worker-spawn failure degrades to
     sequential execution instead of raising. *)
+
+val backoff_delay : base:float -> cap:float -> int -> float
+(** [backoff_delay ~base ~cap attempt] = [min cap (base * 2^(attempt-1))]
+    seconds — the pure schedule behind [?backoff], exposed so tests
+    can pin it. *)
 
 val with_supervisor :
   ?domains:int ->
   ?retries:int ->
+  ?backoff:float * float ->
   ?fuel:int ->
   ?fault:fault ->
   (t -> 'a) ->

@@ -1,0 +1,381 @@
+(* The serve client: blocking socket I/O, a bounded submission window,
+   and a recovery loop that treats every connection failure the same
+   way — reconnect, resubmit whatever has no result, dedup by id. *)
+
+module Frame = Tpro_engine.Frame
+
+type report = {
+  total : int;
+  results : (string * Wire.outcome) list;
+  duration : float;
+  latencies : float array;
+  busy_retries : int;
+  reconnects : int;
+  duplicate_deliveries : int;
+  recoveries : float list;
+}
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | (_ : Sys.signal_behavior) -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                      *)
+
+type conn = { fd : Unix.file_descr; dec : Frame.Decoder.t }
+
+let connect_once ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error e
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error `Drop
+      | n -> go (off + n)
+  in
+  go 0
+
+(* Pop one response, reading (with a stall timeout) as needed.  Any
+   decode error — torn frame, bad CRC — is a drop: the stream cannot
+   be resynchronised, only replaced. *)
+let rec read_response c ~timeout =
+  match Frame.Decoder.pop c.dec with
+  | Error _ -> Error `Drop
+  | Ok (Some payload) -> (
+    match Wire.response_of_payload payload with
+    | Ok r -> Ok r
+    | Error _ -> Error `Drop)
+  | Ok None -> (
+    match Unix.select [ c.fd ] [] [] timeout with
+    | exception Unix.Unix_error (EINTR, _, _) -> read_response c ~timeout
+    | [], _, _ -> Error `Drop
+    | _ -> (
+      let buf = Bytes.create 65536 in
+      match Unix.read c.fd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error (EINTR, _, _) -> read_response c ~timeout
+      | exception Unix.Unix_error _ -> Error `Drop
+      | 0 -> Error `Drop
+      | n ->
+        Frame.Decoder.feed c.dec (Bytes.sub_string buf 0 n);
+        read_response c ~timeout))
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Connect + hello, retrying while the server is down or restarting. *)
+let connect_and_hello ~socket ~tenant ~connect_timeout ~op_timeout =
+  let t0 = Unix.gettimeofday () in
+  let rec attempt () =
+    if Unix.gettimeofday () -. t0 > connect_timeout then
+      Error
+        (Printf.sprintf "could not reach the server at %s within %.0fs" socket
+           connect_timeout)
+    else
+      match connect_once ~socket with
+      | Error (ECONNREFUSED | ENOENT | EAGAIN | EINTR) ->
+        Unix.sleepf 0.05;
+        attempt ()
+      | Error e -> Error ("connect: " ^ Unix.error_message e)
+      | Ok fd -> (
+        let c = { fd; dec = Wire.decoder () } in
+        match write_all fd (Wire.encode_request (Wire.Hello tenant)) with
+        | Error `Drop ->
+          close_conn c;
+          Unix.sleepf 0.05;
+          attempt ()
+        | Ok () -> (
+          match read_response c ~timeout:op_timeout with
+          | Ok (Wire.Welcome _) -> Ok c
+          | Ok _ ->
+            close_conn c;
+            Error "protocol: expected a welcome"
+          | Error `Drop ->
+            close_conn c;
+            Unix.sleepf 0.05;
+            attempt ()))
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* The campaign loop                                                    *)
+
+type jstate = Unsent | Sent | Acked | Resolved
+
+let run_jobs ~socket ~tenant ?(window = 64) ?(op_timeout = 30.)
+    ?(connect_timeout = 30.) ?progress jobs =
+  ignore_sigpipe ();
+  let t0 = Unix.gettimeofday () in
+  let order = Array.of_list jobs in
+  let n = Array.length order in
+  let index = Hashtbl.create (max 16 (2 * n)) in
+  let dup_id = ref None in
+  Array.iteri
+    (fun i j ->
+      let id = j.Job.id in
+      if Hashtbl.mem index id then dup_id := Some id
+      else Hashtbl.replace index id i)
+    order;
+  match !dup_id with
+  | Some id -> Error ("duplicate job id in the submission set: " ^ id)
+  | None ->
+    let state = Array.make n Unsent in
+    let results : Wire.outcome option array = Array.make n None in
+    let submit_t = Array.make n 0. in
+    let latency = Array.make n 0. in
+    let to_send = Queue.create () in
+    Array.iteri (fun i _ -> Queue.push i to_send) order;
+    let conn = ref None in
+    let outstanding = ref 0 in
+    let connected_once = ref false in
+    let reconnects = ref 0 in
+    let busy_retries = ref 0 in
+    let dups = ref 0 in
+    let done_count = ref 0 in
+    let recoveries = ref [] in
+    let drop_at = ref None in
+    let pause = ref 0. in
+    let err = ref None in
+
+    let drop () =
+      match !conn with
+      | None -> ()
+      | Some c ->
+        close_conn c;
+        conn := None;
+        drop_at := Some (Unix.gettimeofday ());
+        outstanding := 0;
+        Queue.clear to_send;
+        Array.iteri
+          (fun i _ ->
+            if Option.is_none results.(i) then begin
+              state.(i) <- Unsent;
+              Queue.push i to_send
+            end)
+          order
+    in
+
+    let ensure_conn () =
+      match !conn with
+      | Some c -> Ok c
+      | None -> (
+        match connect_and_hello ~socket ~tenant ~connect_timeout ~op_timeout with
+        | Error e -> Error e
+        | Ok c ->
+          if !connected_once then incr reconnects;
+          connected_once := true;
+          conn := Some c;
+          Ok c)
+    in
+
+    let handle_response = function
+      | Wire.Welcome _ | Wire.Pong | Wire.Bye | Wire.Stats_reply _ -> ()
+      | Wire.Error_msg m -> err := Some ("server refused: " ^ m)
+      | Wire.Accepted id -> (
+        match Hashtbl.find_opt index id with
+        | Some i when state.(i) = Sent ->
+          state.(i) <- Acked;
+          decr outstanding
+        | _ -> ())
+      | Wire.Busy { id; retry_after_ms; _ } -> (
+        match Hashtbl.find_opt index id with
+        | Some i when state.(i) = Sent ->
+          state.(i) <- Unsent;
+          decr outstanding;
+          incr busy_retries;
+          Queue.push i to_send;
+          pause :=
+            Float.max !pause (Float.min 2. (float_of_int retry_after_ms /. 1000.))
+        | _ -> ())
+      | Wire.Result { id; outcome } -> (
+        match Hashtbl.find_opt index id with
+        | None -> ()
+        | Some i -> (
+          match results.(i) with
+          | Some prev ->
+            (* At-least-once delivery collapses to exactly-once here —
+               and a byte-differing duplicate means the server re-ran a
+               "deterministic" job and got different bytes: fatal. *)
+            incr dups;
+            if prev <> outcome then
+              err :=
+                Some
+                  (Printf.sprintf
+                     "duplicate result for %s differs from the first copy" id)
+          | None ->
+            if state.(i) = Sent then decr outstanding;
+            state.(i) <- Resolved;
+            results.(i) <- Some outcome;
+            let now = Unix.gettimeofday () in
+            latency.(i) <- now -. submit_t.(i);
+            incr done_count;
+            (match !drop_at with
+            | Some t ->
+              recoveries := (now -. t) :: !recoveries;
+              drop_at := None
+            | None -> ());
+            (match progress with
+            | Some f -> f ~done_:!done_count ~total:n
+            | None -> ())))
+    in
+
+    let rec loop () =
+      if Option.is_some !err || !done_count >= n then ()
+      else begin
+        if !pause > 0. then begin
+          Unix.sleepf !pause;
+          pause := 0.
+        end;
+        (match ensure_conn () with
+        | Error e -> err := Some e
+        | Ok c -> (
+          let dropped = ref false in
+          (try
+             while !outstanding < window && not (Queue.is_empty to_send) do
+               let i = Queue.pop to_send in
+               if Option.is_none results.(i) && state.(i) = Unsent then begin
+                 if submit_t.(i) = 0. then submit_t.(i) <- Unix.gettimeofday ();
+                 match
+                   write_all c.fd (Wire.encode_request (Wire.Submit order.(i)))
+                 with
+                 | Ok () ->
+                   state.(i) <- Sent;
+                   incr outstanding
+                 | Error `Drop ->
+                   dropped := true;
+                   raise Exit
+               end
+             done
+           with Exit -> ());
+          if !dropped then drop ()
+          else
+            match read_response c ~timeout:op_timeout with
+            | Ok r ->
+              handle_response r;
+              if Option.is_some !err then drop ()
+            | Error `Drop -> drop ()));
+        loop ()
+      end
+    in
+    loop ();
+    (match !conn with Some c -> close_conn c | None -> ());
+    (match !err with
+    | Some e -> Error e
+    | None ->
+      Ok
+        {
+          total = n;
+          results =
+            Array.to_list
+              (Array.mapi
+                 (fun i j -> (j.Job.id, Option.get results.(i)))
+                 order);
+          duration = Unix.gettimeofday () -. t0;
+          latencies = latency;
+          busy_retries = !busy_retries;
+          reconnects = !reconnects;
+          duplicate_deliveries = !dups;
+          recoveries = List.rev !recoveries;
+        })
+
+(* ------------------------------------------------------------------ *)
+(* One-shot helpers                                                     *)
+
+let one_shot ~socket ~request ~want =
+  ignore_sigpipe ();
+  match connect_once ~socket with
+  | Error e -> Error ("connect: " ^ Unix.error_message e)
+  | Ok fd -> (
+    let c = { fd; dec = Wire.decoder () } in
+    let finish r =
+      close_conn c;
+      r
+    in
+    match write_all fd (Wire.encode_request request) with
+    | Error `Drop -> finish (Error "server dropped the request")
+    | Ok () ->
+      let rec await () =
+        match read_response c ~timeout:10. with
+        | Error `Drop -> Error "server dropped before replying"
+        | Ok r -> ( match want r with Some v -> Ok v | None -> await ())
+      in
+      finish (await ()))
+
+let server_stats ~socket =
+  one_shot ~socket ~request:Wire.Get_stats ~want:(function
+    | Wire.Stats_reply kvs -> Some kvs
+    | _ -> None)
+
+let shutdown_server ~socket =
+  ignore_sigpipe ();
+  match connect_once ~socket with
+  | Error e -> Error ("connect: " ^ Unix.error_message e)
+  | Ok fd -> (
+    let c = { fd; dec = Wire.decoder () } in
+    match write_all fd (Wire.encode_request Wire.Shutdown) with
+    | Error `Drop ->
+      close_conn c;
+      Error "server dropped the shutdown request"
+    | Ok () ->
+      (* Bye, or the server closing first: both count as done. *)
+      let r =
+        match read_response c ~timeout:10. with
+        | Ok Wire.Bye | Error `Drop -> Ok ()
+        | Ok _ -> Ok ()
+      in
+      close_conn c;
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let bench_json ~kind ~jobs report =
+  let lat = Array.copy report.latencies in
+  Array.sort compare lat;
+  let ms x = x *. 1000. in
+  let worst_recovery =
+    List.fold_left Float.max 0. report.recoveries
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"serve\",";
+      Printf.sprintf "  \"kind\": %S," kind;
+      Printf.sprintf "  \"jobs\": %d," jobs;
+      Printf.sprintf "  \"duration_s\": %.3f," report.duration;
+      Printf.sprintf "  \"jobs_per_sec\": %.1f,"
+        (if report.duration > 0. then float_of_int jobs /. report.duration
+         else 0.);
+      Printf.sprintf "  \"latency_p50_ms\": %.3f," (ms (percentile lat 50.));
+      Printf.sprintf "  \"latency_p99_ms\": %.3f," (ms (percentile lat 99.));
+      Printf.sprintf "  \"busy_retries\": %d," report.busy_retries;
+      Printf.sprintf "  \"reconnects\": %d," report.reconnects;
+      Printf.sprintf "  \"duplicate_deliveries\": %d,"
+        report.duplicate_deliveries;
+      Printf.sprintf "  \"recovery_worst_s\": %.3f" worst_recovery;
+      "}";
+      "";
+    ]
+
+let dump_results report =
+  String.concat ""
+    (List.map
+       (fun (id, outcome) ->
+         Wire.response_to_payload (Wire.Result { id; outcome }) ^ "\n")
+       report.results)

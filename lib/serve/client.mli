@@ -1,0 +1,70 @@
+(** The serve client: submits campaign jobs, survives the server not
+    surviving.
+
+    [run_jobs] drives a full job set to completion over however many
+    connections it takes.  The recovery contract mirrors the server's
+    durability contract:
+
+    - A connection drop, torn result frame, CRC error or read stall is
+      handled by reconnecting (with bounded retry while the server
+      restarts) and resubmitting every job that has no result yet.  Job
+      ids are idempotency keys, so resubmission never re-runs finished
+      work — the server re-acks queued ids and replays completed ones
+      from its journal.
+    - The server's delivery is at-least-once (after a crash it cannot
+      know which results the dead connection carried); the client
+      dedups by id, making delivery exactly-once at this layer.  A
+      duplicate whose bytes differ from the first copy is a
+      determinism violation and fails the run.
+    - A typed [busy] rejection re-queues the job and pauses for the
+      server's retry-after hint — overload slows a client down, it
+      never loses work.
+
+    Latencies are measured per job from first submission to result
+    arrival, so restart gaps show up honestly in the tail. *)
+
+type report = {
+  total : int;
+  results : (string * Wire.outcome) list;  (** in submission order *)
+  duration : float;  (** wall-clock seconds for the whole run *)
+  latencies : float array;  (** seconds, submission order *)
+  busy_retries : int;
+  reconnects : int;  (** connections after the first *)
+  duplicate_deliveries : int;  (** redeliveries dropped by id-dedup *)
+  recoveries : float list;
+      (** per drop: seconds from detecting it to the next result *)
+}
+
+val run_jobs :
+  socket:string ->
+  tenant:string ->
+  ?window:int ->
+  ?op_timeout:float ->
+  ?connect_timeout:float ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  Job.t list ->
+  (report, string) result
+(** Submit every job (ids must be unique) and block until every result
+    is in.  [window] (default 64) bounds unacknowledged submissions;
+    [op_timeout] (default 30 s) is the read stall treated as a dead
+    server; [connect_timeout] (default 30 s) bounds one (re)connect
+    attempt loop.  [progress] is called as results arrive. *)
+
+val server_stats :
+  socket:string -> ((string * string) list, string) result
+(** One-shot: connect, [stats], disconnect. *)
+
+val shutdown_server : socket:string -> (unit, string) result
+(** Ask the server to drain and exit. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] — nearest-rank percentile of a sorted array
+    (0 on empty input). *)
+
+val bench_json : kind:string -> jobs:int -> report -> string
+(** The BENCH_serve.json body: jobs/sec, p50/p99 latency (ms),
+    reconnects, busy retries, worst recovery time. *)
+
+val dump_results : report -> string
+(** One line per job in submission order — the exact [result] wire
+    payload — so two runs can be diffed for bit-identity. *)

@@ -1,0 +1,192 @@
+(* Campaign jobs: the unit of work the daemon schedules, executes and
+   journals.  Every kind is deterministic in its fields — the serve
+   layer's recovery story (re-run anything whose completion record was
+   lost) depends on it. *)
+
+module Fuel = Tpro_engine.Supervisor.Fuel
+module Scenario = Tpro_fuzz.Scenario
+module Topology = Tpro_fuzz.Topology
+module Oracle = Tpro_fuzz.Oracle
+
+type kind =
+  | Ping
+  | Spin of int
+  | Fuzz of { seed : int; idx : int; mutant : Scenario.mutant }
+  | Topo of {
+      seed : int;
+      idx : int;
+      max_domains : int;
+      max_cores : int;
+      mutant : Scenario.mutant;
+    }
+  | Prove of { preset : string; seed : int; secrets : int list }
+  | Table of { id : string; seeds : int list }
+
+type t = { id : string; deadline : int; kind : kind }
+
+let token_ok s =
+  s <> ""
+  && String.for_all (fun c -> Char.code c > 0x20 && Char.code c < 0x7f) s
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation: one space-separated line.  Integer lists are
+   comma-joined, "-" when empty, so every field is one token.          *)
+
+let ints_to_token = function
+  | [] -> "-"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let ints_of_token = function
+  | "-" -> Ok []
+  | s -> (
+    let parts = String.split_on_char ',' s in
+    match List.map int_of_string_opt parts with
+    | exception _ -> Error ("bad integer list: " ^ s)
+    | opts ->
+      if List.for_all Option.is_some opts then
+        Ok (List.map Option.get opts)
+      else Error ("bad integer list: " ^ s))
+
+let kind_to_string = function
+  | Ping -> "ping"
+  | Spin n -> Printf.sprintf "spin %d" n
+  | Fuzz { seed; idx; mutant } ->
+    Printf.sprintf "fuzz %d %d %s" seed idx (Scenario.mutant_to_string mutant)
+  | Topo { seed; idx; max_domains; max_cores; mutant } ->
+    Printf.sprintf "topo %d %d %d %d %s" seed idx max_domains max_cores
+      (Scenario.mutant_to_string mutant)
+  | Prove { preset; seed; secrets } ->
+    Printf.sprintf "prove %s %d %s" preset seed (ints_to_token secrets)
+  | Table { id; seeds } ->
+    Printf.sprintf "table %s %s" id (ints_to_token seeds)
+
+let int_of tok =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error ("bad integer: " ^ tok)
+
+let ( let* ) = Result.bind
+
+let mutant_of tok =
+  match Scenario.mutant_of_string tok with
+  | Some m -> Ok m
+  | None -> Error ("unknown mutant: " ^ tok)
+
+let kind_of_string line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "ping" ] -> Ok Ping
+  | [ "spin"; n ] ->
+    let* n = int_of n in
+    if n < 0 then Error "spin wants a non-negative count" else Ok (Spin n)
+  | [ "fuzz"; seed; idx; mutant ] ->
+    let* seed = int_of seed in
+    let* idx = int_of idx in
+    let* mutant = mutant_of mutant in
+    Ok (Fuzz { seed; idx; mutant })
+  | [ "topo"; seed; idx; max_domains; max_cores; mutant ] ->
+    let* seed = int_of seed in
+    let* idx = int_of idx in
+    let* max_domains = int_of max_domains in
+    let* max_cores = int_of max_cores in
+    let* mutant = mutant_of mutant in
+    Ok (Topo { seed; idx; max_domains; max_cores; mutant })
+  | [ "prove"; preset; seed; secrets ] ->
+    let* seed = int_of seed in
+    let* secrets = ints_of_token secrets in
+    if token_ok preset then Ok (Prove { preset; seed; secrets })
+    else Error "bad preset token"
+  | [ "table"; id; seeds ] ->
+    let* seeds = ints_of_token seeds in
+    if token_ok id then Ok (Table { id; seeds })
+    else Error "bad experiment id token"
+  | _ -> Error ("unparseable job kind: " ^ line)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                            *)
+
+let presets =
+  lazy (Time_protection.Presets.standard @ Time_protection.Presets.ablations)
+
+let verdict_payload = function
+  | Oracle.Pass -> "pass"
+  | Oracle.Fail m -> "fail " ^ Tpro_engine.Frame.escape m
+
+let execute ~fuel kind =
+  match kind with
+  | Ping ->
+    Fuel.burn fuel;
+    Ok "pong"
+  | Spin n ->
+    (* burn in unit steps so a deadline gauge trips mid-spin, the way a
+       genuinely runaway job would be cut off part-way *)
+    let acc = ref 0 in
+    for i = 1 to n do
+      Fuel.burn fuel;
+      acc := !acc lxor i
+    done;
+    Ok (Printf.sprintf "spun %d (%d)" n (!acc land 0xff))
+  | Fuzz { seed; idx; mutant } ->
+    let s = Scenario.generate ~seed ~mutant idx in
+    Fuel.burn ~amount:(Scenario.size s) fuel;
+    Ok (verdict_payload (Oracle.check s))
+  | Topo { seed; idx; max_domains; max_cores; mutant } ->
+    let t = Topology.generate ~seed ~mutant ~max_domains ~max_cores idx in
+    Fuel.burn ~amount:(Topology.size t) fuel;
+    Ok (verdict_payload (Oracle.check_topology t))
+  | Prove { preset; seed; secrets } -> (
+    match List.assoc_opt preset (Lazy.force presets) with
+    | None -> Error ("unknown preset: " ^ preset)
+    | Some cfg ->
+      let secrets = if secrets = [] then [ 0; 1 ] else secrets in
+      Fuel.burn ~amount:(100 * List.length secrets) fuel;
+      let ev =
+        Tpro_secmodel.Theorem.collect ~seed
+          ~build:(fun ~secret ->
+            Time_protection.Ni_scenario.build_with ~with_btb:true ~cfg ~seed
+              ~secret)
+          ~secrets ()
+      in
+      Ok (Tpro_secmodel.Theorem.evidence_to_string ev))
+  | Table { id; seeds } -> (
+    match Time_protection.Experiments.by_id id with
+    | None -> Error ("unknown experiment: " ^ id)
+    | Some f ->
+      Fuel.burn ~amount:100 fuel;
+      let seeds = match seeds with [] -> None | l -> Some l in
+      Ok (Time_protection.Table.serialise (f ?seeds ())))
+
+(* ------------------------------------------------------------------ *)
+(* Load-generator kind specs                                            *)
+
+let bench_kind spec =
+  match String.split_on_char ':' spec with
+  | [ "ping" ] -> Ok (fun _ -> Ping)
+  | [ "spin"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (fun _ -> Spin n)
+    | _ -> Error ("bad spin count in kind spec: " ^ spec))
+  | [ "fuzz"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed ->
+      Ok (fun idx -> Fuzz { seed; idx; mutant = Scenario.No_mutant })
+    | None -> Error ("bad fuzz seed in kind spec: " ^ spec))
+  | [ "topo"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed ->
+      Ok
+        (fun idx ->
+          Topo
+            {
+              seed;
+              idx;
+              max_domains = 4;
+              max_cores = 2;
+              mutant = Scenario.No_mutant;
+            })
+    | None -> Error ("bad topo seed in kind spec: " ^ spec))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown kind spec %s (expected ping, spin:N, fuzz:SEED or \
+          topo:SEED)"
+         spec)

@@ -1,0 +1,58 @@
+(** Campaign jobs a serve daemon accepts over the wire.
+
+    A job is an idempotent unit of campaign work: a client-chosen id
+    (the idempotency key — resubmitting an id never runs the work
+    twice), a deadline in fuel units enforced by the supervisor's
+    watchdog, and a kind.  Every kind is a pure function of its fields,
+    so a job re-executed after a crash-restart produces a result
+    byte-identical to the first run — the property the serve daemon's
+    zero-loss/zero-duplicate recovery contract rests on. *)
+
+type kind =
+  | Ping  (** liveness probe; the cheapest possible job *)
+  | Spin of int
+      (** burn exactly [n] fuel units — the load-generator's calibrated
+          synthetic job, and (with [n] beyond the deadline) the hung-job
+          fault of the injection matrix *)
+  | Fuzz of { seed : int; idx : int; mutant : Tpro_fuzz.Scenario.mutant }
+      (** one differential-oracle fuzz trial, as [tpro fuzz] runs *)
+  | Topo of {
+      seed : int;
+      idx : int;
+      max_domains : int;
+      max_cores : int;
+      mutant : Tpro_fuzz.Scenario.mutant;
+    }  (** one pairwise topology sweep, as [tpro topo] runs *)
+  | Prove of { preset : string; seed : int; secrets : int list }
+      (** one latency seed's theorem evidence
+          ({!Tpro_secmodel.Theorem.collect}), serialised *)
+  | Table of { id : string; seeds : int list }
+      (** one experiment table, serialised with
+          {!Time_protection.Table.serialise} *)
+
+type t = { id : string; deadline : int; kind : kind }
+(** [deadline = 0] means "use the server's default". *)
+
+val token_ok : string -> bool
+(** Valid job id / tenant name: nonempty, printable, no whitespace. *)
+
+val kind_to_string : kind -> string
+(** One space-separated line, no newlines; round-trips through
+    {!kind_of_string}. *)
+
+val kind_of_string : string -> (kind, string) result
+
+val execute :
+  fuel:Tpro_engine.Supervisor.Fuel.t -> kind -> (string, string) result
+(** Run the job, burning [fuel] roughly proportionally to the work (the
+    deadline gauge).  [Ok payload] is the deterministic result —
+    ["pass"]/["fail <msg>"] for oracle trials, the serialised table or
+    evidence for sweeps.  [Error reason] is a rejection the job itself
+    diagnosed (unknown preset, unknown experiment id); it never
+    raises except through the fuel gauge. *)
+
+val bench_kind : string -> (int -> kind, string) result
+(** Parse a load-generator kind spec — ["ping"], ["spin:N"],
+    ["fuzz:SEED"], ["topo:SEED"] — into a function from job index to
+    kind (the index varies the trial, so a burst sweeps distinct
+    scenarios). *)

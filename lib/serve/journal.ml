@@ -1,0 +1,140 @@
+(* Append-only framed journal with group fsync and torn-tail recovery. *)
+
+module Frame = Tpro_engine.Frame
+module Checkpoint = Tpro_engine.Checkpoint
+
+let magic = "tpro-journal"
+let version = 1
+
+type record =
+  | Accepted of { job : Job.t; tenant : string }
+  | Done of { id : string; outcome : Wire.outcome }
+
+type t = { path : string; oc : out_channel; mutable dirty : bool }
+
+(* Record payloads reuse the wire line shapes so the journal is
+   inspectable with the same eyes as a protocol trace. *)
+let record_to_payload = function
+  | Accepted { job = { Job.id; deadline; kind }; tenant } ->
+    Printf.sprintf "job %s %s %d %s" id tenant deadline
+      (Job.kind_to_string kind)
+  | Done { id; outcome = Ok payload } ->
+    Printf.sprintf "done %s ok %s" id (Frame.escape payload)
+  | Done { id; outcome = Error (code, detail) } ->
+    Printf.sprintf "done %s failed %s %s"
+      (id : string)
+      (Wire.failure_code_to_string code)
+      (Frame.escape detail)
+
+let split_verb line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let record_of_payload line =
+  let verb, rest = split_verb line in
+  match verb with
+  | "job" -> (
+    let id, rest = split_verb rest in
+    let tenant, rest = split_verb rest in
+    let deadline, kind_line = split_verb rest in
+    if not (Job.token_ok id && Job.token_ok tenant) then
+      Error "bad job record tokens"
+    else
+      match int_of_string_opt deadline with
+      | None -> Error "bad job record deadline"
+      | Some deadline -> (
+        match Job.kind_of_string kind_line with
+        | Ok kind -> Ok (Accepted { job = { Job.id; deadline; kind }; tenant })
+        | Error e -> Error e))
+  | "done" -> (
+    (* piggyback on the wire parser: a done record is a result line *)
+    match Wire.response_of_payload ("result " ^ rest) with
+    | Ok (Wire.Result { id; outcome }) -> Ok (Done { id; outcome })
+    | Ok _ -> Error "done record parsed as a non-result"
+    | Error e -> Error e)
+  | _ -> Error ("unknown journal record verb: " ^ verb)
+
+type recovery = {
+  records : record list;
+  dropped : bool;
+  notes : string list;
+}
+
+let scan contents =
+  let rec go pos acc =
+    if pos >= String.length contents then (List.rev acc, pos, None)
+    else
+      match Frame.decode_prefix ~magic ~version ~pos contents with
+      | `Frame (payload, next) -> (
+        match record_of_payload payload with
+        | Ok r -> go next (r :: acc)
+        | Error e -> (List.rev acc, pos, Some ("unparseable record: " ^ e)))
+      | `Incomplete ->
+        (List.rev acc, pos, Some "torn record at the journal tail")
+      | `Error e -> (List.rev acc, pos, Some (Frame.error_to_string e))
+  in
+  go 0 []
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let open_ ~path ~resume =
+  let contents = if resume then read_file path else "" in
+  let records, valid_len, damage = scan contents in
+  let notes =
+    match damage with
+    | None ->
+      if resume && records <> [] then
+        [
+          Printf.sprintf "journal replayed: %d record%s" (List.length records)
+            (if List.length records = 1 then "" else "s");
+        ]
+      else []
+    | Some what ->
+      [
+        Printf.sprintf
+          "journal damaged after %d good record%s (%s); dropped the suffix \
+           and resumed from the valid prefix"
+          (List.length records)
+          (if List.length records = 1 then "" else "s")
+          what;
+      ]
+  in
+  (* Rewrite-free recovery: truncate back to the valid prefix and keep
+     appending.  A fresh (non-resume) open truncates to zero. *)
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Unix.ftruncate fd valid_len;
+  ignore (Unix.lseek fd valid_len Unix.SEEK_SET);
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_out oc true;
+  Checkpoint.fsync_dir (Filename.dirname path);
+  ({ path; oc; dirty = false }, { records; dropped = damage <> None; notes })
+
+let append t r =
+  output_string t.oc (Frame.encode ~magic ~version (record_to_payload r));
+  t.dirty <- true
+
+let append_torn t r =
+  output_string t.oc (Frame.encode_torn ~magic ~version (record_to_payload r));
+  t.dirty <- true
+
+let sync t =
+  if t.dirty then begin
+    flush t.oc;
+    Unix.fsync (Unix.descr_of_out_channel t.oc);
+    t.dirty <- false
+  end
+
+let close t =
+  sync t;
+  close_out_noerr t.oc

@@ -1,0 +1,52 @@
+(** The daemon's crash-safe job journal.
+
+    An append-only file of {!Tpro_engine.Frame}s (magic
+    ["tpro-journal"]), one record per event: a job accepted (with its
+    owning tenant and deadline) or a job completed (with its full
+    outcome).  Acceptance is acknowledged to the client only after the
+    record is fsynced — group-committed once per accept round — so a
+    SIGKILL at any instant loses zero acknowledged jobs.  Completion
+    records make finished results durable; a completion lost to a tear
+    merely re-runs its (deterministic) job on resume, reproducing the
+    identical bytes.
+
+    Loading tolerates exactly the damage a crash can cause: a torn
+    final record is dropped with a note and the file truncated back to
+    the valid prefix.  Damage a crash cannot cause (a corrupt record
+    {e before} the tail) still recovers the prefix, but the note says
+    the storage lied. *)
+
+type record =
+  | Accepted of { job : Job.t; tenant : string }
+  | Done of { id : string; outcome : Wire.outcome }
+
+type t
+
+type recovery = {
+  records : record list;  (** valid prefix, in append order *)
+  dropped : bool;  (** a torn/corrupt suffix was discarded *)
+  notes : string list;
+}
+
+val open_ : path:string -> resume:bool -> t * recovery
+(** Open (creating if missing).  With [resume = false] any existing
+    journal is truncated — a fresh campaign.  With [resume = true] the
+    valid prefix is replayed and the file truncated to it, so new
+    appends extend known-good state. *)
+
+val append : t -> record -> unit
+(** Buffered; not durable until {!sync}. *)
+
+val append_torn : t -> record -> unit
+(** Fault injection: append a record whose header promises the full
+    payload but whose bytes are cut in half — the torn-tail state a
+    power cut leaves. *)
+
+val sync : t -> unit
+(** Flush and fsync — the durability barrier acknowledgements wait
+    behind. *)
+
+val close : t -> unit
+
+val record_to_payload : record -> string
+val record_of_payload : string -> (record, string) result

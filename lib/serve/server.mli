@@ -1,0 +1,91 @@
+(** The [tpro serve] daemon: a crash-restartable multi-tenant campaign
+    service.
+
+    One single-threaded event loop owns a Unix-domain listening socket
+    and every client connection; campaign jobs execute in batches on the
+    shared calibrated {!Tpro_engine.Supervisor} pool between I/O rounds.
+    The robustness contract:
+
+    - {b Durability}: an [accepted] acknowledgement is sent only after
+      the job's journal record is fsynced (group-committed per accept
+      round).  A SIGKILL at any instant loses zero acknowledged jobs: a
+      restart with [resume = true] replays the journal, re-queues
+      unfinished jobs and re-caches finished results, and clients that
+      resubmit their unanswered ids receive each result exactly once,
+      byte-identical to an uninterrupted run.
+    - {b Idempotency}: job ids are idempotency keys.  Resubmitting a
+      completed id returns the cached result without re-running; a
+      queued id is simply re-acknowledged.
+    - {b Fairness}: tenants' queues are drained round-robin, one job per
+      tenant per scheduling pass — a 10k-job tenant cannot starve a
+      10-job one.
+    - {b Overload}: the accept queue is bounded; past [queue_max] a
+      submission gets a typed [busy] rejection with a retry-after hint,
+      never a hang and never an abort.
+    - {b Backpressure}: results for a slow-reading client are parked
+      once its write queue passes [outq_limit] bytes and delivered as it
+      drains; the pool never blocks on client I/O.
+    - {b Deadlines}: each job runs under its own fuel gauge; a job that
+      burns past its deadline settles as a typed [deadline] failure (no
+      retry — a deterministic runaway would only spin again).
+    - {b Degradation}: if worker domains cannot be spawned the pool
+      degrades to sequential execution with a warning; serving
+      continues.
+
+    The fault matrix covers the failure modes the tests drive: a torn
+    result frame on the wire, a connection dropped right after an
+    acknowledgement, a torn journal append followed by a simulated
+    crash, and worker-spawn failure. *)
+
+type fault =
+  | No_fault
+  | Torn_result_frame
+      (** the first result frame is cut mid-payload and the connection
+          closed — the client must detect the tear and recover by
+          reconnect + resubmit *)
+  | Drop_after_accept
+      (** the first accepted submission's connection is closed right
+          after the ack — the mid-job-disconnect case *)
+  | Torn_journal_crash
+      (** the first completion record is written torn and the daemon
+          "crashes" (stops without delivering) — resume must drop the
+          tear and re-run the job *)
+  | Spawn_failure  (** worker domains fail to spawn; must degrade *)
+
+type config = {
+  socket : string;
+  journal : string option;  (** no journal = no durability (tests) *)
+  resume : bool;
+  queue_max : int;
+  default_deadline : int;  (** fuel units for jobs submitted with 0 *)
+  retries : int;
+  backoff : (float * float) option;  (** supervisor retry backoff *)
+  domains : int option;  (** [None] = calibrated *)
+  batch : int;  (** jobs per scheduling pass *)
+  outq_limit : int;  (** per-connection write-queue bytes before parking *)
+  fault : fault;
+}
+
+val default_config : socket:string -> config
+(** queue_max 65536, default_deadline 50M fuel, retries 1, backoff
+    (0.05 s, 1 s), calibrated domains, batch 32, outq_limit 1 MiB. *)
+
+type stats = {
+  accepted : int;  (** jobs durably accepted (not busy-rejected) *)
+  completed : int;  (** outcomes settled, including typed failures *)
+  failed : int;  (** subset of [completed] with a failure outcome *)
+  busy_rejections : int;
+  idempotent_hits : int;  (** resubmissions answered without re-running *)
+  executed : int;  (** jobs actually run (≤ accepted after a resume) *)
+  tenants : int;
+  recovered_jobs : int;  (** re-queued from the journal on resume *)
+  recovered_results : int;  (** completed results replayed on resume *)
+  degraded : bool;
+  notes : string list;
+}
+
+val run : ?on_ready:(unit -> unit) -> config -> stats
+(** Serve until a [shutdown] request (or an injected crash).  Blocks;
+    tests run it in a separate domain and use [on_ready] (called once
+    the socket is listening) to sequence the client side.  Pending
+    jobs at shutdown stay in the journal for the next [resume]. *)

@@ -1,0 +1,168 @@
+(* Wire protocol: framed single-line messages.  The first token is the
+   verb; free text rides escaped in final position. *)
+
+module Frame = Tpro_engine.Frame
+
+let magic = "tpro-wire"
+let version = 1
+
+type request =
+  | Hello of string
+  | Submit of Job.t
+  | Ping
+  | Get_stats
+  | Shutdown
+
+type failure_code = Deadline | Raised | Rejected
+
+let failure_code_to_string = function
+  | Deadline -> "deadline"
+  | Raised -> "raised"
+  | Rejected -> "rejected"
+
+let failure_code_of_string = function
+  | "deadline" -> Some Deadline
+  | "raised" -> Some Raised
+  | "rejected" -> Some Rejected
+  | _ -> None
+
+type outcome = (string, failure_code * string) result
+
+type response =
+  | Welcome of int
+  | Accepted of string
+  | Busy of { id : string; retry_after_ms : int; queued : int }
+  | Result of { id : string; outcome : outcome }
+  | Pong
+  | Stats_reply of (string * string) list
+  | Error_msg of string
+  | Bye
+
+(* ------------------------------------------------------------------ *)
+
+let request_to_payload = function
+  | Hello tenant -> "hello " ^ tenant
+  | Submit { Job.id; deadline; kind } ->
+    Printf.sprintf "submit %s %d %s" id deadline (Job.kind_to_string kind)
+  | Ping -> "ping"
+  | Get_stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let split_verb line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let request_of_payload line =
+  let verb, rest = split_verb line in
+  match verb with
+  | "hello" ->
+    if Job.token_ok rest then Ok (Hello rest)
+    else Error "hello wants one tenant token"
+  | "submit" -> (
+    let id, rest = split_verb rest in
+    let deadline, kind_line = split_verb rest in
+    if not (Job.token_ok id) then Error "bad job id"
+    else
+      match int_of_string_opt deadline with
+      | None -> Error "bad deadline"
+      | Some d when d < 0 -> Error "negative deadline"
+      | Some deadline -> (
+        match Job.kind_of_string kind_line with
+        | Ok kind -> Ok (Submit { Job.id; deadline; kind })
+        | Error e -> Error e))
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Get_stats
+  | "shutdown" -> Ok Shutdown
+  | _ -> Error ("unknown request verb: " ^ verb)
+
+(* ------------------------------------------------------------------ *)
+
+let response_to_payload = function
+  | Welcome v -> Printf.sprintf "welcome %d" v
+  | Accepted id -> "accepted " ^ id
+  | Busy { id; retry_after_ms; queued } ->
+    Printf.sprintf "busy %s %d %d" id retry_after_ms queued
+  | Result { id; outcome = Ok payload } ->
+    Printf.sprintf "result %s ok %s" id (Frame.escape payload)
+  | Result { id; outcome = Error (code, detail) } ->
+    Printf.sprintf "result %s failed %s %s" id (failure_code_to_string code)
+      (Frame.escape detail)
+  | Pong -> "pong"
+  | Stats_reply kvs ->
+    "stats"
+    ^ String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) kvs)
+  | Error_msg m -> "error " ^ Frame.escape m
+  | Bye -> "bye"
+
+let unescaped what s =
+  match Frame.unescape s with
+  | Some u -> Ok u
+  | None -> Error ("malformed escape in " ^ what)
+
+let ( let* ) = Result.bind
+
+let response_of_payload line =
+  let verb, rest = split_verb line in
+  match verb with
+  | "welcome" -> (
+    match int_of_string_opt rest with
+    | Some v -> Ok (Welcome v)
+    | None -> Error "bad welcome version")
+  | "accepted" ->
+    if Job.token_ok rest then Ok (Accepted rest) else Error "bad accepted id"
+  | "busy" -> (
+    match String.split_on_char ' ' rest with
+    | [ id; ms; queued ] -> (
+      match (int_of_string_opt ms, int_of_string_opt queued) with
+      | Some retry_after_ms, Some queued ->
+        Ok (Busy { id; retry_after_ms; queued })
+      | _ -> Error "bad busy hint")
+    | _ -> Error "bad busy reply")
+  | "result" -> (
+    let id, rest = split_verb rest in
+    let status, rest = split_verb rest in
+    if not (Job.token_ok id) then Error "bad result id"
+    else
+      match status with
+      | "ok" ->
+        let* payload = unescaped "result payload" rest in
+        Ok (Result { id; outcome = Ok payload })
+      | "failed" -> (
+        let code, detail = split_verb rest in
+        match failure_code_of_string code with
+        | None -> Error ("unknown failure code: " ^ code)
+        | Some code ->
+          let* detail = unescaped "failure detail" detail in
+          Ok (Result { id; outcome = Error (code, detail) }))
+      | _ -> Error ("unknown result status: " ^ status))
+  | "pong" -> Ok Pong
+  | "stats" ->
+    let kvs =
+      List.filter_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+          | None -> None)
+        (String.split_on_char ' ' rest)
+    in
+    Ok (Stats_reply kvs)
+  | "error" ->
+    let* m = unescaped "error message" rest in
+    Ok (Error_msg m)
+  | "bye" -> Ok Bye
+  | _ -> Error ("unknown response verb: " ^ verb)
+
+let encode_request r = Frame.encode ~magic ~version (request_to_payload r)
+let encode_response r = Frame.encode ~magic ~version (response_to_payload r)
+
+(* Wire frames are small except result payloads carrying serialised
+   tables/evidence; 16 MiB is far above any real message and small
+   enough to reject a garbage length immediately. *)
+let decoder () =
+  Frame.Decoder.create ~max_payload:(16 * 1024 * 1024) ~magic ~version ()

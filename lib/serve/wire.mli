@@ -1,0 +1,60 @@
+(** The serve daemon's wire protocol.
+
+    Requests and responses travel over a Unix-domain socket as
+    {!Tpro_engine.Frame}s (magic ["tpro-wire"], version 1): a
+    length-framed, CRC-32-checked envelope whose payload is one
+    inspectable text line.  Free-text fields (result payloads, error
+    messages) sit in final position and are {!Tpro_engine.Frame.escape}d
+    so multi-line results — serialised experiment tables, theorem
+    evidence — fit the line.  A frame that fails its CRC, promises an
+    oversized payload or stops mid-stream is a typed decode error, never
+    a crash: the peer is dropped (server side) or the connection retried
+    (client side). *)
+
+val magic : string
+val version : int
+
+type request =
+  | Hello of string  (** tenant name: fairness and re-attach key *)
+  | Submit of Job.t
+  | Ping
+  | Get_stats
+  | Shutdown  (** graceful: drain writes, keep the journal, exit 0 *)
+
+type failure_code =
+  | Deadline  (** the fuel watchdog cut the job off *)
+  | Raised  (** the job raised on every attempt (after retries) *)
+  | Rejected  (** the job itself refused (unknown preset/experiment) *)
+
+val failure_code_to_string : failure_code -> string
+
+type outcome = (string, failure_code * string) result
+(** A completed job: [Ok payload] or [Error (code, detail)].  Exactly
+    what the journal's completion records persist. *)
+
+type response =
+  | Welcome of int  (** protocol version *)
+  | Accepted of string  (** job id: durably journaled, will run *)
+  | Busy of { id : string; retry_after_ms : int; queued : int }
+      (** typed overload rejection: the accept queue is full; retry
+          after the hint.  The job was {e not} accepted. *)
+  | Result of { id : string; outcome : outcome }
+  | Pong
+  | Stats_reply of (string * string) list  (** ordered key/value pairs *)
+  | Error_msg of string
+      (** protocol violation (bad frame payload, submit before hello);
+          the server closes the connection after sending it *)
+  | Bye
+
+val request_to_payload : request -> string
+val request_of_payload : string -> (request, string) result
+val response_to_payload : response -> string
+val response_of_payload : string -> (response, string) result
+
+val encode_request : request -> string
+(** The full frame ({!Tpro_engine.Frame.encode} of the payload). *)
+
+val encode_response : response -> string
+
+val decoder : unit -> Tpro_engine.Frame.Decoder.t
+(** A stream decoder configured with this protocol's magic/version. *)

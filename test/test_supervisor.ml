@@ -165,6 +165,63 @@ let test_fault_spawn_failure_degrades () =
              has_sub "sequential" w)
            s.Supervisor.warnings))
 
+(* Retry backoff is a pure, capped exponential schedule; enabling it
+   spaces attempts out but must not change a single output byte. *)
+let test_backoff_schedule_pinned () =
+  let d = Supervisor.backoff_delay ~base:0.05 ~cap:1.0 in
+  Alcotest.(check (list (float 1e-9)))
+    "capped exponential doubling"
+    [ 0.05; 0.1; 0.2; 0.4; 0.8; 1.0; 1.0 ]
+    (List.map d [ 1; 2; 3; 4; 5; 6; 7 ]);
+  Alcotest.(check (float 1e-9)) "attempt 0 clamps to base" 0.05 (d 0)
+
+let test_backoff_results_bit_identical () =
+  let xs = List.init 10 Fun.id in
+  let run ?backoff () =
+    Supervisor.with_supervisor ~domains:2 ?backoff
+      ~fault:(Supervisor.Raise_once { key = 4 })
+      (fun sup ->
+        let got = Supervisor.run sup ~key:Fun.id sq xs in
+        (got, Supervisor.summary sup))
+  in
+  let plain, s_plain = run () in
+  let backed, s_backed = run ~backoff:(0.001, 0.004) () in
+  Alcotest.check results_testable
+    "retried-with-backoff results bit-identical to no-backoff" plain backed;
+  Alcotest.(check int) "both runs retried exactly once" s_plain.Supervisor.retried
+    s_backed.Supervisor.retried;
+  Alcotest.(check int) "one retry" 1 s_backed.Supervisor.retried
+
+(* Satellite: the watchdog must also trip on a calibrated-sequential
+   host (1-core container), where no worker domain exists and the hang
+   burns fuel in the calling domain. *)
+let test_hang_tripped_on_one_core_host () =
+  let seq_host =
+    {
+      Calibrate.cores_detected = 1;
+      recommended = 1;
+      minor_heap_words = Calibrate.default_minor_heap_words;
+      parallel_efficiency = 1.0;
+      probe_note = "forced sequential for the 1-core watchdog test";
+    }
+  in
+  Calibrate.with_override seq_host (fun () ->
+      Supervisor.with_supervisor ~fuel:300
+        ~fault:(Supervisor.Hang { key = 1 })
+        (fun sup ->
+          Alcotest.(check bool) "calibrated-sequential: no pool" true
+            (Supervisor.pool sup = None);
+          Alcotest.(check bool) "sequential is not degradation" false
+            (Supervisor.degraded sup);
+          let got = Supervisor.run sup ~key:Fun.id sq [ 0; 1; 2 ] in
+          match got with
+          | [ Ok 1; Error (Supervisor.Fuel_exhausted e); Ok 5 ] ->
+            Alcotest.(check int) "budget reported" 300 e.budget;
+            Alcotest.(check int) "key reported" 1 e.key
+          | _ ->
+            Alcotest.fail
+              "the hanging task must exhaust its fuel on a 1-core host"))
+
 let test_fuel_budget_enforced () =
   Supervisor.with_supervisor ~domains:1 ~fuel:10 (fun sup ->
       let burn ~fuel x =
@@ -416,6 +473,12 @@ let suite =
     Alcotest.test_case "fault: spawn failure degrades to sequential" `Quick
       test_fault_spawn_failure_degrades;
     Alcotest.test_case "fuel budget enforced" `Quick test_fuel_budget_enforced;
+    Alcotest.test_case "backoff: schedule pinned" `Quick
+      test_backoff_schedule_pinned;
+    Alcotest.test_case "backoff: retried results bit-identical" `Quick
+      test_backoff_results_bit_identical;
+    Alcotest.test_case "fault: hang tripped on a 1-core host" `Quick
+      test_hang_tripped_on_one_core_host;
     Alcotest.test_case "checkpoint round-trip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "checkpoint: truncation rejected" `Quick
       test_checkpoint_truncated;
